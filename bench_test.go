@@ -1,0 +1,136 @@
+// Benchmark harness: one testing.B benchmark per evaluation figure of the
+// paper. Each benchmark regenerates its figure through the experiments
+// drivers (reduced "quick" scale so `go test -bench=.` stays tractable) and
+// reports the figure's headline metric via b.ReportMetric, so a bench run
+// doubles as a paper-vs-measured check. Full-scale figures:
+// `go run ./cmd/localut-bench`.
+package localut
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/experiments"
+)
+
+var (
+	benchMu    sync.Mutex
+	benchSuite *experiments.Suite
+)
+
+func suite() *experiments.Suite {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchSuite == nil {
+		benchSuite = experiments.NewQuick()
+	}
+	return benchSuite
+}
+
+// benchFig runs one figure driver per iteration and reports named metrics.
+func benchFig(b *testing.B, fn func() (*experiments.Result, error), metrics ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range metrics {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkFig03_LUTPlacement(b *testing.B) {
+	benchFig(b, suite().Fig03, "dram_over_buffer_at_plocal")
+}
+
+func BenchmarkFig06_Capacity(b *testing.B) {
+	benchFig(b, suite().Fig06, "reduction_p2", "reduction_p8")
+}
+
+func BenchmarkFig09_GEMM(b *testing.B) {
+	benchFig(b, suite().Fig09, "geomean_over_naive", "geomean_over_ltc", "max_over_naive")
+}
+
+func BenchmarkFig10_Models(b *testing.B) {
+	benchFig(b, suite().Fig10, "geomean_over_naive", "geomean_over_ltc", "geomean_over_op")
+}
+
+func BenchmarkFig11_Sensitivity(b *testing.B) {
+	benchFig(b, suite().Fig11, "geomean")
+}
+
+func BenchmarkFig12_PackingDegree(b *testing.B) {
+	benchFig(b, suite().Fig12, "best_p_M768", "best_speedup_M768")
+}
+
+func BenchmarkFig13_KSlices(b *testing.B) {
+	benchFig(b, suite().Fig13, "k8_speedup_BERT_W1A3")
+}
+
+func BenchmarkFig14_Energy(b *testing.B) {
+	benchFig(b, suite().Fig14, "w1ax_vs_naive", "w1ax_vs_ltc")
+}
+
+func BenchmarkFig15_PQAccuracy(b *testing.B) {
+	benchFig(b, suite().Fig15, "pq_points_dominated", "pq_points_total")
+}
+
+func BenchmarkFig16_Breakdown(b *testing.B) {
+	benchFig(b, suite().Fig16, "kernel_idxcalc_share", "kernel_reorder_share", "pimdl_centroid_share")
+}
+
+func BenchmarkFig17_CPUGPU(b *testing.B) {
+	benchFig(b, suite().Fig17, "cpu_over_localut_W1A3", "gpu_over_localut_W4A4")
+}
+
+func BenchmarkFig18_CostModel(b *testing.B) {
+	benchFig(b, suite().Fig18, "mean_rel_error")
+}
+
+func BenchmarkFig19_Scenarios(b *testing.B) {
+	benchFig(b, suite().Fig19, "prefill_speedup", "decode_speedup")
+}
+
+func BenchmarkFig20_BankPIM(b *testing.B) {
+	benchFig(b, suite().Fig20, "geomean", "w4a4_speedup")
+}
+
+func BenchmarkFig21_Float(b *testing.B) {
+	benchFig(b, suite().Fig21, "vit_acc_p5")
+}
+
+// BenchmarkGEMMKernelLoCaLUT measures raw simulator throughput of the full
+// LoCaLUT kernel on a representative bank tile (not a figure; a harness
+// health metric).
+func BenchmarkGEMMKernelLoCaLUT(b *testing.B) {
+	sys := NewSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.GEMM(W1A3, 512, 256, 4, DesignLoCaLUT, WithPaperTiling())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkGEMMKernelNaive is the matching baseline health metric.
+func BenchmarkGEMMKernelNaive(b *testing.B) {
+	sys := NewSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.GEMM(W1A3, 512, 256, 4, DesignNaive, WithPaperTiling()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

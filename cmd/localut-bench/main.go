@@ -1,0 +1,76 @@
+// Command localut-bench regenerates every table and figure of the paper's
+// evaluation section on the simulated PIM system and writes a markdown
+// report (stdout by default).
+//
+// Usage:
+//
+//	localut-bench [-quick] [-fig fig09] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ais-snu/localut/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size workloads")
+	fig := flag.String("fig", "", "run a single figure (e.g. fig09); empty runs all")
+	out := flag.String("o", "", "write the markdown report to this file instead of stdout")
+	flag.Parse()
+
+	s := experiments.New()
+	if *quick {
+		s = experiments.NewQuick()
+	}
+
+	var results []*experiments.Result
+	start := time.Now()
+	if *fig == "" {
+		var err error
+		results, err = s.All()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		r, err := runOne(s, strings.ToLower(*fig))
+		if err != nil {
+			fatal(err)
+		}
+		results = []*experiments.Result{r}
+	}
+	doc := experiments.ReportMarkdown(results)
+	doc += fmt.Sprintf("\n---\nGenerated in %.1fs (quick=%v)\n", time.Since(start).Seconds(), *quick)
+
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d figures, %.1fs)\n", *out, len(results), time.Since(start).Seconds())
+}
+
+func runOne(s *experiments.Suite, id string) (*experiments.Result, error) {
+	drivers := map[string]func() (*experiments.Result, error){
+		"fig03": s.Fig03, "fig06": s.Fig06, "fig09": s.Fig09, "fig10": s.Fig10,
+		"fig11": s.Fig11, "fig12": s.Fig12, "fig13": s.Fig13, "fig14": s.Fig14,
+		"fig15": s.Fig15, "fig16": s.Fig16, "fig17": s.Fig17, "fig18": s.Fig18,
+		"fig19": s.Fig19, "fig20": s.Fig20, "fig21": s.Fig21,
+	}
+	fn, ok := drivers[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q (fig03..fig21)", id)
+	}
+	return fn()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "localut-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command localut-gemm runs a single GEMM on the simulated PIM system —
+// the equivalent of the paper artifact's script.h entry point: pick a
+// matrix shape, a quantization format, a design and optionally a packing
+// degree, and get execution time plus a functionality check.
+//
+// Usage:
+//
+//	localut-gemm -m 3072 -k 768 -n 128 -fmt W1A3 -design LoCaLUT [-p 8] [-slicek 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	m := flag.Int("m", 768, "weight rows M")
+	k := flag.Int("k", 768, "reduction dimension K")
+	n := flag.Int("n", 128, "activation columns N")
+	fmtName := flag.String("fmt", "W1A3", "quantization format (W1A3, W1A4, W2A2, W4A4)")
+	design := flag.String("design", "all", "design: naive, ltc, op, oplc, oplcrc, localut, all")
+	p := flag.Int("p", 0, "force packing degree (0 = cost model)")
+	sliceK := flag.Int("slicek", 0, "force slice batch k (0 = cost model)")
+	stream := flag.Bool("stream", false, "force slice streaming (with -p)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	f, err := localut.ParseFormat(*fmtName)
+	if err != nil {
+		fatal(err)
+	}
+	sys := localut.NewSystem(localut.WithSeed(*seed))
+
+	plan, err := sys.ChoosePlan(f, *m, *k, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shape (%d, %d, %d) %s — cost model: p=%d streaming=%v k=%d (predicted %.3f ms/bank-pass)\n\n",
+		*m, *k, *n, f.Name(), plan.P, plan.Streaming, plan.SliceK, plan.PredictedSeconds*1e3)
+
+	designs := map[string]localut.Design{
+		"naive": localut.DesignNaive, "ltc": localut.DesignLTC,
+		"op": localut.DesignOP, "oplc": localut.DesignOPLC,
+		"oplcrc": localut.DesignOPLCRC, "localut": localut.DesignLoCaLUT,
+	}
+	var run []localut.Design
+	if *design == "all" {
+		run = localut.Designs
+	} else {
+		d, ok := designs[strings.ToLower(*design)]
+		if !ok {
+			fatal(fmt.Errorf("unknown design %q", *design))
+		}
+		run = []localut.Design{d}
+	}
+
+	var opts []localut.GEMMOption
+	opts = append(opts, localut.WithPaperTiling())
+	if *p > 0 {
+		opts = append(opts, localut.WithPackingDegree(*p))
+	}
+	if *sliceK > 0 {
+		opts = append(opts, localut.WithSliceK(*sliceK))
+	}
+	if *stream {
+		opts = append(opts, localut.WithStreaming())
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s %10s %9s %s\n",
+		"design", "total (ms)", "kernel (ms)", "xfer (ms)", "energy (J)", "p/k", "check")
+	var base float64
+	for _, d := range run {
+		res, err := sys.GEMM(f, *m, *k, *n, d, opts...)
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", d, err)
+			continue
+		}
+		if base == 0 {
+			base = res.TotalSeconds
+		}
+		check := "FAIL"
+		if res.Verified {
+			check = "OK"
+		}
+		fmt.Printf("%-10s %12.4f %12.4f %12.4f %10.4f %6d/%-2d %s (%.2fx)\n",
+			d, res.TotalSeconds*1e3, res.KernelSeconds*1e3, res.Transfer*1e3,
+			res.EnergyJ, res.P, res.SliceK, check, base/res.TotalSeconds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "localut-gemm:", err)
+	os.Exit(1)
+}

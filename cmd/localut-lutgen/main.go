@@ -1,0 +1,73 @@
+// Command localut-lutgen inspects the LUT family for a format and packing
+// degree: capacity laws, residence feasibility on the UPMEM-class machine,
+// and (optionally) a dump of canonical/reordering LUT entries — the
+// "procedures for generating both the canonical LUT and the reordering
+// LUT" of the paper's artifact.
+//
+// Usage:
+//
+//	localut-lutgen -fmt W1A3 [-p 4] [-dump 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	fmtName := flag.String("fmt", "W1A3", "quantization format")
+	p := flag.Int("p", 0, "packing degree (0 = table across all feasible p)")
+	dump := flag.Int("dump", 0, "print the first N canonical columns' contents")
+	flag.Parse()
+
+	f, err := localut.ParseFormat(*fmtName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *p == 0 {
+		sys := localut.NewSystem()
+		plan, err := sys.ChoosePlan(f, 3072, 768, 128)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: p_local=%d, p_DRAM=%d on the UPMEM-class machine\n\n", f.Name(), plan.PLocal, plan.PDRAM)
+		fmt.Printf("%3s %16s %14s %14s %12s %10s %10s\n",
+			"p", "op-packed (B)", "canonical (B)", "reorder (B)", "combined (B)", "reduction", "slice (B)")
+		for pp := 1; pp <= plan.PDRAM; pp++ {
+			c, err := localut.LUTCapacity(f, pp)
+			if err != nil {
+				break
+			}
+			fmt.Printf("%3d %16d %14d %14d %12d %9.1fx %10d\n",
+				pp, c.OperationPackedByte, c.CanonicalBytes, c.ReorderBytes,
+				c.CombinedBytes, c.ReductionRate, c.SliceBytes)
+		}
+		return
+	}
+
+	c, err := localut.LUTCapacity(f, *p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s p=%d: canonical %d B (+ reordering %d B) vs operation-packed %d B — %.1fx reduction\n",
+		f.Name(), *p, c.CanonicalBytes, c.ReorderBytes, c.OperationPackedByte, c.ReductionRate)
+
+	if *dump > 0 {
+		cols, err := localut.DumpCanonicalColumns(f, *p, *dump)
+		if err != nil {
+			fatal(err)
+		}
+		for _, col := range cols {
+			fmt.Println(col)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "localut-lutgen:", err)
+	os.Exit(1)
+}

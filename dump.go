@@ -1,0 +1,44 @@
+package localut
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/perm"
+)
+
+// DumpCanonicalColumns materializes the canonical LUT for (f, p) and
+// renders the first n columns as human-readable lines: the sorted
+// activation vector each column encodes and its entries per packed weight
+// row. Intended for inspection tools, not hot paths.
+func DumpCanonicalColumns(f Format, p, n int) ([]string, error) {
+	spec, err := lut.NewSpec(f.inner, p)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := lut.CachedCanonical(spec)
+	if err != nil {
+		return nil, err
+	}
+	cols := spec.CanonCols()
+	if int64(n) > cols {
+		n = int(cols)
+	}
+	rows := int(spec.Rows())
+	out := make([]string, 0, n)
+	for c := 0; c < n; c++ {
+		acts := perm.MultisetUnrank(int64(c), f.inner.Act.Levels(), p)
+		vals := make([]string, len(acts))
+		for i, a := range acts {
+			vals[i] = fmt.Sprintf("%d", f.inner.Act.Decode(uint32(a)))
+		}
+		entries := make([]string, 0, rows)
+		for r := 0; r < rows; r++ {
+			entries = append(entries, fmt.Sprintf("%d", canon.Lookup(uint32(r), int64(c))))
+		}
+		out = append(out, fmt.Sprintf("col %4d acts=[%s]: %s",
+			c, strings.Join(vals, " "), strings.Join(entries, " ")))
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+// bertinference runs BERT-base end to end on the simulated PIM system
+// across quantization formats and designs, reporting the Fig. 16(a)-style
+// phase breakdown and the Fig. 10-style speedups.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	sys := localut.NewSystem()
+	opts := localut.InferOptions{Batch: 8}
+
+	fmt.Println("BERT-base, batch 8, sequence length 128 — end-to-end inference")
+	fmt.Printf("%-6s %-10s %10s %9s | %s\n", "format", "design", "total(ms)", "speedup", "phase breakdown")
+
+	for _, f := range localut.Formats {
+		var naive float64
+		for _, d := range []localut.Design{localut.DesignNaive, localut.DesignLTC,
+			localut.DesignOP, localut.DesignLoCaLUT} {
+			res, err := sys.Infer(localut.BERTBase, f, d, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d == localut.DesignNaive {
+				naive = res.TotalSeconds
+			}
+			p := res.Prefill
+			fmt.Printf("%-6s %-10s %10.2f %8.2fx | gemm %4.0f%%  xfer %4.0f%%  quant %4.0f%%  sort %4.0f%%  host %4.0f%%\n",
+				f.Name(), d, res.TotalSeconds*1e3, naive/res.TotalSeconds,
+				100*p.GEMMPIM/p.Total, 100*p.Transfer/p.Total, 100*p.Quantize/p.Total,
+				100*p.SortPack/p.Total, 100*p.HostOther/p.Total)
+		}
+		fmt.Println()
+	}
+}

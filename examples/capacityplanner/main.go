@@ -1,0 +1,37 @@
+// capacityplanner prints the LUT capacity laws for every evaluation format:
+// table sizes across packing degrees, the canonicalization reduction rate,
+// and the residence limits (p_local / p_DRAM) on the UPMEM-class machine —
+// the planning view behind Fig. 6 and §V-A.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	sys := localut.NewSystem()
+	for _, f := range localut.Formats {
+		// Residence limits come from the cost model on a representative
+		// tall-GEMM shape.
+		plan, err := sys.ChoosePlan(f, 3072, 768, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s — p_local=%d (64 KB WRAM), p_DRAM=%d (64 MB bank), model pick p=%d\n",
+			f.Name(), plan.PLocal, plan.PDRAM, plan.P)
+		fmt.Printf("%3s %16s %14s %14s %12s %10s\n",
+			"p", "op-packed (B)", "canonical (B)", "reorder (B)", "combined (B)", "reduction")
+		for p := 1; p <= plan.PDRAM; p++ {
+			c, err := localut.LUTCapacity(f, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%3d %16d %14d %14d %12d %9.1fx\n",
+				p, c.OperationPackedByte, c.CanonicalBytes, c.ReorderBytes,
+				c.CombinedBytes, c.ReductionRate)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// packingsweep explores the capacity-computation tradeoff interactively:
+// it sweeps the packing degree p on a W2A2 GEMM, compares the cost model's
+// prediction against simulation (the Fig. 12 / Fig. 18 view), and shows
+// where LUT slice streaming takes over from buffer-resident LUTs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	f := localut.W2A2
+	const K, N = 768, 128
+	sys := localut.NewSystem()
+
+	for _, M := range []int{192, 768, 3072} {
+		plan, err := sys.ChoosePlan(f, M, K, N)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s GEMM (%d, %d, %d): cost model picks p=%d (streaming=%v, k=%d)\n",
+			f.Name(), M, K, N, plan.P, plan.Streaming, plan.SliceK)
+		fmt.Printf("%3s %12s %12s %10s %10s\n", "p", "LUT bytes", "residence", "total(ms)", "speedup")
+
+		naive, err := sys.GEMM(f, M, K, N, localut.DesignNaive, localut.WithPaperTiling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for p := 1; p <= plan.PDRAM; p++ {
+			cap, err := localut.LUTCapacity(f, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts := []localut.GEMMOption{localut.WithPaperTiling(), localut.WithPackingDegree(p)}
+			residence := "buffer"
+			if p > plan.PLocal {
+				residence = "streaming"
+				opts = append(opts, localut.WithStreaming())
+			}
+			res, err := sys.GEMM(f, M, K, N, localut.DesignLoCaLUT, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := ""
+			if p == plan.P {
+				marker = "  <- model choice"
+			}
+			fmt.Printf("%3d %12d %12s %10.3f %9.2fx%s\n",
+				p, cap.CombinedBytes, residence, res.TotalSeconds*1e3,
+				naive.TotalSeconds/res.TotalSeconds, marker)
+		}
+	}
+}

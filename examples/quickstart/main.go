@@ -1,0 +1,74 @@
+// Quickstart: quantize float matrices, pick a plan with the §IV-D cost
+// model, and run one GEMM under every design on the simulated PIM system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/ais-snu/localut"
+)
+
+func main() {
+	const M, K, N = 768, 768, 128
+	f := localut.W1A3
+	sys := localut.NewSystem(localut.WithSeed(42))
+
+	// 1. What will the cost model pick for this shape?
+	plan, err := sys.ChoosePlan(f, M, K, N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost model for %s %dx%dx%d: p=%d streaming=%v k=%d (p_local=%d, p_DRAM=%d)\n",
+		f.Name(), M, K, N, plan.P, plan.Streaming, plan.SliceK, plan.PLocal, plan.PDRAM)
+
+	// 2. LUT capacities at the chosen packing degree (the Fig. 6 tradeoff).
+	cap, err := localut.LUTCapacity(f, plan.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LUTs at p=%d: canonical %d B + reordering %d B (vs %d B operation-packed, %.0fx reduction)\n\n",
+		plan.P, cap.CanonicalBytes, cap.ReorderBytes, cap.OperationPackedByte, cap.ReductionRate)
+
+	// 3. Run the same GEMM under every design point.
+	fmt.Printf("%-10s %12s %12s %10s %9s\n", "design", "total (ms)", "kernel (ms)", "energy (J)", "speedup")
+	var naive float64
+	for _, d := range localut.Designs {
+		res, err := sys.GEMM(f, M, K, N, d, localut.WithPaperTiling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == localut.DesignNaive {
+			naive = res.TotalSeconds
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %10.4f %8.2fx  (p=%d, verified=%v)\n",
+			d, res.TotalSeconds*1e3, res.KernelSeconds*1e3, res.EnergyJ,
+			naive/res.TotalSeconds, res.P, res.Verified)
+	}
+
+	// 4. Bring your own data: quantize real floats and multiply.
+	rng := rand.New(rand.NewSource(7))
+	wData := make([]float64, 64*48)
+	for i := range wData {
+		wData[i] = rng.NormFloat64()
+	}
+	aData := make([]float64, 48*8)
+	for i := range aData {
+		aData[i] = rng.NormFloat64()
+	}
+	w, err := localut.Quantize(wData, 64, 48, f, localut.Weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := localut.Quantize(aData, 48, 8, f, localut.Activations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.GEMMQuantized(w, a, localut.DesignLoCaLUT, localut.WithFullOutput())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustom 64x48x8 GEMM: %d outputs, first = %d (scale %.4g x %.4g), verified=%v\n",
+		len(res.Output), res.Output[0], w.Scale(), a.Scale(), res.Verified)
+}

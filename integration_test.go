@@ -1,0 +1,146 @@
+package localut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestIntegrationQuantizedGEMMNumerics runs the full public pipeline —
+// float data, quantization, simulated PIM execution, dequantization — and
+// checks the result against the float reference within the quantization
+// error bound. This is the numerical contract of the whole system: the PIM
+// LUT path adds no error beyond quantization itself.
+func TestIntegrationQuantizedGEMMNumerics(t *testing.T) {
+	const M, K, N = 96, 128, 16
+	rng := rand.New(rand.NewSource(5))
+	wData := make([]float64, M*K)
+	for i := range wData {
+		wData[i] = rng.NormFloat64()
+	}
+	aData := make([]float64, K*N)
+	for i := range aData {
+		aData[i] = rng.NormFloat64()
+	}
+	// Float reference.
+	ref := make([]float64, M*N)
+	for m := 0; m < M; m++ {
+		for k := 0; k < K; k++ {
+			for n := 0; n < N; n++ {
+				ref[m*N+n] += wData[m*K+k] * aData[k*N+n]
+			}
+		}
+	}
+
+	// Expected relative error per format from pure quantization (measured
+	// bounds with margin; W1Ax formats are coarse by design, and per-tensor
+	// absmax scaling leaves W4A4 around 0.2 on Gaussian data).
+	bounds := map[string]float64{"W1A3": 0.65, "W1A4": 0.65, "W2A2": 0.65, "W4A4": 0.25}
+	sys := NewSystem()
+	for _, f := range Formats {
+		w, err := Quantize(wData, M, K, f, Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Quantize(aData, K, N, f, Activations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.GEMMQuantized(w, a, DesignLoCaLUT, WithFullOutput())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: kernel verification failed", f.Name())
+		}
+		// Dequantize the integer output and compare to the float reference.
+		scale := w.Scale() * a.Scale()
+		var num, den float64
+		for i, v := range res.Output {
+			d := float64(v)*scale - ref[i]
+			num += d * d
+			den += ref[i] * ref[i]
+		}
+		rel := math.Sqrt(num / den)
+		if rel > bounds[f.Name()] {
+			t.Errorf("%s: relative error %.3f exceeds bound %.2f", f.Name(), rel, bounds[f.Name()])
+		}
+		if rel <= 0 {
+			t.Errorf("%s: implausible zero error", f.Name())
+		}
+	}
+}
+
+// TestIntegrationFormatErrorOrdering: more bits must mean less error —
+// the monotonicity behind the Fig. 15 accuracy axis.
+func TestIntegrationFormatErrorOrdering(t *testing.T) {
+	const M, K, N = 48, 64, 8
+	rng := rand.New(rand.NewSource(9))
+	wData := make([]float64, M*K)
+	aData := make([]float64, K*N)
+	for i := range wData {
+		wData[i] = rng.NormFloat64()
+	}
+	for i := range aData {
+		aData[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, M*N)
+	for m := 0; m < M; m++ {
+		for k := 0; k < K; k++ {
+			for n := 0; n < N; n++ {
+				ref[m*N+n] += wData[m*K+k] * aData[k*N+n]
+			}
+		}
+	}
+	sys := NewSystem()
+	errFor := func(f Format) float64 {
+		w, err := Quantize(wData, M, K, f, Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Quantize(aData, K, N, f, Activations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.GEMMQuantized(w, a, DesignLoCaLUT, WithFullOutput())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := w.Scale() * a.Scale()
+		var num, den float64
+		for i, v := range res.Output {
+			d := float64(v)*scale - ref[i]
+			num += d * d
+			den += ref[i] * ref[i]
+		}
+		return math.Sqrt(num / den)
+	}
+	if !(errFor(W4A4) < errFor(W2A2)) {
+		t.Error("W4A4 should be more accurate than W2A2")
+	}
+	if !(errFor(W4A4) < errFor(W1A3)) {
+		t.Error("W4A4 should be more accurate than W1A3")
+	}
+}
+
+// TestIntegrationDesignsAgree: every design must produce the identical
+// integer output for the same quantized inputs (they are all exact).
+func TestIntegrationDesignsAgree(t *testing.T) {
+	sys := NewSystem(WithSeed(3))
+	var ref []int32
+	for _, d := range Designs {
+		res, err := sys.GEMM(W2A2, 64, 96, 8, d, WithFullOutput())
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if ref == nil {
+			ref = res.Output
+			continue
+		}
+		for i := range ref {
+			if res.Output[i] != ref[i] {
+				t.Fatalf("%v: output[%d] = %d, want %d", d, i, res.Output[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package dnn runs the paper's transformer workloads (§V-B, Fig. 8) on the
+// simulated PIM system: BERT-base, OPT-125M and ViT-Base. The PIM banks
+// execute every projection/FFN GEMM through the gemm.Engine while the host
+// handles attention, softmax, normalization, GELU and (de)quantization —
+// exactly the split of Fig. 8 — with prefill/decode phases and batching for
+// the Fig. 19 scenarios.
+package dnn
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// ModelConfig describes a transformer's shape.
+type ModelConfig struct {
+	Name    string
+	Layers  int
+	Hidden  int
+	FFN     int
+	Heads   int
+	SeqLen  int  // tokens per sequence (prompt length for decoders)
+	Decoder bool // autoregressive generation supported
+}
+
+// BERTBase is the encoder-only language model (110M parameters, §VI-A).
+func BERTBase() ModelConfig {
+	return ModelConfig{Name: "BERT-base", Layers: 12, Hidden: 768, FFN: 3072,
+		Heads: 12, SeqLen: 128}
+}
+
+// OPT125M is the decoder-only language model.
+func OPT125M() ModelConfig {
+	return ModelConfig{Name: "OPT-125M", Layers: 12, Hidden: 768, FFN: 3072,
+		Heads: 12, SeqLen: 128, Decoder: true}
+}
+
+// ViTBase is the vision transformer (86M parameters, 196 patches + CLS).
+func ViTBase() ModelConfig {
+	return ModelConfig{Name: "ViT-Base", Layers: 12, Hidden: 768, FFN: 3072,
+		Heads: 12, SeqLen: 197}
+}
+
+// GEMMShape is one projection executed on PIM: out = W(M x K) x acts(K x N).
+type GEMMShape struct {
+	Name string
+	M, K int
+}
+
+// LayerGEMMs returns the per-layer PIM GEMMs of Fig. 8: fused QKV
+// projection, attention output projection, and the two FFN projections.
+func (m ModelConfig) LayerGEMMs() []GEMMShape {
+	return []GEMMShape{
+		{Name: "qkv", M: 3 * m.Hidden, K: m.Hidden},
+		{Name: "out", M: m.Hidden, K: m.Hidden},
+		{Name: "ffn1", M: m.FFN, K: m.Hidden},
+		{Name: "ffn2", M: m.Hidden, K: m.FFN},
+	}
+}
+
+// HostModel prices the host-resident fp32 operations (softmax, layernorm,
+// GELU, attention score/context matmuls) of Fig. 8.
+type HostModel struct {
+	// FlopsPerSec is the effective multicore fp32 throughput of the host
+	// (Xeon Gold 5215 class with AVX-512).
+	FlopsPerSec float64
+}
+
+// DefaultHost returns the testbed host model.
+func DefaultHost() HostModel { return HostModel{FlopsPerSec: 2e11} }
+
+// attnFlops estimates per-layer attention flops on the host for `tokens`
+// query positions attending over a context of ctx keys.
+func (m ModelConfig) attnFlops(tokens, ctx int) float64 {
+	dHead := m.Hidden / m.Heads
+	qk := 2.0 * float64(tokens) * float64(ctx) * float64(dHead) * float64(m.Heads)
+	pv := qk
+	softmax := 5.0 * float64(tokens) * float64(ctx) * float64(m.Heads)
+	return qk + pv + softmax
+}
+
+// hostElementwiseFlops estimates per-layer layernorm/GELU/residual flops.
+func (m ModelConfig) hostElementwiseFlops(tokens int) float64 {
+	ln := 2 * 8.0 * float64(tokens) * float64(m.Hidden)
+	gelu := 8.0 * float64(tokens) * float64(m.FFN)
+	resid := 4.0 * float64(tokens) * float64(m.Hidden)
+	return ln + gelu + resid
+}
+
+// Runner executes a model configuration on the simulated system.
+type Runner struct {
+	Engine  *gemm.Engine
+	Host    HostModel
+	Model   ModelConfig
+	Fmt     quant.Format
+	Variant kernels.Variant
+	// Seed makes the synthetic weights/activations reproducible.
+	Seed int64
+	// MaxSimCols caps the simulated activation columns per GEMM; wider
+	// GEMMs are column-subsampled and scaled (all per-column costs are
+	// linear in N). 0 means no cap.
+	MaxSimCols int
+}
+
+// NewRunner builds a runner with testbed defaults.
+func NewRunner(model ModelConfig, f quant.Format, v kernels.Variant) *Runner {
+	return &Runner{
+		Engine:     gemm.NewEngine(),
+		Host:       DefaultHost(),
+		Model:      model,
+		Fmt:        f,
+		Variant:    v,
+		Seed:       1,
+		MaxSimCols: 8192,
+	}
+}
+
+// PhaseReport aggregates one inference phase.
+type PhaseReport struct {
+	// Phase is "prefill" or "decode".
+	Phase  string
+	Tokens int
+	// Seconds by Fig. 16(a) category.
+	GEMMPIM   float64
+	Transfer  float64
+	Quantize  float64
+	SortPack  float64
+	HostOther float64 // attention, softmax, LN, GELU (host fp32)
+	Total     float64
+	// Meter aggregates device events for the energy model; HostOps counts
+	// host scalar operations (quant pipeline + fp32 ops).
+	Meter   pim.Meter
+	HostOps int64
+}
+
+// categories sums into the total.
+func (p *PhaseReport) finalize() {
+	p.Total = p.GEMMPIM + p.Transfer + p.Quantize + p.SortPack + p.HostOther
+}
+
+// runGEMM executes one layer GEMM at the given token count, with column
+// subsampling for very wide activations.
+func (r *Runner) runGEMM(sh GEMMShape, tokens int, seed int64) (*gemm.Report, float64, error) {
+	n := tokens
+	scale := 1.0
+	// Subsampling is valid only while the bank grid stays saturated —
+	// below NumDPUs columns, extra columns map to idle banks rather than
+	// per-bank work, and time is no longer column-linear.
+	floor := r.Engine.Cfg.NumDPUs()
+	if cap := max(r.MaxSimCols, floor); r.MaxSimCols > 0 && n > cap {
+		scale = float64(n) / float64(cap)
+		n = cap
+	}
+	pair := workload.NewGEMMPair(sh.M, sh.K, n, r.Fmt, seed)
+	rep, err := r.Engine.Run(pair, gemm.Options{Variant: r.Variant})
+	if err != nil {
+		return nil, 0, fmt.Errorf("dnn: %s %s: %w", r.Model.Name, sh.Name, err)
+	}
+	return rep, scale, nil
+}
+
+// runPhase executes all layer GEMMs once at the token count and scales by
+// the layer count (layers share shapes; per-layer timings are identical).
+func (r *Runner) runPhase(phase string, tokens, ctx int) (*PhaseReport, error) {
+	if tokens <= 0 {
+		return nil, fmt.Errorf("dnn: phase %q with %d tokens", phase, tokens)
+	}
+	p := &PhaseReport{Phase: phase, Tokens: tokens}
+	layers := float64(r.Model.Layers)
+	for i, sh := range r.Model.LayerGEMMs() {
+		rep, scale, err := r.runGEMM(sh, tokens, r.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		p.GEMMPIM += rep.KernelSeconds * scale * layers
+		p.Transfer += rep.Transfer * scale * layers
+		p.Quantize += (rep.Host.Quantize + rep.Host.Dequant) * scale * layers
+		p.SortPack += rep.Host.SortPack * scale * layers
+		p.HostOps += int64(float64(rep.HostOps) * scale * layers)
+		for c := range rep.Meter.Counts {
+			p.Meter.Counts[c] += int64(float64(rep.Meter.Counts[c]) * scale * layers)
+		}
+	}
+	hostFlops := (r.Model.attnFlops(tokens, ctx) + r.Model.hostElementwiseFlops(tokens)) * layers
+	p.HostOther = hostFlops / r.Host.FlopsPerSec
+	p.HostOps += int64(hostFlops)
+	p.finalize()
+	return p, nil
+}
+
+// Prefill runs the prompt phase for a batch of sequences.
+func (r *Runner) Prefill(batch int) (*PhaseReport, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("dnn: batch %d", batch)
+	}
+	tokens := batch * r.Model.SeqLen
+	return r.runPhase("prefill", tokens, r.Model.SeqLen)
+}
+
+// Decode runs outTokens autoregressive steps for a batch (decoder models
+// only). Each step projects batch tokens and attends over the growing
+// context; the context is approximated by its mean length.
+func (r *Runner) Decode(batch, outTokens int) (*PhaseReport, error) {
+	if !r.Model.Decoder {
+		return nil, fmt.Errorf("dnn: %s is not a decoder model", r.Model.Name)
+	}
+	if batch <= 0 || outTokens <= 0 {
+		return nil, fmt.Errorf("dnn: batch %d outTokens %d", batch, outTokens)
+	}
+	ctx := r.Model.SeqLen + outTokens/2
+	step, err := r.runPhase("decode", batch, ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Scale one step to outTokens steps.
+	out := &PhaseReport{Phase: "decode", Tokens: batch * outTokens}
+	f := float64(outTokens)
+	out.GEMMPIM = step.GEMMPIM * f
+	out.Transfer = step.Transfer * f
+	out.Quantize = step.Quantize * f
+	out.SortPack = step.SortPack * f
+	out.HostOther = step.HostOther * f
+	out.HostOps = int64(float64(step.HostOps) * f)
+	for c := range step.Meter.Counts {
+		out.Meter.Counts[c] = int64(float64(step.Meter.Counts[c]) * f)
+	}
+	out.finalize()
+	return out, nil
+}
+
+// InferenceReport is a full forward execution (prefill + optional decode).
+type InferenceReport struct {
+	Model   string
+	Format  string
+	Variant kernels.Variant
+	Prefill *PhaseReport
+	Decode  *PhaseReport // nil for encoder-only models
+	Total   float64
+	Meter   pim.Meter
+	HostOps int64
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Infer runs prefill (and decode for decoder models) end to end.
+func (r *Runner) Infer(batch, outTokens int) (*InferenceReport, error) {
+	pre, err := r.Prefill(batch)
+	if err != nil {
+		return nil, err
+	}
+	rep := &InferenceReport{
+		Model: r.Model.Name, Format: r.Fmt.Name(), Variant: r.Variant,
+		Prefill: pre, Total: pre.Total, Meter: pre.Meter, HostOps: pre.HostOps,
+	}
+	if r.Model.Decoder && outTokens > 0 {
+		dec, err := r.Decode(batch, outTokens)
+		if err != nil {
+			return nil, err
+		}
+		rep.Decode = dec
+		rep.Total += dec.Total
+		for c := range dec.Meter.Counts {
+			rep.Meter.Counts[c] += dec.Meter.Counts[c]
+		}
+		rep.HostOps += dec.HostOps
+	}
+	return rep, nil
+}

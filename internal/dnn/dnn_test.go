@@ -1,0 +1,160 @@
+package dnn
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+func TestModelConfigs(t *testing.T) {
+	b := BERTBase()
+	if b.Hidden != 768 || b.FFN != 3072 || b.Layers != 12 || b.SeqLen != 128 {
+		t.Errorf("BERT config %+v", b)
+	}
+	if b.Decoder {
+		t.Error("BERT must not be a decoder")
+	}
+	if !OPT125M().Decoder {
+		t.Error("OPT must be a decoder")
+	}
+	if ViTBase().SeqLen != 197 {
+		t.Errorf("ViT seq = %d", ViTBase().SeqLen)
+	}
+}
+
+func TestLayerGEMMShapes(t *testing.T) {
+	shapes := BERTBase().LayerGEMMs()
+	want := map[string][2]int{
+		"qkv": {2304, 768}, "out": {768, 768}, "ffn1": {3072, 768}, "ffn2": {768, 3072},
+	}
+	if len(shapes) != 4 {
+		t.Fatalf("%d shapes", len(shapes))
+	}
+	for _, sh := range shapes {
+		w, ok := want[sh.Name]
+		if !ok || sh.M != w[0] || sh.K != w[1] {
+			t.Errorf("shape %s = (%d,%d), want %v", sh.Name, sh.M, sh.K, w)
+		}
+	}
+}
+
+// smallModel keeps unit-test simulation fast while exercising every path.
+func smallModel() ModelConfig {
+	return ModelConfig{Name: "tiny", Layers: 2, Hidden: 64, FFN: 256,
+		Heads: 4, SeqLen: 16, Decoder: true}
+}
+
+func TestPrefillRuns(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	rep, err := r.Prefill(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tokens != 32 {
+		t.Errorf("tokens = %d", rep.Tokens)
+	}
+	if rep.Total <= 0 || rep.GEMMPIM <= 0 || rep.HostOther <= 0 {
+		t.Errorf("report %+v", rep)
+	}
+	sum := rep.GEMMPIM + rep.Transfer + rep.Quantize + rep.SortPack + rep.HostOther
+	if diff := rep.Total - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total %g != category sum %g", rep.Total, sum)
+	}
+}
+
+func TestDecodeRequiresDecoder(t *testing.T) {
+	m := smallModel()
+	m.Decoder = false
+	r := NewRunner(m, quant.W1A3, kernels.LoCaLUT)
+	if _, err := r.Decode(1, 4); err == nil {
+		t.Error("decode on encoder model accepted")
+	}
+}
+
+func TestDecodeScalesWithOutTokens(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	d4, err := r.Decode(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := r.Decode(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d8.Total > d4.Total*1.5) {
+		t.Errorf("decode did not scale: 4 tokens %g, 8 tokens %g", d4.Total, d8.Total)
+	}
+}
+
+func TestInferCombinesPhases(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W2A2, kernels.OP)
+	rep, err := r.Infer(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decode == nil {
+		t.Fatal("decoder model without decode phase")
+	}
+	if diff := rep.Total - (rep.Prefill.Total + rep.Decode.Total); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total %g != prefill %g + decode %g", rep.Total, rep.Prefill.Total, rep.Decode.Total)
+	}
+	if rep.Meter.Count(0) == 0 {
+		t.Error("no aggregated instructions")
+	}
+}
+
+func TestLoCaLUTBeatsNaiveEndToEnd(t *testing.T) {
+	m := ModelConfig{Name: "mid", Layers: 2, Hidden: 128, FFN: 512, Heads: 4, SeqLen: 32}
+	naive := NewRunner(m, quant.W1A3, kernels.Naive)
+	fast := NewRunner(m, quant.W1A3, kernels.LoCaLUT)
+	rn, err := naive.Prefill(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fast.Prefill(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.GEMMPIM >= rn.GEMMPIM {
+		t.Errorf("LoCaLUT GEMM time %g >= naive %g", rf.GEMMPIM, rn.GEMMPIM)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	if _, err := r.Prefill(0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := r.Decode(0, 4); err == nil {
+		t.Error("decode batch 0 accepted")
+	}
+	if _, err := r.Decode(1, 0); err == nil {
+		t.Error("outTokens 0 accepted")
+	}
+}
+
+func TestColumnSubsampling(t *testing.T) {
+	// A capped runner must report (approximately) the same totals as an
+	// uncapped one; the cap only changes simulation cost.
+	m := ModelConfig{Name: "sub", Layers: 1, Hidden: 64, FFN: 128, Heads: 4, SeqLen: 64}
+	full := NewRunner(m, quant.W1A3, kernels.LoCaLUT)
+	full.MaxSimCols = 0
+	full.Engine.Cfg.Ranks, full.Engine.Cfg.BanksPerRank = 1, 4
+	capped := NewRunner(m, quant.W1A3, kernels.LoCaLUT)
+	capped.MaxSimCols = 16
+	capped.Engine.Cfg.Ranks, capped.Engine.Cfg.BanksPerRank = 1, 4
+
+	rf, err := full.Prefill(4) // 256 tokens on a 4-DPU machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := capped.Prefill(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rc.Total / rf.Total
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("subsampled total %g vs full %g (ratio %.2f)", rc.Total, rf.Total, ratio)
+	}
+}

@@ -1,0 +1,136 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§III and §VI). Each driver regenerates the corresponding
+// table/series — workload generation, parameter sweep, baselines and
+// LoCaLUT — and reports headline aggregates next to the paper's published
+// values so EXPERIMENTS.md can record paper-vs-measured for every figure.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/energy"
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/trace"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// Aliases keep the figure drivers readable.
+type dnnInference = dnn.InferenceReport
+type dnnPhase = dnn.PhaseReport
+
+// newRunner builds a dnn runner sharing the suite's engine.
+func (s *Suite) newRunner(model string, f quant.Format, v kernels.Variant) *dnn.Runner {
+	r := dnn.NewRunner(s.modelConfig(model), f, v)
+	r.Engine = s.Engine
+	r.Seed = s.Seed
+	return r
+}
+
+// newRand returns a seeded source for measurement sampling.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Suite bundles the shared machine configuration of all experiments.
+type Suite struct {
+	Engine *gemm.Engine
+	Energy energy.Model
+	Seed   int64
+	// Quick shrinks workloads for unit tests and smoke runs; the sweep
+	// structure (who is compared against whom) is unchanged.
+	Quick bool
+}
+
+// New returns the full-scale suite on the paper's testbed configuration.
+func New() *Suite {
+	return &Suite{Engine: gemm.NewEngine(), Energy: energy.Default(), Seed: 1}
+}
+
+// NewQuick returns a reduced-size suite for tests.
+func NewQuick() *Suite {
+	s := New()
+	s.Quick = true
+	return s
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID names the experiment ("fig09"), Caption describes it.
+	ID, Caption string
+	// Table holds the regenerated rows/series.
+	Table *trace.Table
+	// Notes carry headline aggregates with the paper's value alongside.
+	Notes []string
+	// Values exposes key metrics for tests and EXPERIMENTS.md.
+	Values map[string]float64
+}
+
+func newResult(id, caption string, t *trace.Table) *Result {
+	return &Result{ID: id, Caption: caption, Table: t, Values: map[string]float64{}}
+}
+
+// notef appends a formatted headline note.
+func (r *Result) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the result as markdown.
+func (r *Result) Render(sb *strings.Builder) {
+	fmt.Fprintf(sb, "\n## %s — %s\n", strings.ToUpper(r.ID), r.Caption)
+	r.Table.Render(sb)
+	for _, n := range r.Notes {
+		fmt.Fprintf(sb, "- %s\n", n)
+	}
+}
+
+// scale divides a dimension in Quick mode, keeping a sane floor.
+func (s *Suite) scale(v, quick int) int {
+	if s.Quick {
+		return quick
+	}
+	return v
+}
+
+// runGEMM executes one GEMM under the paper's context-parallel tiling.
+func (s *Suite) runGEMM(m, k, n int, f quant.Format, v kernels.Variant, opt gemm.Options) (*gemm.Report, error) {
+	pair := workload.NewGEMMPair(m, k, n, f, s.Seed)
+	opt.Variant = v
+	opt.NSplitOnly = true
+	return s.Engine.Run(pair, opt)
+}
+
+// All runs every figure driver in paper order.
+func (s *Suite) All() ([]*Result, error) {
+	drivers := []struct {
+		name string
+		fn   func() (*Result, error)
+	}{
+		{"fig03", s.Fig03}, {"fig06", s.Fig06}, {"fig09", s.Fig09},
+		{"fig10", s.Fig10}, {"fig11", s.Fig11}, {"fig12", s.Fig12},
+		{"fig13", s.Fig13}, {"fig14", s.Fig14}, {"fig15", s.Fig15},
+		{"fig16", s.Fig16}, {"fig17", s.Fig17}, {"fig18", s.Fig18},
+		{"fig19", s.Fig19}, {"fig20", s.Fig20}, {"fig21", s.Fig21},
+	}
+	out := make([]*Result, 0, len(drivers))
+	for _, d := range drivers {
+		r, err := d.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ReportMarkdown renders a full run as one markdown document.
+func ReportMarkdown(results []*Result) string {
+	var sb strings.Builder
+	sb.WriteString("# LoCaLUT reproduction — regenerated evaluation figures\n")
+	for _, r := range results {
+		r.Render(&sb)
+	}
+	return sb.String()
+}

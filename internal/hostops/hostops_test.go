@@ -1,0 +1,167 @@
+package hostops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 4*7)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	if err := Softmax(x, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		sum := 0.0
+		for c := 0; c < 7; c++ {
+			v := x[r*7+c]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %g outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %g", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Huge logits must not overflow.
+	x := []float64{1e30, 1e30 - 1, 0}
+	if err := Softmax(x, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("unstable softmax: %v", x)
+		}
+	}
+}
+
+func TestSoftmaxValidation(t *testing.T) {
+	if err := Softmax(make([]float64, 5), 2, 3); err == nil {
+		t.Error("accepted wrong shape")
+	}
+}
+
+func TestLayerNormMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 3*64)
+	for i := range x {
+		x[i] = rng.NormFloat64()*3 + 5
+	}
+	if err := LayerNorm(x, 3, 64, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		var mean, sq float64
+		for c := 0; c < 64; c++ {
+			mean += x[r*64+c]
+			sq += x[r*64+c] * x[r*64+c]
+		}
+		mean /= 64
+		variance := sq/64 - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+			t.Errorf("row %d: mean %g var %g", r, mean, variance)
+		}
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	gamma := []float64{2, 2, 2, 2}
+	beta := []float64{1, 1, 1, 1}
+	if err := LayerNorm(x, 1, 4, gamma, beta); err != nil {
+		t.Fatal(err)
+	}
+	mean := (x[0] + x[1] + x[2] + x[3]) / 4
+	if math.Abs(mean-1) > 1e-9 { // beta shifts the mean to 1
+		t.Errorf("affine mean %g, want 1", mean)
+	}
+	if err := LayerNorm(x, 1, 4, []float64{1}, nil); err == nil {
+		t.Error("accepted wrong gamma length")
+	}
+}
+
+func TestGELU(t *testing.T) {
+	x := []float64{-10, -1, 0, 1, 10}
+	GELU(x)
+	if x[2] != 0 {
+		t.Errorf("GELU(0) = %g", x[2])
+	}
+	if math.Abs(x[3]-0.841192) > 1e-3 {
+		t.Errorf("GELU(1) = %g, want ~0.8412", x[3])
+	}
+	if math.Abs(x[4]-10) > 1e-6 {
+		t.Errorf("GELU(10) = %g, want ~10", x[4])
+	}
+	if math.Abs(x[0]) > 1e-6 {
+		t.Errorf("GELU(-10) = %g, want ~0", x[0])
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := []float64{1, 2}
+	if err := AddInPlace(a, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 4 || a[1] != 6 {
+		t.Errorf("residual: %v", a)
+	}
+	if err := AddInPlace(a, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestAttentionUniformValues(t *testing.T) {
+	// With identical keys, attention weights are uniform and the output is
+	// the mean of the values.
+	const tokens, hidden, heads = 3, 4, 2
+	q := make([]float64, tokens*hidden)
+	k := make([]float64, tokens*hidden)
+	v := make([]float64, tokens*hidden)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	out, err := Attention(q, k, v, tokens, hidden, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < hidden; d++ {
+		want := (v[0*hidden+d] + v[1*hidden+d] + v[2*hidden+d]) / 3
+		for i := 0; i < tokens; i++ {
+			if math.Abs(out[i*hidden+d]-want) > 1e-9 {
+				t.Fatalf("out[%d][%d] = %g, want %g", i, d, out[i*hidden+d], want)
+			}
+		}
+	}
+}
+
+func TestAttentionSharpSelection(t *testing.T) {
+	// A query aligned strongly with one key must select that key's value.
+	const tokens, hidden, heads = 2, 2, 1
+	q := []float64{10, 0, 0, 10}
+	k := []float64{10, 0, 0, 10}
+	v := []float64{1, 2, 3, 4}
+	out, err := Attention(q, k, v, tokens, hidden, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 1e-6 || math.Abs(out[3]-4) > 1e-6 {
+		t.Errorf("selection failed: %v", out)
+	}
+}
+
+func TestAttentionValidation(t *testing.T) {
+	if _, err := Attention(make([]float64, 4), make([]float64, 4), make([]float64, 4), 2, 2, 3); err == nil {
+		t.Error("accepted hidden not divisible by heads")
+	}
+	if _, err := Attention(make([]float64, 3), make([]float64, 4), make([]float64, 4), 2, 2, 1); err == nil {
+		t.Error("accepted short q")
+	}
+}

@@ -1,0 +1,73 @@
+package hostsim
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+func TestGEMMBasics(t *testing.T) {
+	cpu := XeonGold5215()
+	rep, err := cpu.GEMM(12288, 192, 65536, quant.W1A3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seconds <= 0 || rep.Joules <= 0 {
+		t.Errorf("report %+v", rep)
+	}
+	// 154.6 GMACs at 16 GMAC/s ~ 9.7 s: the Fig. 17 CPU magnitude.
+	if rep.Seconds < 5 || rep.Seconds > 15 {
+		t.Errorf("CPU W1A3 Fig.17 shape time = %g s, want ~10 s", rep.Seconds)
+	}
+}
+
+func TestGPUFasterThanCPU(t *testing.T) {
+	cpu, gpu := XeonGold5215(), RTX2080Ti()
+	for _, f := range quant.Formats {
+		rc, err := cpu.GEMM(12288, 192, 65536, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := gpu.GEMM(12288, 192, 65536, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rg.Seconds >= rc.Seconds {
+			t.Errorf("%s: GPU (%g) not faster than CPU (%g)", f.Name(), rg.Seconds, rc.Seconds)
+		}
+	}
+}
+
+func TestGPUW4A4MuchFasterThanW1(t *testing.T) {
+	// The dp4a path makes W4A4 far more efficient than 1-bit formats on
+	// the GPU — the source of the Fig. 17 crossover.
+	gpu := RTX2080Ti()
+	r1, _ := gpu.GEMM(4096, 4096, 4096, quant.W1A3)
+	r4, _ := gpu.GEMM(4096, 4096, 4096, quant.W4A4)
+	if r4.Seconds*2 > r1.Seconds {
+		t.Errorf("W4A4 %g should be >2x faster than W1A3 %g on GPU", r4.Seconds, r1.Seconds)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	// A skinny GEMM (tiny K) must hit the memory roofline.
+	gpu := RTX2080Ti()
+	rep, err := gpu.GEMM(10000, 1, 10000, quant.W4A4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ComputeBound {
+		t.Error("K=1 GEMM reported compute-bound")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cpu := XeonGold5215()
+	if _, err := cpu.GEMM(0, 1, 1, quant.W1A3); err == nil {
+		t.Error("accepted M=0")
+	}
+	d := Device{Name: "x", MACsPerSec: map[int]float64{}, MemBW: 1}
+	if _, err := d.GEMM(1, 1, 1, quant.W1A3); err == nil {
+		t.Error("accepted missing bit-width entry")
+	}
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// OPDRAMKernel is the Fig. 3(a) candidate design: the operation-packed LUT
+// resides in the DRAM bank (allowing packing degrees up to p_DRAM) and
+// every group lookup issues an individual MRAM access. The per-lookup DMA
+// setup cost is exactly what makes this design lose to the buffer-sized
+// LUT in Fig. 3(c), motivating LoCaLUT's buffer-centric base design.
+type OPDRAMKernel struct {
+	Costs Costs
+	Spec  lut.Spec
+}
+
+// NewOPDRAMKernel returns the DRAM-resident OP design.
+func NewOPDRAMKernel(c Costs, spec lut.Spec) *OPDRAMKernel {
+	return &OPDRAMKernel{Costs: c, Spec: spec}
+}
+
+func (k *OPDRAMKernel) Name() string     { return "OP(DRAM)" }
+func (k *OPDRAMKernel) Variant() Variant { return OP }
+
+func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	d.Reset()
+	spec := k.Spec
+	bo := spec.EntryBytes()
+	lutBytes := spec.OpPackedBytes()
+	if lutBytes > d.Cfg.MRAMLUTBudget() {
+		return nil, fmt.Errorf("kernels: OP(DRAM) LUT %s needs %d bytes, MRAM LUT budget is %d",
+			spec, lutBytes, d.Cfg.MRAMLUTBudget())
+	}
+	table, err := lut.CachedOpPacked(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	recBytes := byteWidthFor(spec.OpCols() * int64(bo))
+	aBits := spec.Fmt.Act.Bits
+	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+		codes := make([]uint32, spec.P)
+		for i, c := range actCodes {
+			codes[i] = uint32(c)
+		}
+		a := quant.PackVector(codes, aBits)
+		lut.WriteUint(rec, 0, recBytes, a*uint32(bo))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
+	}
+
+	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
+	}
+	copy(lutSeg.Data, table.Data)
+
+	g := st.groups
+	metaBuf, err := d.WRAM.Alloc("meta", g*recBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
+	}
+	wBuf, err := d.WRAM.Alloc("wchunk", wChunk*st.rowBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
+	}
+	oBuf, err := d.WRAM.Alloc("ocol", t.M*4)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP(DRAM): %w (tile M too large)", err)
+	}
+
+	rowStride := int64(spec.OpCols()) * int64(bo)
+	entry := make([]byte, bo)
+	x := newBK(d)
+	for n := 0; n < t.N; n++ {
+		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Transfer)
+		for i := range oBuf.Data {
+			oBuf.Data[i] = 0
+		}
+		d.Exec(pim.EvInstr, int64(t.M))
+		x.charge(&x.b.Other)
+
+		for gi := 0; gi < g; gi++ {
+			aOff := int64(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			for m0 := 0; m0 < t.M; m0 += wChunk {
+				mc := wChunk
+				if m0+mc > t.M {
+					mc = t.M - m0
+				}
+				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf.Data[:mc*st.rowBytes]); err != nil {
+					return nil, err
+				}
+				x.charge(&x.b.Transfer)
+
+				for m := 0; m < mc; m++ {
+					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+					// Per-lookup MRAM access: the defining cost of this
+					// design point.
+					if err := d.DMARead(lutSeg, int64(w)*rowStride+aOff, entry); err != nil {
+						return nil, err
+					}
+					e := lut.ReadEntry(entry, 0, bo)
+					idx := m0 + m
+					lut.WriteEntry(oBuf.Data, idx, 4,
+						lut.ReadEntry(oBuf.Data, idx, 4)+e)
+				}
+				x.charge(&x.b.LUTLoad)
+				d.Exec(pim.EvInstr, int64(mc)*k.Costs.OPGroupInstr)
+				d.Note(pim.EvWRAMAccess, int64(mc)*4)
+				x.charge(&x.b.CanonAccess)
+			}
+		}
+		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Other)
+	}
+	st.readO(t)
+	return x.result(OP, spec, spec.P, 0), nil
+}

@@ -1,0 +1,530 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/perm"
+	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// stagedLUT is the host-prepared bank image shared by all packed-LUT
+// kernels: weights packed into p-wide group vectors laid out group-major
+// (so one group's column of M vectors is contiguous for streaming), plus a
+// per-(column, group) metadata record whose contents depend on the variant.
+type stagedLUT struct {
+	spec     lut.Spec
+	groups   int // ceil(K/p)
+	rowBytes int // packed weight vector width
+	recBytes int // metadata record width
+	wSeg     *pim.Segment
+	metaSeg  *pim.Segment
+	oSeg     *pim.Segment
+}
+
+// padActCode returns the activation code that decodes to zero, used to pad
+// the final group when K is not a multiple of p.
+func padActCode(c quant.Codec) (uint32, error) {
+	if c.Decode(0) == 0 {
+		return 0, nil
+	}
+	// Symmetric codecs have no zero level; search for one defensively.
+	for code := uint32(0); code < uint32(c.Levels()); code++ {
+		if c.Decode(code) == 0 {
+			return code, nil
+		}
+	}
+	return 0, fmt.Errorf("kernels: activation codec %v cannot represent 0; K must be a multiple of p", c)
+}
+
+// stageCommon allocates and fills the weight, metadata and output segments.
+// buildMeta fills the record for group g of column n given the group's
+// activation codes.
+func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
+	buildMeta func(rec []byte, actCodes []int) error) (*stagedLUT, error) {
+
+	p := spec.P
+	g := groupsOf(t.K, p)
+	rb := spec.WeightRowBytes()
+	st := &stagedLUT{spec: spec, groups: g, rowBytes: rb, recBytes: recBytes}
+
+	var err error
+	if st.wSeg, err = d.MRAM.Alloc("Wg", int64(g*t.M*rb)); err != nil {
+		return nil, err
+	}
+	if st.metaSeg, err = d.MRAM.Alloc("Ameta", int64(t.N*g*recBytes)); err != nil {
+		return nil, err
+	}
+	if st.oSeg, err = d.MRAM.Alloc("O", int64(t.M*t.N*4)); err != nil {
+		return nil, err
+	}
+
+	// Pack weights group-major: [g][m].
+	wb := spec.Fmt.Weight.Bits
+	codes := make([]uint32, p)
+	for gi := 0; gi < g; gi++ {
+		for m := 0; m < t.M; m++ {
+			for i := 0; i < p; i++ {
+				kk := gi*p + i
+				if kk < t.K {
+					codes[i] = uint32(t.W[m*t.K+kk])
+				} else {
+					codes[i] = 0 // pad weight; the matching pad activation is 0
+				}
+			}
+			packed := quant.PackVector(codes, wb)
+			lut.WriteUint(st.wSeg.Data[(gi*t.M+m)*rb:], 0, rb, packed)
+		}
+	}
+
+	// Metadata per (n, g).
+	padCode, err := padActCode(spec.Fmt.Act)
+	if err != nil {
+		return nil, err
+	}
+	actCodes := make([]int, p)
+	for n := 0; n < t.N; n++ {
+		for gi := 0; gi < g; gi++ {
+			for i := 0; i < p; i++ {
+				kk := gi*p + i
+				if kk < t.K {
+					actCodes[i] = int(t.A[kk*t.N+n])
+				} else {
+					actCodes[i] = int(padCode)
+				}
+			}
+			rec := st.metaSeg.Data[(n*g+gi)*recBytes : (n*g+gi+1)*recBytes]
+			if err := buildMeta(rec, actCodes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// readO transposes the column-major bank output into the tile.
+func (st *stagedLUT) readO(t *Tile) {
+	for n := 0; n < t.N; n++ {
+		for m := 0; m < t.M; m++ {
+			t.O[m*t.N+n] = lut.ReadEntry(st.oSeg.Data, n*t.M+m, 4)
+		}
+	}
+}
+
+// wChunk is the weight-streaming granularity (rows per DMA).
+const wChunk = 256
+
+// OPKernel is the buffer-resident operation-packed LUT design (§III-B2):
+// the full 2^((bw+ba)p) LUT lives in WRAM and each group lookup concatenates
+// the packed weight and activation indices.
+type OPKernel struct {
+	Costs Costs
+	Spec  lut.Spec
+}
+
+// NewOPKernel returns the kernel; Spec.P must make the OP LUT fit the WRAM
+// LUT budget (checked at Run).
+func NewOPKernel(c Costs, spec lut.Spec) *OPKernel { return &OPKernel{Costs: c, Spec: spec} }
+
+func (k *OPKernel) Name() string     { return OP.String() }
+func (k *OPKernel) Variant() Variant { return OP }
+
+func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	d.Reset()
+	spec := k.Spec
+	bo := spec.EntryBytes()
+	lutBytes := spec.OpPackedBytes()
+	if lutBytes > d.Cfg.WRAMLUTBudget() {
+		return nil, fmt.Errorf("kernels: OP LUT %s needs %d bytes, WRAM LUT budget is %d",
+			spec, lutBytes, d.Cfg.WRAMLUTBudget())
+	}
+	table, err := lut.CachedOpPacked(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Meta record: byte offset of the packed activation within a LUT row.
+	aBits := spec.Fmt.Act.Bits
+	recBytes := MetaRecordBytes(OP, spec)
+	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+		codes := make([]uint32, spec.P)
+		for i, c := range actCodes {
+			codes[i] = uint32(c)
+		}
+		a := quant.PackVector(codes, aBits)
+		lut.WriteUint(rec, 0, recBytes, a*uint32(bo))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w", err)
+	}
+
+	// The LUT is broadcast into the bank and DMAd into WRAM once.
+	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w", err)
+	}
+	copy(lutSeg.Data, table.Data)
+
+	lutBuf, err := d.WRAM.Alloc("lut", int(lutBytes))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w", err)
+	}
+	x := newBK(d)
+	if err := d.DMARead(lutSeg, 0, lutBuf.Data); err != nil {
+		return nil, err
+	}
+	x.charge(&x.b.LUTLoad)
+
+	rowStride := int(spec.OpCols()) * bo
+	g := st.groups
+	metaBuf, err := d.WRAM.Alloc("meta", g*recBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w", err)
+	}
+	wBuf, err := d.WRAM.Alloc("wchunk", wChunk*st.rowBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w", err)
+	}
+	oBuf, err := d.WRAM.Alloc("ocol", t.M*4)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP: %w (tile M too large)", err)
+	}
+
+	for n := 0; n < t.N; n++ {
+		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Transfer)
+		for i := range oBuf.Data {
+			oBuf.Data[i] = 0
+		}
+		d.Exec(pim.EvInstr, int64(t.M))
+		x.charge(&x.b.Other)
+
+		for gi := 0; gi < g; gi++ {
+			aOff := int(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			for m0 := 0; m0 < t.M; m0 += wChunk {
+				mc := wChunk
+				if m0+mc > t.M {
+					mc = t.M - m0
+				}
+				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf.Data[:mc*st.rowBytes]); err != nil {
+					return nil, err
+				}
+				x.charge(&x.b.Transfer)
+
+				for m := 0; m < mc; m++ {
+					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+					entry := lut.ReadEntry(lutBuf.Data[int(w)*rowStride+aOff:], 0, bo)
+					idx := m0 + m
+					lut.WriteEntry(oBuf.Data, idx, 4,
+						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
+				}
+				d.Exec(pim.EvInstr, int64(mc)*k.Costs.OPGroupInstr)
+				d.Note(pim.EvWRAMAccess, int64(mc)*4)
+				x.charge(&x.b.CanonAccess)
+			}
+		}
+		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Other)
+	}
+	st.readO(t)
+	return x.result(OP, spec, spec.P, 0), nil
+}
+
+// OPLCKernel is OP + LUT canonicalization with *software* weight reordering
+// (§IV-A without §IV-B): the canonical LUT fits WRAM at a larger p, but
+// every group pays unpack/permute/repack on the in-order core — the
+// overhead Fig. 9 shows erasing the canonicalization gain.
+type OPLCKernel struct {
+	Costs Costs
+	Spec  lut.Spec
+}
+
+// NewOPLCKernel returns the kernel.
+func NewOPLCKernel(c Costs, spec lut.Spec) *OPLCKernel { return &OPLCKernel{Costs: c, Spec: spec} }
+
+func (k *OPLCKernel) Name() string     { return OPLC.String() }
+func (k *OPLCKernel) Variant() Variant { return OPLC }
+
+func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	d.Reset()
+	spec := k.Spec
+	p := spec.P
+	bo := spec.EntryBytes()
+	lutBytes := spec.CanonicalBytes()
+	if lutBytes > d.Cfg.WRAMLUTBudget() {
+		return nil, fmt.Errorf("kernels: OP+LC canonical LUT %s needs %d bytes, WRAM LUT budget is %d",
+			spec, lutBytes, d.Cfg.WRAMLUTBudget())
+	}
+	canon, err := lut.CachedCanonical(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Meta record: canonical column byte offset (minimal width) + the sort
+	// permutation as p index bytes for the software reorder.
+	recBytes := MetaRecordBytes(OPLC, spec)
+	colB := recBytes - p
+	rows := int(spec.Rows())
+	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+		col, sigma, err := spec.CanonicalizeActs(actCodes)
+		if err != nil {
+			return err
+		}
+		lut.WriteUint(rec, 0, colB, uint32(col)*uint32(rows*bo))
+		sp := permBytes(sigma, p)
+		copy(rec[colB:], sp)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
+	}
+
+	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
+	}
+	copy(lutSeg.Data, canon.Data)
+	lutBuf, err := d.WRAM.Alloc("lut", int(lutBytes))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
+	}
+	x := newBK(d)
+	if err := d.DMARead(lutSeg, 0, lutBuf.Data); err != nil {
+		return nil, err
+	}
+	x.charge(&x.b.LUTLoad)
+
+	g := st.groups
+	metaBuf, err := d.WRAM.Alloc("meta", g*recBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
+	}
+	wBuf, err := d.WRAM.Alloc("wchunk", wChunk*st.rowBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
+	}
+	oBuf, err := d.WRAM.Alloc("ocol", t.M*4)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC: %w (tile M too large)", err)
+	}
+
+	wb := spec.Fmt.Weight.Bits
+	unpacked := make([]uint32, p)
+	permuted := make([]uint32, p)
+	for n := 0; n < t.N; n++ {
+		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Transfer)
+		for i := range oBuf.Data {
+			oBuf.Data[i] = 0
+		}
+		d.Exec(pim.EvInstr, int64(t.M))
+		x.charge(&x.b.Other)
+
+		for gi := 0; gi < g; gi++ {
+			rec := metaBuf.Data[gi*recBytes : (gi+1)*recBytes]
+			colOff := int(lut.ReadUint(rec, 0, colB))
+			sigma := rec[colB : colB+p]
+			for m0 := 0; m0 < t.M; m0 += wChunk {
+				mc := wChunk
+				if m0+mc > t.M {
+					mc = t.M - m0
+				}
+				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf.Data[:mc*st.rowBytes]); err != nil {
+					return nil, err
+				}
+				x.charge(&x.b.Transfer)
+
+				for m := 0; m < mc; m++ {
+					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+					// Software reorder: unpack, permute, repack.
+					quant.UnpackInto(unpacked, w, wb)
+					for i := 0; i < p; i++ {
+						permuted[i] = unpacked[sigma[i]]
+					}
+					wCanon := quant.PackVector(permuted, wb)
+					entry := lut.ReadEntry(lutBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
+					idx := m0 + m
+					lut.WriteEntry(oBuf.Data, idx, 4,
+						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
+				}
+				d.Exec(pim.EvInstr, int64(mc)*(k.Costs.LCSWPerElement*int64(p)+k.Costs.LCSWGroupInstr))
+				d.Note(pim.EvWRAMAccess, int64(mc)*int64(4+p))
+				x.charge(&x.b.IdxCalc)
+			}
+		}
+		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Other)
+	}
+	st.readO(t)
+	return x.result(OPLC, spec, p, 0), nil
+}
+
+// permBytes expands a Lehmer rank back to permutation index bytes.
+func permBytes(sigma int64, p int) []byte {
+	idx := perm.Unrank(sigma, p)
+	out := make([]byte, p)
+	for i, v := range idx {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// OPLCRCKernel is the buffer-resident OP+LC+RC design: both the canonical
+// and the reordering LUT live in WRAM, and each group costs the 12
+// instructions of §VI-I.
+type OPLCRCKernel struct {
+	Costs Costs
+	Spec  lut.Spec
+}
+
+// NewOPLCRCKernel returns the kernel.
+func NewOPLCRCKernel(c Costs, spec lut.Spec) *OPLCRCKernel {
+	return &OPLCRCKernel{Costs: c, Spec: spec}
+}
+
+func (k *OPLCRCKernel) Name() string     { return OPLCRC.String() }
+func (k *OPLCRCKernel) Variant() Variant { return OPLCRC }
+
+func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	d.Reset()
+	spec := k.Spec
+	bo := spec.EntryBytes()
+	rb := spec.WeightRowBytes()
+	needed := spec.CombinedBytes()
+	if needed > d.Cfg.WRAMLUTBudget() {
+		return nil, fmt.Errorf("kernels: OP+LC+RC LUTs %s need %d bytes, WRAM LUT budget is %d",
+			spec, needed, d.Cfg.WRAMLUTBudget())
+	}
+	canon, err := lut.CachedCanonical(spec)
+	if err != nil {
+		return nil, err
+	}
+	reorder, err := lut.CachedReorder(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := int(spec.Rows())
+	colB := byteWidthFor(spec.CanonicalBytes())
+	sigB := byteWidthFor(spec.ReorderBytes())
+	recBytes := colB + sigB
+	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+		col, sigma, err := spec.CanonicalizeActs(actCodes)
+		if err != nil {
+			return err
+		}
+		lut.WriteUint(rec, 0, colB, uint32(col)*uint32(rows*bo))
+		lut.WriteUint(rec[colB:], 0, sigB, uint32(sigma)*uint32(rows*rb))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+
+	canonSeg, err := d.MRAM.Alloc("CanonLUT", spec.CanonicalBytes())
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	copy(canonSeg.Data, canon.Data)
+	reorderSeg, err := d.MRAM.Alloc("ReorderLUT", spec.ReorderBytes())
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	copy(reorderSeg.Data, reorder.Data)
+
+	canonBuf, err := d.WRAM.Alloc("canon", int(spec.CanonicalBytes()))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	reorderBuf, err := d.WRAM.Alloc("reorder", int(spec.ReorderBytes()))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	x := newBK(d)
+	if err := d.DMARead(canonSeg, 0, canonBuf.Data); err != nil {
+		return nil, err
+	}
+	if err := d.DMARead(reorderSeg, 0, reorderBuf.Data); err != nil {
+		return nil, err
+	}
+	x.charge(&x.b.LUTLoad)
+
+	g := st.groups
+	metaBuf, err := d.WRAM.Alloc("meta", g*recBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	wBuf, err := d.WRAM.Alloc("wchunk", wChunk*st.rowBytes)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
+	}
+	oBuf, err := d.WRAM.Alloc("ocol", t.M*4)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: OP+LC+RC: %w (tile M too large)", err)
+	}
+
+	for n := 0; n < t.N; n++ {
+		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Transfer)
+		for i := range oBuf.Data {
+			oBuf.Data[i] = 0
+		}
+		d.Exec(pim.EvInstr, int64(t.M))
+		x.charge(&x.b.Other)
+
+		for gi := 0; gi < g; gi++ {
+			colOff := int(lut.ReadUint(metaBuf.Data[gi*recBytes:], 0, colB))
+			sigmaOff := int(lut.ReadUint(metaBuf.Data[gi*recBytes+colB:], 0, sigB))
+			for m0 := 0; m0 < t.M; m0 += wChunk {
+				mc := wChunk
+				if m0+mc > t.M {
+					mc = t.M - m0
+				}
+				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf.Data[:mc*st.rowBytes]); err != nil {
+					return nil, err
+				}
+				x.charge(&x.b.Transfer)
+
+				for m := 0; m < mc; m++ {
+					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+					wCanon := lut.ReadUint(reorderBuf.Data[sigmaOff+int(w)*rb:], 0, rb)
+					entry := lut.ReadEntry(canonBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
+					idx := m0 + m
+					lut.WriteEntry(oBuf.Data, idx, 4,
+						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
+				}
+				mc64 := int64(mc)
+				d.Exec(pim.EvInstr, mc64*k.Costs.RCIdxCalcInstr)
+				x.charge(&x.b.IdxCalc)
+				d.Exec(pim.EvInstr, mc64*k.Costs.RCReorderAccInstr)
+				x.charge(&x.b.ReorderAccess)
+				d.Exec(pim.EvInstr, mc64*k.Costs.RCCanonAccInstr)
+				x.charge(&x.b.CanonAccess)
+				d.Exec(pim.EvInstr, mc64*k.Costs.RCAccumInstr)
+				x.charge(&x.b.Accumulate)
+				d.Note(pim.EvWRAMAccess, mc64*4)
+			}
+		}
+		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+			return nil, err
+		}
+		x.charge(&x.b.Other)
+	}
+	st.readO(t)
+	return x.result(OPLCRC, spec, spec.P, 0), nil
+}

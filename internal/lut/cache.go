@@ -1,0 +1,98 @@
+package lut
+
+import "sync"
+
+// Building a large canonical LUT (tens of MB) costs real time, and the
+// experiment harness runs the same spec across many kernels, tiles and
+// sweeps. Tables are immutable after construction, so a process-wide cache
+// keyed by spec is safe; callers must treat returned tables as read-only.
+var cache struct {
+	mu       sync.Mutex
+	op       map[Spec]*OpPacked
+	canon    map[Spec]*Canonical
+	reorder  map[Spec]*Reorder
+	hits     int64
+	misses   int64
+	capBytes int64
+}
+
+// CachedOpPacked returns a shared operation-packed LUT for the spec.
+func CachedOpPacked(s Spec) (*OpPacked, error) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.op == nil {
+		cache.op = make(map[Spec]*OpPacked)
+	}
+	if t, ok := cache.op[s]; ok {
+		cache.hits++
+		return t, nil
+	}
+	cache.misses++
+	t, err := BuildOpPacked(s)
+	if err != nil {
+		return nil, err
+	}
+	cache.op[s] = t
+	cache.capBytes += int64(len(t.Data))
+	return t, nil
+}
+
+// CachedCanonical returns a shared canonical LUT for the spec.
+func CachedCanonical(s Spec) (*Canonical, error) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.canon == nil {
+		cache.canon = make(map[Spec]*Canonical)
+	}
+	if t, ok := cache.canon[s]; ok {
+		cache.hits++
+		return t, nil
+	}
+	cache.misses++
+	t, err := BuildCanonical(s)
+	if err != nil {
+		return nil, err
+	}
+	cache.canon[s] = t
+	cache.capBytes += int64(len(t.Data))
+	return t, nil
+}
+
+// CachedReorder returns a shared reordering LUT for the spec.
+func CachedReorder(s Spec) (*Reorder, error) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.reorder == nil {
+		cache.reorder = make(map[Spec]*Reorder)
+	}
+	if t, ok := cache.reorder[s]; ok {
+		cache.hits++
+		return t, nil
+	}
+	cache.misses++
+	t, err := BuildReorder(s)
+	if err != nil {
+		return nil, err
+	}
+	cache.reorder[s] = t
+	cache.capBytes += int64(len(t.Data))
+	return t, nil
+}
+
+// CacheStats reports hit/miss counts and resident bytes (for tests and
+// diagnostics).
+func CacheStats() (hits, misses, bytes int64) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return cache.hits, cache.misses, cache.capBytes
+}
+
+// ResetCache drops all cached tables (tests).
+func ResetCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.op = nil
+	cache.canon = nil
+	cache.reorder = nil
+	cache.hits, cache.misses, cache.capBytes = 0, 0, 0
+}

@@ -1,0 +1,300 @@
+package pim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumDPUs() != 2048 {
+		t.Errorf("NumDPUs = %d, want 2048 (32 ranks x 64 banks)", cfg.NumDPUs())
+	}
+	// "Approximately half" of each capacity goes to LUTs (§V-A).
+	if b := cfg.MRAMLUTBudget(); b < 32<<20 || b > 38<<20 {
+		t.Errorf("MRAM LUT budget = %d, want ~half of 64 MiB", b)
+	}
+	if b := cfg.WRAMLUTBudget(); b < 32<<10 || b > 38<<10 {
+		t.Errorf("WRAM LUT budget = %d, want ~half of 64 KiB", b)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.MRAMBytes = 0 },
+		func(c *Config) { c.ClockHz = -1 },
+		func(c *Config) { c.DMABytesPerCycle = 0 },
+		func(c *Config) { c.LUTBudgetFrac = 0 },
+		func(c *Config) { c.LUTBudgetFrac = 1.5 },
+		func(c *Config) { c.HostToPIMBW = 0 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mod %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestLDCalibration(t *testing.T) {
+	// §VI-I: streaming LUT slices costs L_D = 1.36e-9 s per byte
+	// (~735 MB/s, the measured UPMEM MRAM->WRAM DMA bandwidth). The
+	// amortized per-byte time over a large transfer must land within 10%.
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	seg, err := d.MRAM.Alloc("lut", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 16384
+	buf := make([]byte, bytes)
+	if err := d.DMARead(seg, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	perByte := d.Seconds() / bytes
+	if perByte < 1.36e-9*0.9 || perByte > 1.36e-9*1.1 {
+		t.Errorf("amortized per-byte DMA time = %.3g s, want ~1.36e-9", perByte)
+	}
+}
+
+func TestLLocalCalibration(t *testing.T) {
+	// §VI-I: one reordering lookup + canonical lookup + accumulation is 12
+	// instructions, L_local = 3.27e-8 s (~11.45 cycles at 350 MHz). Charging
+	// 12 EvInstr must land within 10% of L_local.
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	d.Exec(EvInstr, 12)
+	got := d.Seconds()
+	if got < 3.27e-8*0.9 || got > 3.27e-8*1.1 {
+		t.Errorf("12-instruction time = %.3g s, want ~3.27e-8", got)
+	}
+}
+
+func TestMRAMAllocator(t *testing.T) {
+	m := NewMRAM(1000)
+	a, err := m.Alloc("a", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Off != 0 || len(a.Data) != 600 {
+		t.Errorf("segment a: off=%d len=%d", a.Off, len(a.Data))
+	}
+	if _, err := m.Alloc("a", 10); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := m.Alloc("b", 500); err == nil {
+		t.Error("over-capacity alloc accepted")
+	} else if !strings.Contains(err.Error(), "free") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	b, err := m.Alloc("b", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Off != 600 {
+		t.Errorf("segment b off = %d", b.Off)
+	}
+	if m.Used() != 1000 {
+		t.Errorf("used = %d", m.Used())
+	}
+	if err := m.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 400 {
+		t.Errorf("used after free = %d", m.Used())
+	}
+	if err := m.Free("zzz"); err == nil {
+		t.Error("freeing unknown segment accepted")
+	}
+	if _, ok := m.Segment("b"); !ok {
+		t.Error("segment b lookup failed")
+	}
+	if _, err := m.Alloc("zero", 0); err == nil {
+		t.Error("zero-size alloc accepted")
+	}
+}
+
+func TestWRAMAllocator(t *testing.T) {
+	w := NewWRAM(100)
+	if _, err := w.Alloc("x", 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Alloc("y", 30); err == nil {
+		t.Error("over-capacity WRAM alloc accepted")
+	}
+	if _, err := w.Alloc("y", 20); err != nil {
+		t.Fatal("valid alloc failed")
+	}
+	if w.Used() != 100 || w.Capacity() != 100 {
+		t.Errorf("used=%d cap=%d", w.Used(), w.Capacity())
+	}
+	if err := w.Free("x"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Used() != 20 {
+		t.Errorf("used after free = %d", w.Used())
+	}
+	w.FreeAll()
+	if w.Used() != 0 {
+		t.Error("FreeAll left bytes allocated")
+	}
+}
+
+func TestDMAMovesBytesAndCharges(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	seg, err := d.MRAM.Alloc("data", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg.Data {
+		seg.Data[i] = byte(i)
+	}
+	dst := make([]byte, 64)
+	if err := d.DMARead(seg, 16, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != byte(i+16) {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	if d.Meter.Count(EvDMARead) != 64 {
+		t.Errorf("DMA read bytes = %d", d.Meter.Count(EvDMARead))
+	}
+	wantCycles := cfg.DMASetupCycles + int64(math.Ceil(64/cfg.DMABytesPerCycle))
+	if d.Meter.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", d.Meter.Cycles, wantCycles)
+	}
+
+	// Write back modified data.
+	dst[0] = 0xAA
+	if err := d.DMAWrite(seg, 16, dst); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Data[16] != 0xAA {
+		t.Error("DMAWrite did not store")
+	}
+	if d.Meter.Count(EvDMAWrite) != 64 {
+		t.Errorf("DMA write bytes = %d", d.Meter.Count(EvDMAWrite))
+	}
+}
+
+func TestDMABoundsChecked(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	seg, _ := d.MRAM.Alloc("data", 64)
+	if err := d.DMARead(seg, 60, make([]byte, 8)); err == nil {
+		t.Error("out-of-range DMARead accepted")
+	}
+	if err := d.DMAWrite(seg, -1, make([]byte, 4)); err == nil {
+		t.Error("negative-offset DMAWrite accepted")
+	}
+}
+
+func TestExecCharges(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	d.Exec(EvInstr, 10)
+	d.Exec(EvMul8, 5)
+	d.Exec(EvMul32, 2)
+	want := 10*cfg.CyclesPerInstr + 5*cfg.CyclesPerMul8 + 2*cfg.CyclesPerMul32
+	if d.Meter.Cycles != want {
+		t.Errorf("cycles = %d, want %d", d.Meter.Cycles, want)
+	}
+	d.Exec(EvInstr, 0)
+	d.Exec(EvInstr, -5)
+	if d.Meter.Cycles != want {
+		t.Error("non-positive charge changed the meter")
+	}
+}
+
+func TestExecRejectsNonInstr(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("Exec(EvDMARead) did not panic")
+		}
+	}()
+	d.Exec(EvDMARead, 1)
+}
+
+func TestMeterMerge(t *testing.T) {
+	var a, b Meter
+	a.Cycles = 100
+	a.Counts[EvInstr] = 10
+	b.Cycles = 250
+	b.Counts[EvInstr] = 20
+	b.Counts[EvDMARead] = 64
+	a.Merge(&b)
+	// Wall-clock of parallel banks is the max; event counts add.
+	if a.Cycles != 250 {
+		t.Errorf("merged cycles = %d, want max 250", a.Cycles)
+	}
+	if a.Counts[EvInstr] != 30 || a.Counts[EvDMARead] != 64 {
+		t.Errorf("merged counts = %v", a.Counts)
+	}
+}
+
+func TestSystemCharges(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ChargeHostToPIM(8_000_000_000) // 8 GB at 8 GB/s = 1 s
+	if math.Abs(sys.TransferSeconds-1.0) > 1e-9 {
+		t.Errorf("transfer = %g s", sys.TransferSeconds)
+	}
+	sys.ChargeBroadcast(12_000_000_000) // 12 GB at 12 GB/s = +1 s
+	if math.Abs(sys.TransferSeconds-2.0) > 1e-9 {
+		t.Errorf("after broadcast = %g s", sys.TransferSeconds)
+	}
+	sys.ChargePIMToHost(5_000_000_000) // +1 s
+	if math.Abs(sys.TransferSeconds-3.0) > 1e-9 {
+		t.Errorf("after gather = %g s", sys.TransferSeconds)
+	}
+	sys.HostSeconds = 0.5
+	sys.KernelSeconds = 1.5
+	if math.Abs(sys.TotalSeconds()-5.0) > 1e-9 {
+		t.Errorf("total = %g s", sys.TotalSeconds())
+	}
+	if sys.Meter.Count(EvHostToPIM) != 20_000_000_000 {
+		t.Errorf("host->pim bytes = %d", sys.Meter.Count(EvHostToPIM))
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ranks = -1
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestDPUReset(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	d.MRAM.Alloc("x", 100)
+	d.WRAM.Alloc("y", 100)
+	d.Exec(EvInstr, 5)
+	d.Reset()
+	if d.Meter.Cycles != 0 || d.MRAM.Used() != 0 || d.WRAM.Used() != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestEventClassString(t *testing.T) {
+	if EvInstr.String() != "instr" || EvDMARead.String() != "dma_read_bytes" {
+		t.Error("event names")
+	}
+	if !strings.Contains(EventClass(99).String(), "99") {
+		t.Error("unknown event name")
+	}
+}

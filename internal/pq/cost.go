@@ -1,0 +1,71 @@
+package pq
+
+import (
+	"github.com/ais-snu/localut/internal/pim"
+)
+
+// CostModel prices a PQ GEMM execution on the PIM system with the same
+// constants the LoCaLUT engine uses, so Fig. 15/16 comparisons share one
+// machine model.
+type CostModel struct {
+	Cfg *pim.Config
+	// LookupInstr is the per-table-lookup instruction budget on the DPU
+	// (index load, address, table load, accumulate, loop) — the PQ kernel
+	// is structurally the OP kernel with centroid ids as indices.
+	LookupInstr int64
+	// HostOpsPerSec is the host scalar throughput for centroid selection.
+	HostOpsPerSec float64
+}
+
+// DefaultCostModel matches the gemm.Engine constants. The PQ lookup is two
+// instructions cheaper than the OP kernel's (centroid ids arrive as ready
+// byte indices — no packed-vector extraction).
+func DefaultCostModel(cfg *pim.Config) CostModel {
+	return CostModel{Cfg: cfg, LookupInstr: 7, HostOpsPerSec: 2e10}
+}
+
+// Cost reports the phase split of one PQ GEMM.
+type Cost struct {
+	HostSelectSeconds float64 // centroid selection on the host
+	PIMSeconds        float64 // lookup-accumulate kernel on the banks
+	TransferSeconds   float64 // code scatter + output gather
+	Total             float64
+}
+
+// Estimate prices an M x K x N PQ GEMM under the paper's context-parallel
+// tiling (columns across banks, full M per bank).
+func (c CostModel) Estimate(cfg Config, m, k, n int, hostOpsFromEncode int64) Cost {
+	banks := n
+	if banks > c.Cfg.NumDPUs() {
+		banks = c.Cfg.NumDPUs()
+	}
+	tileN := (n + banks - 1) / banks
+	subspaces := k / cfg.D
+
+	lookups := int64(m) * int64(tileN) * int64(subspaces)
+	kernelCycles := lookups * c.LookupInstr
+	pimSeconds := c.Cfg.Seconds(kernelCycles)
+
+	hostSeconds := float64(hostOpsFromEncode) / c.HostOpsPerSec
+	codeBytes := int64(subspaces) * int64(n) // one byte per centroid id
+	outBytes := int64(m) * int64(n) * 4
+	transfer := float64(codeBytes)/c.Cfg.HostToPIMBW + float64(outBytes)/c.Cfg.PIMToHostBW
+
+	t := Cost{
+		HostSelectSeconds: hostSeconds,
+		PIMSeconds:        pimSeconds,
+		TransferSeconds:   transfer,
+	}
+	t.Total = t.HostSelectSeconds + t.PIMSeconds + t.TransferSeconds
+	return t
+}
+
+// EncodeOps returns the host distance-op count of encoding N columns
+// without materializing data (for timing-only sweeps).
+func EncodeOps(cfg Config, k, n int) int64 {
+	opsPerDist := int64(3)
+	if cfg.Metric == L1 {
+		opsPerDist = 2
+	}
+	return int64(n) * int64(k/cfg.D) * int64(cfg.C) * int64(cfg.D) * opsPerDist
+}

@@ -1,0 +1,282 @@
+// Package pq implements the product-quantization GEMM baselines LoCaLUT is
+// compared against in §VI-F: PIM-DL and LUT-DLA (L1 and L2 variants).
+//
+// Product quantization splits the reduction dimension K into K/D
+// subvectors, learns C centroids per subspace from calibration data
+// (k-means for L2, k-medians for L1), and replaces each activation
+// subvector with its nearest centroid id. The GEMM then becomes K/D table
+// lookups per output element — fast on PIM — at the price of (a) a
+// *host-side* centroid-selection pass over every activation (the bottleneck
+// Fig. 16(a) exposes) and (b) codebook approximation error, which is what
+// separates these methods from LoCaLUT's bit-exact lookups on the
+// speedup-accuracy plane of Fig. 15.
+package pq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Metric selects the centroid distance.
+type Metric int
+
+const (
+	// L2 is squared Euclidean distance (k-means).
+	L2 Metric = iota
+	// L1 is Manhattan distance (k-medians) — cheaper host selection,
+	// the LUT-DLA (L1) variant.
+	L1
+)
+
+func (m Metric) String() string {
+	if m == L1 {
+		return "L1"
+	}
+	return "L2"
+}
+
+// Config describes one PQ design point.
+type Config struct {
+	Name string
+	// D is the subvector length; C is the codebook size per subspace.
+	D, C   int
+	Metric Metric
+	// Iters bounds the Lloyd iterations during training.
+	Iters int
+}
+
+// PIMDL returns the PIM-DL configuration (LUT-NN-style: short subvectors,
+// a large codebook, Euclidean assignment).
+func PIMDL() Config { return Config{Name: "PIM-DL", D: 4, C: 256, Metric: L2, Iters: 12} }
+
+// LUTDLAL1 returns LUT-DLA with the cheap L1 metric.
+func LUTDLAL1() Config { return Config{Name: "LUT-DLA (L1)", D: 4, C: 64, Metric: L1, Iters: 12} }
+
+// LUTDLAL2 returns LUT-DLA with the L2 metric.
+func LUTDLAL2() Config { return Config{Name: "LUT-DLA (L2)", D: 4, C: 64, Metric: L2, Iters: 12} }
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.D < 1 || c.C < 1 || c.Iters < 1 {
+		return fmt.Errorf("pq: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Quantizer holds trained per-subspace codebooks for a fixed K.
+type Quantizer struct {
+	Cfg       Config
+	K         int
+	Subspaces int
+	// Centroids[s] is a C x D matrix, row-major.
+	Centroids [][]float64
+}
+
+// Train learns codebooks from calibration activations (row-major K x NCal).
+// Each subspace s clusters the D-dimensional slices of rows [s*D,(s+1)*D).
+func Train(cfg Config, calib []float64, k, nCal int, seed int64) (*Quantizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k%cfg.D != 0 {
+		return nil, fmt.Errorf("pq: K=%d not a multiple of subvector length D=%d", k, cfg.D)
+	}
+	if len(calib) != k*nCal {
+		return nil, fmt.Errorf("pq: calibration data has %d values, want %d", len(calib), k*nCal)
+	}
+	if nCal < cfg.C {
+		return nil, fmt.Errorf("pq: %d calibration columns cannot seed %d centroids", nCal, cfg.C)
+	}
+	s := k / cfg.D
+	q := &Quantizer{Cfg: cfg, K: k, Subspaces: s, Centroids: make([][]float64, s)}
+	rng := rand.New(rand.NewSource(seed))
+	vec := make([]float64, cfg.D)
+	for sub := 0; sub < s; sub++ {
+		// Gather the subvectors of this subspace: one per calibration column.
+		pts := make([][]float64, nCal)
+		for n := 0; n < nCal; n++ {
+			p := make([]float64, cfg.D)
+			for d := 0; d < cfg.D; d++ {
+				p[d] = calib[(sub*cfg.D+d)*nCal+n]
+			}
+			pts[n] = p
+		}
+		q.Centroids[sub] = lloyd(pts, cfg, rng, vec)
+	}
+	return q, nil
+}
+
+// lloyd runs k-means (L2) or k-medians (L1) and returns the flattened C x D
+// codebook.
+func lloyd(pts [][]float64, cfg Config, rng *rand.Rand, scratch []float64) []float64 {
+	d, c := cfg.D, cfg.C
+	cents := make([]float64, c*d)
+	// Seed with distinct random points.
+	perm := rng.Perm(len(pts))
+	for i := 0; i < c; i++ {
+		copy(cents[i*d:(i+1)*d], pts[perm[i%len(perm)]])
+	}
+	assign := make([]int, len(pts))
+	for iter := 0; iter < cfg.Iters; iter++ {
+		changed := false
+		for i, p := range pts {
+			best := nearest(cents, p, cfg.Metric, d, c)
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Update step.
+		for ci := 0; ci < c; ci++ {
+			members := members(assign, ci)
+			if len(members) == 0 {
+				// Re-seed empty clusters from a random point.
+				copy(cents[ci*d:(ci+1)*d], pts[rng.Intn(len(pts))])
+				continue
+			}
+			for dim := 0; dim < d; dim++ {
+				if cfg.Metric == L2 {
+					sum := 0.0
+					for _, mi := range members {
+						sum += pts[mi][dim]
+					}
+					cents[ci*d+dim] = sum / float64(len(members))
+				} else {
+					vals := scratch[:0]
+					for _, mi := range members {
+						vals = append(vals, pts[mi][dim])
+					}
+					cents[ci*d+dim] = median(vals)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cents
+}
+
+func members(assign []int, c int) []int {
+	var out []int
+	for i, a := range assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// nearest returns the index of the closest centroid.
+func nearest(cents []float64, p []float64, m Metric, d, c int) int {
+	best, bestDist := 0, math.Inf(1)
+	for ci := 0; ci < c; ci++ {
+		dist := 0.0
+		base := ci * d
+		for dim := 0; dim < d; dim++ {
+			diff := cents[base+dim] - p[dim]
+			if m == L2 {
+				dist += diff * diff
+			} else {
+				dist += math.Abs(diff)
+			}
+		}
+		if dist < bestDist {
+			best, bestDist = ci, dist
+		}
+	}
+	return best
+}
+
+// Encode assigns every activation column's subvectors to centroid ids
+// (the host-side centroid-selection pass). acts is row-major K x N.
+// The returned hostOps counts the scalar distance operations performed,
+// which the timing model prices.
+func (q *Quantizer) Encode(acts []float64, n int) (codes []int, hostOps int64, err error) {
+	if len(acts) != q.K*n {
+		return nil, 0, fmt.Errorf("pq: acts has %d values, want %d", len(acts), q.K*n)
+	}
+	codes = make([]int, q.Subspaces*n)
+	p := make([]float64, q.Cfg.D)
+	opsPerDist := int64(3) // sub, mul/abs, add
+	if q.Cfg.Metric == L1 {
+		opsPerDist = 2
+	}
+	for col := 0; col < n; col++ {
+		for sub := 0; sub < q.Subspaces; sub++ {
+			for d := 0; d < q.Cfg.D; d++ {
+				p[d] = acts[(sub*q.Cfg.D+d)*n+col]
+			}
+			codes[sub*n+col] = nearest(q.Centroids[sub], p, q.Cfg.Metric, q.Cfg.D, q.Cfg.C)
+		}
+	}
+	hostOps = int64(n) * int64(q.Subspaces) * int64(q.Cfg.C) * int64(q.Cfg.D) * opsPerDist
+	return codes, hostOps, nil
+}
+
+// BuildTables precomputes the PIM lookup tables: T[s][m*C+c] =
+// dot(W[m, s*D:(s+1)*D], centroid[s][c]). w is row-major M x K.
+func (q *Quantizer) BuildTables(w []float64, m int) ([][]float64, error) {
+	if len(w) != m*q.K {
+		return nil, fmt.Errorf("pq: W has %d values, want %d", len(w), m*q.K)
+	}
+	tables := make([][]float64, q.Subspaces)
+	for sub := 0; sub < q.Subspaces; sub++ {
+		t := make([]float64, m*q.Cfg.C)
+		for mi := 0; mi < m; mi++ {
+			for c := 0; c < q.Cfg.C; c++ {
+				sum := 0.0
+				for d := 0; d < q.Cfg.D; d++ {
+					sum += w[mi*q.K+sub*q.Cfg.D+d] * q.Centroids[sub][c*q.Cfg.D+d]
+				}
+				t[mi*q.Cfg.C+c] = sum
+			}
+		}
+		tables[sub] = t
+	}
+	return tables, nil
+}
+
+// ApproxGEMM evaluates the PQ-approximated product from the tables and
+// codes: out[m][n] = sum_s T[s][m*C+codes[s*n+n]]. Returns row-major M x N.
+func (q *Quantizer) ApproxGEMM(tables [][]float64, codes []int, m, n int) []float64 {
+	out := make([]float64, m*n)
+	for sub := 0; sub < q.Subspaces; sub++ {
+		t := tables[sub]
+		for col := 0; col < n; col++ {
+			c := codes[sub*n+col]
+			for mi := 0; mi < m; mi++ {
+				out[mi*n+col] += t[mi*q.Cfg.C+c]
+			}
+		}
+	}
+	return out
+}
+
+// ExactGEMM is the float reference product (row-major W: MxK, A: KxN).
+func ExactGEMM(w, a []float64, m, k, n int) []float64 {
+	out := make([]float64, m*n)
+	for mi := 0; mi < m; mi++ {
+		for ki := 0; ki < k; ki++ {
+			wv := w[mi*k+ki]
+			if wv == 0 {
+				continue
+			}
+			for col := 0; col < n; col++ {
+				out[mi*n+col] += wv * a[ki*n+col]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package pq
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+func trainSmall(t *testing.T, cfg Config, k, nCal int) (*Quantizer, []float64) {
+	t.Helper()
+	calib := workload.Gaussian(k, nCal, 11)
+	q, err := Train(cfg, calib, k, nCal, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, calib
+}
+
+func TestTrainShapes(t *testing.T) {
+	cfg := Config{Name: "t", D: 4, C: 8, Metric: L2, Iters: 5}
+	q, _ := trainSmall(t, cfg, 32, 256)
+	if q.Subspaces != 8 {
+		t.Errorf("subspaces = %d", q.Subspaces)
+	}
+	for s, cents := range q.Centroids {
+		if len(cents) != 8*4 {
+			t.Errorf("subspace %d codebook size %d", s, len(cents))
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	calib := workload.Gaussian(32, 64, 1)
+	if _, err := Train(Config{D: 5, C: 8, Iters: 3}, calib, 32, 64, 1); err == nil {
+		t.Error("accepted K not divisible by D")
+	}
+	if _, err := Train(Config{D: 4, C: 128, Iters: 3}, calib, 32, 64, 1); err == nil {
+		t.Error("accepted C > calibration columns")
+	}
+	if _, err := Train(Config{D: 0, C: 8, Iters: 3}, calib, 32, 64, 1); err == nil {
+		t.Error("accepted D=0")
+	}
+	if _, err := Train(Config{D: 4, C: 8, Iters: 3}, calib[:10], 32, 64, 1); err == nil {
+		t.Error("accepted short calibration data")
+	}
+}
+
+func TestEncodeIsNearest(t *testing.T) {
+	cfg := Config{Name: "t", D: 2, C: 4, Metric: L2, Iters: 8}
+	q, _ := trainSmall(t, cfg, 8, 128)
+	acts := workload.Gaussian(8, 16, 3)
+	codes, ops, err := q.Encode(acts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops <= 0 {
+		t.Error("no host ops counted")
+	}
+	// Spot-check: every assignment must be the true nearest centroid.
+	for col := 0; col < 16; col++ {
+		for sub := 0; sub < q.Subspaces; sub++ {
+			p := []float64{acts[(sub*2)*16+col], acts[(sub*2+1)*16+col]}
+			want := nearest(q.Centroids[sub], p, L2, 2, 4)
+			if got := codes[sub*16+col]; got != want {
+				t.Fatalf("col %d sub %d: code %d, want %d", col, sub, got, want)
+			}
+		}
+	}
+}
+
+// TestPQApproxErrorDecreasesWithC is the core PQ property: larger codebooks
+// approximate the GEMM better.
+func TestPQApproxErrorDecreasesWithC(t *testing.T) {
+	const k, m, n, nCal = 32, 24, 64, 512
+	calib := workload.Gaussian(k, nCal, 5)
+	w := workload.Gaussian(m, k, 6)
+	acts := workload.Gaussian(k, n, 9)
+	exact := ExactGEMM(w, acts, m, k, n)
+
+	var prevErr = math.Inf(1)
+	for _, c := range []int{4, 16, 64} {
+		cfg := Config{Name: "sweep", D: 4, C: c, Metric: L2, Iters: 15}
+		q, err := Train(cfg, calib, k, nCal, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes, _, err := q.Encode(acts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := q.BuildTables(w, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := q.ApproxGEMM(tables, codes, m, n)
+		e := workload.FrobeniusError(approx, exact)
+		if e <= 0 || e >= 1 {
+			t.Errorf("C=%d: error %g out of (0,1)", c, e)
+		}
+		if e >= prevErr {
+			t.Errorf("C=%d: error %g did not improve on %g", c, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+func TestL1VariantTrainsAndEncodes(t *testing.T) {
+	cfg := LUTDLAL1()
+	cfg.C = 16 // keep the test fast
+	q, _ := trainSmall(t, cfg, 32, 256)
+	acts := workload.Gaussian(32, 8, 2)
+	codes, ops, err := q.Encode(acts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != q.Subspaces*8 {
+		t.Errorf("codes length %d", len(codes))
+	}
+	// L1 distances cost 2 ops per element vs 3 for L2.
+	if want := int64(8) * int64(q.Subspaces) * 16 * 4 * 2; ops != want {
+		t.Errorf("L1 host ops = %d, want %d", ops, want)
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	for _, cfg := range []Config{PIMDL(), LUTDLAL1(), LUTDLAL2()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	if PIMDL().Metric != L2 || LUTDLAL1().Metric != L1 {
+		t.Error("preset metrics")
+	}
+	if L1.String() != "L1" || L2.String() != "L2" {
+		t.Error("metric names")
+	}
+}
+
+func TestCostModelPhases(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	cm := DefaultCostModel(&cfg)
+	pqc := PIMDL()
+	ops := EncodeOps(pqc, 768, 128)
+	cost := cm.Estimate(pqc, 768, 768, 128, ops)
+	if cost.HostSelectSeconds <= 0 || cost.PIMSeconds <= 0 || cost.TransferSeconds <= 0 {
+		t.Errorf("cost %+v", cost)
+	}
+	if diff := cost.Total - (cost.HostSelectSeconds + cost.PIMSeconds + cost.TransferSeconds); math.Abs(diff) > 1e-15 {
+		t.Error("total mismatch")
+	}
+	// The paper's Fig. 16(a): centroid selection dominates PIM-DL.
+	if cost.HostSelectSeconds < cost.PIMSeconds {
+		t.Errorf("PIM-DL centroid selection (%g) should dominate PIM time (%g)",
+			cost.HostSelectSeconds, cost.PIMSeconds)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	q, _ := trainSmall(t, Config{Name: "t", D: 4, C: 8, Metric: L2, Iters: 3}, 32, 64)
+	if _, _, err := q.Encode(make([]float64, 10), 4); err == nil {
+		t.Error("accepted wrong activation length")
+	}
+	if _, err := q.BuildTables(make([]float64, 10), 4); err == nil {
+		t.Error("accepted wrong weight length")
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Add("alpha", 1.5)
+	tab.Add("beta", 0.000123)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### Demo", "| name", "alpha", "1.500", "1.230e-04"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.Add("x,y", `quote"d`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"quote""d"`) {
+		t.Errorf("CSV escaping wrong: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing header: %s", out)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("empty geomean = %g", g)
+	}
+	if g := Geomean([]float64{1, -1}); !math.IsNaN(g) {
+		t.Errorf("negative input geomean = %g", g)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g %g", lo, hi)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(0) != "0" {
+		t.Error("zero")
+	}
+	if formatFloat(12345678) != "1.235e+07" {
+		t.Errorf("big: %s", formatFloat(12345678))
+	}
+	if formatFloat(1.5) != "1.500" {
+		t.Errorf("mid: %s", formatFloat(1.5))
+	}
+}

@@ -1,0 +1,96 @@
+// Package workload generates the seeded synthetic matrices the evaluation
+// runs on. The paper's artifact likewise uses generated data ("Generated
+// datasets were used... the values of the generated elements remain within
+// the representable range defined by the activation and weight bitwidths",
+// Appendix C-4): execution time of every kernel is shape-determined, so
+// Gaussian-distributed codes exercise the identical code paths as model
+// tensors while staying reproducible from a seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// Gaussian returns rows x cols standard-normal floats from the seed.
+func Gaussian(rows, cols int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, rows*cols)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// QuantizedGaussian quantizes a Gaussian matrix under the codec with
+// calibrated (distribution-aware) scaling. DNN weights and activations are
+// near-Gaussian post-normalization, so this is the distribution the PQ
+// error analysis and LUT column statistics see.
+func QuantizedGaussian(rows, cols int, codec quant.Codec, seed int64) *quant.Tensor {
+	t, err := quant.QuantizeCalibrated(Gaussian(rows, cols, seed), rows, cols, codec)
+	if err != nil {
+		// Shapes are caller-controlled constants; a failure here is a bug.
+		panic(err)
+	}
+	return t
+}
+
+// UniformCodes returns rows x cols codes drawn uniformly from the codec's
+// encodable space (the excluded TwosSym pattern is never drawn), matching
+// the artifact's "values within the representable range".
+func UniformCodes(rows, cols int, codec quant.Codec, seed int64) []uint8 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint8, rows*cols)
+	excluded := -1
+	if codec.Mode == quant.TwosSym {
+		excluded = codec.Levels() / 2
+	}
+	for i := range out {
+		for {
+			c := rng.Intn(codec.Levels())
+			if c != excluded {
+				out[i] = uint8(c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GEMMPair bundles the quantized operands of one synthetic GEMM.
+type GEMMPair struct {
+	M, K, N int
+	Fmt     quant.Format
+	W       *quant.Tensor // M x K
+	A       *quant.Tensor // K x N
+}
+
+// NewGEMMPair generates a seeded W (M x K) and A (K x N) pair under the
+// format's codecs.
+func NewGEMMPair(m, k, n int, f quant.Format, seed int64) *GEMMPair {
+	return &GEMMPair{
+		M: m, K: k, N: n, Fmt: f,
+		W: QuantizedGaussian(m, k, f.Weight, seed),
+		A: QuantizedGaussian(k, n, f.Act, seed+1),
+	}
+}
+
+// FrobeniusError returns ||got-want||_F / ||want||_F over float matrices,
+// the relative-error metric the accuracy proxy consumes.
+func FrobeniusError(got, want []float64) float64 {
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,399 @@
+// Package localut is a Go implementation of LoCaLUT (HPCA 2026):
+// lookup-table-based low-bit quantized DNN inference for DRAM
+// processing-in-memory, built on a cycle-approximate UPMEM-class simulator.
+//
+// The library exposes the paper's full pipeline:
+//
+//   - quantization of float tensors into the WxAy low-bit formats;
+//   - construction of operation-packed, canonical and reordering LUTs with
+//     their capacity laws (the capacity-computation tradeoff of §III);
+//   - the §IV-D cost model that picks the packing degree p, the LUT
+//     residence (buffer vs DRAM bank with slice streaming) and the slice
+//     batch k;
+//   - GEMM execution across a simulated 2048-bank PIM system under six
+//     designs (NaivePIM, LTC, OP, OP+LC, OP+LC+RC, LoCaLUT), each verified
+//     bit-exact against an integer reference on every run;
+//   - end-to-end transformer inference (BERT-base, OPT-125M, ViT-Base)
+//     with the host/PIM split of Fig. 8.
+//
+// Quick start:
+//
+//	sys := localut.NewSystem()
+//	res, err := sys.GEMM(localut.W1A3, 768, 768, 128, localut.DesignLoCaLUT)
+//	fmt.Printf("%.3f ms, verified=%v\n", res.TotalSeconds*1e3, res.Verified)
+package localut
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/costmodel"
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/energy"
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// Format is a weight/activation quantization pairing ("WxAy").
+type Format struct {
+	inner quant.Format
+}
+
+// The four formats of the paper's evaluation.
+var (
+	W1A3 = Format{quant.W1A3}
+	W1A4 = Format{quant.W1A4}
+	W2A2 = Format{quant.W2A2}
+	W4A4 = Format{quant.W4A4}
+)
+
+// Formats lists the evaluation formats in paper order.
+var Formats = []Format{W1A3, W1A4, W2A2, W4A4}
+
+// NewFormat builds a WxAy format with the paper's codec conventions
+// (1-bit weights are ±1; wider weights are symmetric-clipped two's
+// complement; activations are two's complement).
+func NewFormat(weightBits, actBits int) (Format, error) {
+	f, err := quant.NewFormat(weightBits, actBits)
+	if err != nil {
+		return Format{}, err
+	}
+	return Format{f}, nil
+}
+
+// ParseFormat parses "W1A3"-style names.
+func ParseFormat(s string) (Format, error) {
+	f, err := quant.ParseFormat(s)
+	if err != nil {
+		return Format{}, err
+	}
+	return Format{f}, nil
+}
+
+// Name returns "WxAy".
+func (f Format) Name() string { return f.inner.Name() }
+
+// WeightBits and ActBits report the bit widths.
+func (f Format) WeightBits() int { return f.inner.Weight.Bits }
+func (f Format) ActBits() int    { return f.inner.Act.Bits }
+
+// Design selects one of the paper's kernel design points.
+type Design int
+
+const (
+	// DesignNaive is conventional PIM with arithmetic units.
+	DesignNaive Design = iota
+	// DesignLTC is the LUT Tensor Core bit-serial adaptation.
+	DesignLTC
+	// DesignOP is the buffer-resident operation-packed LUT.
+	DesignOP
+	// DesignOPLC adds LUT canonicalization (software reordering).
+	DesignOPLC
+	// DesignOPLCRC adds the reordering LUT.
+	DesignOPLCRC
+	// DesignLoCaLUT is the full system with LUT slice streaming.
+	DesignLoCaLUT
+)
+
+// Designs lists all design points in paper order.
+var Designs = []Design{DesignNaive, DesignLTC, DesignOP, DesignOPLC, DesignOPLCRC, DesignLoCaLUT}
+
+func (d Design) variant() kernels.Variant { return kernels.Variant(d) }
+
+// String returns the paper's name for the design.
+func (d Design) String() string { return d.variant().String() }
+
+// Capacity describes the LUT footprints of a (format, p) configuration —
+// the Fig. 6 quantities.
+type Capacity struct {
+	P                   int
+	OperationPackedByte int64
+	CanonicalBytes      int64
+	ReorderBytes        int64
+	CombinedBytes       int64
+	// ReductionRate is operation-packed / (canonical + reordering).
+	ReductionRate float64
+	// SliceBytes is one streamed canonical+reordering column pair.
+	SliceBytes int64
+}
+
+// LUTCapacity evaluates the capacity laws for a format and packing degree.
+func LUTCapacity(f Format, p int) (Capacity, error) {
+	spec, err := lut.NewSpec(f.inner, p)
+	if err != nil {
+		return Capacity{}, err
+	}
+	return Capacity{
+		P:                   p,
+		OperationPackedByte: spec.OpPackedBytes(),
+		CanonicalBytes:      spec.CanonicalBytes(),
+		ReorderBytes:        spec.ReorderBytes(),
+		CombinedBytes:       spec.CombinedBytes(),
+		ReductionRate:       spec.ReductionRate(),
+		SliceBytes:          spec.SliceBytes(),
+	}, nil
+}
+
+// Plan is the cost model's configuration choice for a GEMM shape (§IV-D).
+type Plan struct {
+	P                int
+	Streaming        bool
+	SliceK           int
+	PredictedSeconds float64
+	PLocal, PDRAM    int
+}
+
+// System is a simulated LoCaLUT PIM server.
+type System struct {
+	engine *gemm.Engine
+	energy energy.Model
+	seed   int64
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithSeed fixes the synthetic workload seed.
+func WithSeed(seed int64) Option { return func(s *System) { s.seed = seed } }
+
+// WithRanks overrides the PIM DIMM rank count (default 32 -> 2048 banks).
+func WithRanks(ranks int) Option {
+	return func(s *System) { s.engine.Cfg.Ranks = ranks }
+}
+
+// WithLUTBudget sets the fraction of each bank and buffer devoted to LUTs
+// (default ~0.55, §V-A "approximately half"). §VII-B discusses shrinking
+// this when capacity is shared with large models or co-located jobs: a
+// smaller budget lowers the feasible packing degree and trades speed for
+// memory — ChoosePlan and every GEMM respect it.
+func WithLUTBudget(frac float64) Option {
+	return func(s *System) { s.engine.Cfg.LUTBudgetFrac = frac }
+}
+
+// NewSystem builds the paper's testbed: 32 UPMEM ranks (2048 DPUs, 64 MB
+// bank + 64 KB WRAM + 350 MHz core each).
+func NewSystem(opts ...Option) *System {
+	s := &System{engine: gemm.NewEngine(), energy: energy.Default(), seed: 1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ChoosePlan runs the §IV-D cost model for a GEMM shape.
+func (s *System) ChoosePlan(f Format, m, k, n int) (Plan, error) {
+	c, err := costmodel.Choose(s.engine.Model, f.inner, m, k, n, &s.engine.Cfg)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{P: c.P, Streaming: c.Streaming, SliceK: c.K,
+		PredictedSeconds: c.PredictedSeconds, PLocal: c.PLocal, PDRAM: c.PDRAM}, nil
+}
+
+// GEMMResult reports one executed GEMM.
+type GEMMResult struct {
+	Design        Design
+	P, SliceK     int
+	Streaming     bool
+	TotalSeconds  float64
+	KernelSeconds float64
+	HostSeconds   float64
+	Transfer      float64
+	EnergyJ       float64
+	// Verified reports that the simulated kernel's tile output matched
+	// the integer reference bit-exactly (checked on every run).
+	Verified bool
+	// Output is the full integer product when requested.
+	Output []int32
+}
+
+// GEMMOption tweaks one GEMM run.
+type GEMMOption func(*gemm.Options)
+
+// WithPackingDegree forces p instead of the cost-model choice.
+func WithPackingDegree(p int) GEMMOption { return func(o *gemm.Options) { o.ForceP = p } }
+
+// WithSliceK forces the slice batch.
+func WithSliceK(k int) GEMMOption { return func(o *gemm.Options) { o.ForceK = k } }
+
+// WithStreaming forces DRAM-resident LUTs with slice streaming (only
+// meaningful together with WithPackingDegree).
+func WithStreaming() GEMMOption { return func(o *gemm.Options) { o.ForceStreaming = true } }
+
+// WithFullOutput computes the complete integer product (O(MKN) host work).
+func WithFullOutput() GEMMOption { return func(o *gemm.Options) { o.ComputeFull = true } }
+
+// WithPaperTiling uses the paper's context-parallel tiling (split N only).
+func WithPaperTiling() GEMMOption { return func(o *gemm.Options) { o.NSplitOnly = true } }
+
+// GEMM generates a seeded synthetic M x K x N problem in the format and
+// executes it under the design.
+func (s *System) GEMM(f Format, m, k, n int, d Design, opts ...GEMMOption) (*GEMMResult, error) {
+	pair := workload.NewGEMMPair(m, k, n, f.inner, s.seed)
+	return s.run(pair, d, opts...)
+}
+
+// GEMMQuantized executes a GEMM on caller-provided quantized tensors.
+// Weights are M x K codes row-major; activations K x N.
+func (s *System) GEMMQuantized(w, a *Tensor, d Design, opts ...GEMMOption) (*GEMMResult, error) {
+	if w.t.Cols != a.t.Rows {
+		return nil, fmt.Errorf("localut: W is %dx%d but A is %dx%d",
+			w.t.Rows, w.t.Cols, a.t.Rows, a.t.Cols)
+	}
+	f := quant.Format{Weight: w.t.Codec, Act: a.t.Codec}
+	pair := &workload.GEMMPair{M: w.t.Rows, K: w.t.Cols, N: a.t.Cols,
+		Fmt: f, W: w.t, A: a.t}
+	return s.run(pair, d, opts...)
+}
+
+func (s *System) run(pair *workload.GEMMPair, d Design, opts ...GEMMOption) (*GEMMResult, error) {
+	var o gemm.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	o.Variant = d.variant()
+	rep, err := s.engine.Run(pair, o)
+	if err != nil {
+		return nil, err
+	}
+	e := s.energy.Price(&rep.Meter, rep.HostOps, rep.Total)
+	return &GEMMResult{
+		Design: d, P: rep.P, SliceK: rep.K, Streaming: rep.Streaming,
+		TotalSeconds: rep.Total, KernelSeconds: rep.KernelSeconds,
+		HostSeconds: rep.HostSeconds, Transfer: rep.Transfer,
+		EnergyJ: e.TotalJ, Verified: rep.Verified, Output: rep.Output,
+	}, nil
+}
+
+// Tensor is a quantized 2-D tensor.
+type Tensor struct {
+	t *quant.Tensor
+}
+
+// Side selects which codec of a format quantizes a tensor.
+type Side int
+
+const (
+	// Weights quantizes with the weight codec.
+	Weights Side = iota
+	// Activations quantizes with the activation codec.
+	Activations
+)
+
+// Quantize converts row-major float data to low-bit codes under the
+// format's codec for the given side, with calibrated scaling (mean-|v| for
+// binary weights, MSE-optimal Gaussian clipping for wider codecs — the
+// conventions of the quantization methods the paper evaluates with).
+func Quantize(data []float64, rows, cols int, f Format, side Side) (*Tensor, error) {
+	codec := f.inner.Weight
+	if side == Activations {
+		codec = f.inner.Act
+	}
+	t, err := quant.QuantizeCalibrated(data, rows, cols, codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{t}, nil
+}
+
+// Shape returns (rows, cols).
+func (t *Tensor) Shape() (rows, cols int) { return t.t.Rows, t.t.Cols }
+
+// Scale returns the dequantization scale.
+func (t *Tensor) Scale() float64 { return t.t.Scale }
+
+// Dequantize expands back to floats.
+func (t *Tensor) Dequantize() []float64 { return t.t.Dequantize() }
+
+// Model identifies a built-in transformer workload.
+type Model int
+
+const (
+	// BERTBase is the 12-layer encoder (110M parameters, seq 128).
+	BERTBase Model = iota
+	// OPT125M is the 12-layer decoder (prefill + autoregressive decode).
+	OPT125M
+	// ViTBase is the vision transformer (197 tokens).
+	ViTBase
+)
+
+func (m Model) config() dnn.ModelConfig {
+	switch m {
+	case BERTBase:
+		return dnn.BERTBase()
+	case OPT125M:
+		return dnn.OPT125M()
+	case ViTBase:
+		return dnn.ViTBase()
+	}
+	panic(fmt.Sprintf("localut: unknown model %d", int(m)))
+}
+
+// String names the model.
+func (m Model) String() string { return m.config().Name }
+
+// PhaseTimes itemizes one inference phase (the Fig. 16(a) categories).
+type PhaseTimes struct {
+	GEMMPIM   float64
+	Transfer  float64
+	Quantize  float64
+	SortPack  float64
+	HostOther float64
+	Total     float64
+}
+
+// InferenceResult reports an end-to-end model execution.
+type InferenceResult struct {
+	Model   string
+	Format  string
+	Design  Design
+	Prefill PhaseTimes
+	// Decode is non-zero only for decoder models with OutTokens > 0.
+	Decode       PhaseTimes
+	TotalSeconds float64
+	EnergyJ      float64
+}
+
+// InferOptions configures an end-to-end run.
+type InferOptions struct {
+	// Batch is the number of sequences (default 8).
+	Batch int
+	// OutTokens is the decode length for decoder models (default 0).
+	OutTokens int
+}
+
+// Infer runs a transformer end to end on the simulated system: all
+// projection/FFN GEMMs on PIM under the design, attention/normalization on
+// the host (Fig. 8).
+func (s *System) Infer(m Model, f Format, d Design, opt InferOptions) (*InferenceResult, error) {
+	if opt.Batch == 0 {
+		opt.Batch = 8
+	}
+	r := dnn.NewRunner(m.config(), f.inner, d.variant())
+	r.Engine = s.engine
+	r.Seed = s.seed
+	rep, err := r.Infer(opt.Batch, opt.OutTokens)
+	if err != nil {
+		return nil, err
+	}
+	e := s.energy.Price(&rep.Meter, rep.HostOps, rep.Total)
+	out := &InferenceResult{
+		Model: rep.Model, Format: rep.Format, Design: d,
+		Prefill:      phaseTimes(rep.Prefill),
+		TotalSeconds: rep.Total,
+		EnergyJ:      e.TotalJ,
+	}
+	if rep.Decode != nil {
+		out.Decode = phaseTimes(rep.Decode)
+	}
+	return out, nil
+}
+
+func phaseTimes(p *dnn.PhaseReport) PhaseTimes {
+	return PhaseTimes{
+		GEMMPIM: p.GEMMPIM, Transfer: p.Transfer, Quantize: p.Quantize,
+		SortPack: p.SortPack, HostOther: p.HostOther, Total: p.Total,
+	}
+}
