@@ -1,32 +1,55 @@
 // Command localut-bench regenerates every table and figure of the paper's
 // evaluation section on the simulated PIM system and writes a markdown
-// report (stdout by default).
+// report (stdout by default). It can also run a standalone full-grid GEMM
+// sweep: every bank tile of all six designs simulated and verified, sharded
+// across host cores.
 //
 // Usage:
 //
-//	localut-bench [-quick] [-fig fig09] [-o report.md]
+//	localut-bench [-quick] [-fig fig09] [-j N] [-o report.md]
+//	localut-bench -sweep MxKxN [-fmt W1A3] [-j N] [-compare]
+//
+// -j sets the host worker-pool size (0 = one worker per CPU core, 1 =
+// serial). Results are bit-identical at any -j; only wall-clock changes.
+// -compare runs the sweep serially and in parallel, checks that the
+// simulated cycle counts agree, and reports the host speedup.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/ais-snu/localut/internal/experiments"
+	"github.com/ais-snu/localut/internal/quant"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size workloads")
 	fig := flag.String("fig", "", "run a single figure (e.g. fig09); empty runs all")
 	out := flag.String("o", "", "write the markdown report to this file instead of stdout")
+	par := flag.Int("j", 0, "worker-pool size (0 = NumCPU, 1 = serial)")
+	sweep := flag.String("sweep", "", "run a full-grid GEMM sweep of all designs on MxKxN (e.g. 768x768x128)")
+	fmtName := flag.String("fmt", "W1A3", "quantization format for -sweep")
+	compare := flag.Bool("compare", false, "with -sweep: run serial and parallel, verify identical cycles, report speedup")
 	flag.Parse()
+
+	if *sweep != "" {
+		if err := runSweep(*sweep, *fmtName, *par, *compare); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	s := experiments.New()
 	if *quick {
 		s = experiments.NewQuick()
 	}
+	s.Parallelism = *par
 
 	var results []*experiments.Result
 	start := time.Now()
@@ -37,14 +60,14 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		r, err := runOne(s, strings.ToLower(*fig))
+		r, err := s.RunFigure(strings.ToLower(*fig))
 		if err != nil {
 			fatal(err)
 		}
 		results = []*experiments.Result{r}
 	}
 	doc := experiments.ReportMarkdown(results)
-	doc += fmt.Sprintf("\n---\nGenerated in %.1fs (quick=%v)\n", time.Since(start).Seconds(), *quick)
+	doc += fmt.Sprintf("\n---\nGenerated in %.1fs (quick=%v, j=%d)\n", time.Since(start).Seconds(), *quick, *par)
 
 	if *out == "" {
 		fmt.Print(doc)
@@ -56,18 +79,106 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (%d figures, %.1fs)\n", *out, len(results), time.Since(start).Seconds())
 }
 
-func runOne(s *experiments.Suite, id string) (*experiments.Result, error) {
-	drivers := map[string]func() (*experiments.Result, error){
-		"fig03": s.Fig03, "fig06": s.Fig06, "fig09": s.Fig09, "fig10": s.Fig10,
-		"fig11": s.Fig11, "fig12": s.Fig12, "fig13": s.Fig13, "fig14": s.Fig14,
-		"fig15": s.Fig15, "fig16": s.Fig16, "fig17": s.Fig17, "fig18": s.Fig18,
-		"fig19": s.Fig19, "fig20": s.Fig20, "fig21": s.Fig21,
+// parseShape parses "768x768x128", rejecting partial matches.
+func parseShape(s string) (m, k, n int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -sweep shape %q (want MxKxN)", s)
 	}
-	fn, ok := drivers[id]
-	if !ok {
-		return nil, fmt.Errorf("unknown figure %q (fig03..fig21)", id)
+	dims := make([]int, 3)
+	for i, p := range parts {
+		if dims[i], err = strconv.Atoi(p); err != nil {
+			return 0, 0, 0, fmt.Errorf("bad -sweep shape %q (want MxKxN): %v", s, err)
+		}
+		if dims[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad -sweep shape %q: dimensions must be positive", s)
+		}
 	}
-	return fn()
+	return dims[0], dims[1], dims[2], nil
+}
+
+// runSweep executes the full-grid design sweep, optionally comparing serial
+// and parallel execution.
+func runSweep(shape, fmtName string, par int, compare bool) error {
+	m, k, n, err := parseShape(shape)
+	if err != nil {
+		return err
+	}
+	f, err := quant.ParseFormat(fmtName)
+	if err != nil {
+		return err
+	}
+	if f.Weight.Bits > 8 || f.Act.Bits > 8 {
+		return fmt.Errorf("format %s: the synthetic workload stores codes in uint8; use <= 8-bit codecs", f.Name())
+	}
+
+	if !compare {
+		start := time.Now()
+		rows, err := experiments.GEMMSweep(m, k, n, f, par)
+		if err != nil {
+			return err
+		}
+		printRows(shape, f.Name(), rows)
+		fmt.Printf("\nhost wall-clock: %.2fs (j=%d)\n", time.Since(start).Seconds(), par)
+		return nil
+	}
+
+	workers := par
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	fmt.Printf("full-grid sweep %s %s: serial vs %d workers\n\n", shape, f.Name(), workers)
+
+	// Untimed warm-up: builds the process-wide LUT tables so neither timed
+	// pass pays construction costs the other skips.
+	if _, err := experiments.GEMMSweep(m, k, n, f, workers); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	serial, err := experiments.GEMMSweep(m, k, n, f, 1)
+	if err != nil {
+		return err
+	}
+	serialWall := time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	parallel, err := experiments.GEMMSweep(m, k, n, f, workers)
+	if err != nil {
+		return err
+	}
+	parallelWall := time.Since(t1).Seconds()
+
+	printRows(shape, f.Name(), parallel)
+
+	identical := true
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			identical = false
+			fmt.Printf("\nMISMATCH at %s:\n  serial   %+v\n  parallel %+v\n",
+				serial[i].Design, serial[i], parallel[i])
+		}
+	}
+	fmt.Printf("\nserial:   %.2fs wall-clock (j=1)\n", serialWall)
+	fmt.Printf("parallel: %.2fs wall-clock (j=%d)\n", parallelWall, workers)
+	fmt.Printf("speedup:  %.2fx\n", serialWall/parallelWall)
+	if identical {
+		fmt.Println("simulated cycle counts: identical in both modes")
+	} else {
+		return fmt.Errorf("serial and parallel sweeps diverged")
+	}
+	return nil
+}
+
+// printRows renders the sweep as a markdown table.
+func printRows(shape, format string, rows []experiments.SweepRow) {
+	fmt.Printf("| design | p | k | streaming | banks | kernel cycles | simulated s | verified |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Printf("| %s | %d | %d | %v | %d | %d | %.6f | %v |\n",
+			r.Design, r.P, r.SliceK, r.Streaming, r.Banks, r.KernelCycles, r.SimSeconds, r.Verified)
+	}
+	fmt.Printf("\n(%s, %s, every bank tile simulated and verified bit-exact)\n", shape, format)
 }
 
 func fatal(err error) {

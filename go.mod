@@ -1,0 +1,3 @@
+module github.com/ais-snu/localut
+
+go 1.22

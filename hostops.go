@@ -7,6 +7,10 @@ import "github.com/ais-snu/localut/internal/hostops"
 // GELU and attention stay on the host. These wrappers let applications
 // assemble a complete numeric transformer forward pass around GEMMQuantized
 // (see examples/transformerforward).
+//
+// Each operator touches only the slices it is given, so callers may run
+// them concurrently over disjoint tensors — e.g. layer-parallel host work
+// alongside GEMMBatch on the simulated banks.
 
 // Softmax applies a numerically-stable softmax over each row in place.
 func Softmax(x []float64, rows, cols int) error { return hostops.Softmax(x, rows, cols) }

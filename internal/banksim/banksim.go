@@ -1,19 +1,3 @@
-// Package banksim is the "in-house cycle-accurate simulator" of §VI-K: a
-// Ramulator-class command-level DRAM bank timing model with pluggable
-// per-bank processing units, used to study LoCaLUT on HBM-PIM-style
-// bank-level PIM (Fig. 20) and its floating-point extension (Fig. 21a).
-//
-// Two unit designs are modelled on identical banks:
-//
-//   - SIMDPIM: the conventional bank-level PIM of HBM-PIM/AttAcc — a
-//     16-lane fp16 MAC unit fed one 32-byte column burst per command.
-//     Throughput is fixed by the lane count regardless of the operand's
-//     logical precision.
-//   - LUTPIM: LoCaLUT's replacement — sixteen 512 B canonical-LUT units
-//     plus reordering units; one weight burst carries packed vectors for
-//     all sixteen units, so each command retires 16*p MACs, at the price
-//     of streaming LUT slices into the unit SRAMs whenever the activation
-//     group batch advances.
 package banksim
 
 import (

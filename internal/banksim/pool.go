@@ -1,0 +1,178 @@
+package banksim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the sharded multi-bank execution layer: a PIM system has
+// thousands of independent banks, so simulating them is embarrassingly
+// parallel on the host. ForEachShard is the deterministic shard scheduler
+// (also reused by the gemm engine); RunShards drives one unit simulator
+// over every bank's share and aggregates deterministically.
+
+// ForEachShard executes fn(task) for every task in [0, n) on a pool of
+// workers. Shard s owns the strided task set {s, s+W, s+2W, ...} — a fixed,
+// scheduling-independent assignment — and outcomes must be written to
+// task-indexed slots by the caller, so successful results never depend on
+// scheduling. Once any task fails, shards stop picking up new tasks and the
+// lowest-indexed recorded error is returned; which failing task got recorded
+// first may vary when several fail concurrently, but success vs failure
+// never does. workers <= 1 (or n == 1) degenerates to a plain loop on the
+// calling goroutine that stops at the first failure; workers <= 0 uses
+// runtime.NumCPU().
+func ForEachShard(n, workers int, fn func(task int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < n; i += workers {
+				if failed.Load() {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner is any per-bank unit simulator (SIMDPIM, LUTPIM). Implementations
+// must be safe for concurrent RunGEMM calls; both unit designs here are —
+// each call builds its own Bank state machine.
+type Runner interface {
+	RunGEMM(GEMMSpec) (*Result, error)
+}
+
+// Grid aggregates a multi-bank run deterministically: banks execute
+// concurrently on the PIM side, so wall-clock is the slowest bank while
+// command and MAC counts sum over all banks.
+type Grid struct {
+	// PerBank holds each bank's result in bank order. Banks with identical
+	// shares alias the same Result (see RunShards).
+	PerBank []*Result
+	// Cycles and Seconds are the max over banks (system wall-clock).
+	Cycles  int64
+	Seconds float64
+	// Command totals over all banks.
+	Reads, Writes, Activates, RowHits, MACs int64
+}
+
+// RunShards simulates every bank share in specs on the unit across a pool
+// of `parallelism` workers (0 = NumCPU, 1 = serial) and merges the results
+// in bank order. Identical shares are simulated once and shared — the
+// common case of an evenly divided GEMM costs one bank simulation however
+// many banks the system has, while ragged edges pay only for their distinct
+// shapes.
+func RunShards(unit Runner, specs []GEMMSpec, parallelism int) (*Grid, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("banksim: no bank shares to run")
+	}
+	// Dedup: bank -> index of the first bank with the same share.
+	owner := make([]int, len(specs))
+	first := make(map[GEMMSpec]int, 4)
+	distinct := make([]int, 0, 4)
+	for i, g := range specs {
+		if j, ok := first[g]; ok {
+			owner[i] = j
+			continue
+		}
+		first[g] = i
+		owner[i] = i
+		distinct = append(distinct, i)
+	}
+
+	results := make([]*Result, len(specs))
+	err := ForEachShard(len(distinct), parallelism, func(t int) error {
+		i := distinct[t]
+		r, err := unit.RunGEMM(specs[i])
+		if err != nil {
+			return fmt.Errorf("banksim: bank %d: %w", i, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	grid := &Grid{PerBank: make([]*Result, len(specs))}
+	for i := range specs {
+		r := results[owner[i]]
+		grid.PerBank[i] = r
+		if r.Cycles > grid.Cycles {
+			grid.Cycles = r.Cycles
+		}
+		if r.Seconds > grid.Seconds {
+			grid.Seconds = r.Seconds
+		}
+		grid.Reads += r.Reads
+		grid.Writes += r.Writes
+		grid.Activates += r.Activates
+		grid.RowHits += r.RowHits
+		grid.MACs += r.MACs
+	}
+	return grid, nil
+}
+
+// SplitGEMM partitions an M x K x N GEMM over a channels x banks system the
+// way the bank-level studies map it (M across channels, N across banks, full
+// K per bank) and returns one share per bank in bank order. Remainders are
+// spread one row/column at a time over the leading channels/banks, so at
+// most four distinct share shapes exist and the largest equals the
+// ceil-division share (the system's critical path).
+func SplitGEMM(m, k, n, channels, banks int) ([]GEMMSpec, error) {
+	if channels < 1 || banks < 1 {
+		return nil, fmt.Errorf("banksim: bad system %dx%d", channels, banks)
+	}
+	if m < channels || n < banks {
+		return nil, fmt.Errorf("banksim: GEMM %dx%dx%d smaller than the %dx%d system",
+			m, k, n, channels, banks)
+	}
+	specs := make([]GEMMSpec, 0, channels*banks)
+	for c := 0; c < channels; c++ {
+		mc := m / channels
+		if c < m%channels {
+			mc++
+		}
+		for b := 0; b < banks; b++ {
+			nb := n / banks
+			if b < n%banks {
+				nb++
+			}
+			specs = append(specs, GEMMSpec{M: mc, K: k, N: nb})
+		}
+	}
+	return specs, nil
+}

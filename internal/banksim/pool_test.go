@@ -1,0 +1,92 @@
+package banksim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachShardDeterministicErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEachShard(16, workers, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: got %v, want lowest-indexed error", workers, err)
+		}
+	}
+}
+
+func TestForEachShardCoversAllTasks(t *testing.T) {
+	hit := make([]bool, 37)
+	if err := ForEachShard(len(hit), 5, func(i int) error { hit[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+// TestRunShardsMatchesSerial checks that the pooled multi-bank run is
+// bit-identical to the serial one and to a direct single-bank simulation of
+// the critical-path share.
+func TestRunShardsMatchesSerial(t *testing.T) {
+	tm := HBM2()
+	unit := NewSIMDPIM(tm)
+	specs, err := SplitGEMM(1000, 512, 130, 4, 16) // ragged on both axes
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunShards(unit, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunShards(unit, specs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cycles != parallel.Cycles || serial.Reads != parallel.Reads ||
+		serial.MACs != parallel.MACs || serial.Activates != parallel.Activates {
+		t.Fatalf("serial and parallel grids diverge:\n%+v\n%+v", serial, parallel)
+	}
+
+	// The system's wall-clock is the ceil-division share's time.
+	critical, err := unit.RunGEMM(GEMMSpec{M: 250, K: 512, N: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cycles != critical.Cycles {
+		t.Fatalf("grid cycles %d != critical-path bank cycles %d", serial.Cycles, critical.Cycles)
+	}
+
+	// MAC totals must cover the whole problem exactly.
+	if want := int64(1000) * 512 * 130; serial.MACs != want {
+		t.Fatalf("grid MACs %d, want %d", serial.MACs, want)
+	}
+}
+
+func TestSplitGEMMCoversProblem(t *testing.T) {
+	specs, err := SplitGEMM(1000, 16, 130, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 64 {
+		t.Fatalf("got %d shares, want 64", len(specs))
+	}
+	// Sum M over one bank column and N over one channel row.
+	mTot := 0
+	for c := 0; c < 4; c++ {
+		mTot += specs[c*16].M
+	}
+	nTot := 0
+	for b := 0; b < 16; b++ {
+		nTot += specs[b].N
+	}
+	if mTot != 1000 || nTot != 130 {
+		t.Fatalf("shares cover %dx%d, want 1000x130", mTot, nTot)
+	}
+}

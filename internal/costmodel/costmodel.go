@@ -1,9 +1,3 @@
-// Package costmodel implements the first-order performance model of §IV-D:
-// Eq. 2 (slice-streaming execution time), Eq. 4 (buffer-resident time), the
-// optimal packing degree selection of Eq. 3, and the streaming-vs-buffer
-// decision of Eq. 6. The host runs this model once per GEMM shape at
-// initialization (§V-A) to pick the packing degree p*, the residence of the
-// LUTs, and the slice batch k.
 package costmodel
 
 import (

@@ -1,0 +1,13 @@
+// Package costmodel implements the first-order performance model of §IV-D:
+// Eq. 2 (slice-streaming execution time), Eq. 4 (buffer-resident time), the
+// optimal packing degree selection of Eq. 3, and the streaming-vs-buffer
+// decision of Eq. 6. The host runs this model once per GEMM shape at
+// initialization (§V-A) to pick the packing degree p*, the residence of the
+// LUTs, and the slice batch k.
+//
+// Because a serving workload replays a handful of shapes across layers,
+// batch members and bank shards, the package also provides Cache, a
+// thread-safe memoization of the selection keyed by (model constants,
+// format, shape, LUT byte budgets). The gemm engine consults it on every
+// plan, so batched execution pays for each packing-degree search once.
+package costmodel

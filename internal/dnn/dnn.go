@@ -1,9 +1,3 @@
-// Package dnn runs the paper's transformer workloads (§V-B, Fig. 8) on the
-// simulated PIM system: BERT-base, OPT-125M and ViT-Base. The PIM banks
-// execute every projection/FFN GEMM through the gemm.Engine while the host
-// handles attention, softmax, normalization, GELU and (de)quantization —
-// exactly the split of Fig. 8 — with prefill/decode phases and batching for
-// the Fig. 19 scenarios.
 package dnn
 
 import (

@@ -1,0 +1,11 @@
+// Package dnn runs the paper's transformer workloads (§V-B, Fig. 8) on the
+// simulated PIM system: BERT-base, OPT-125M and ViT-Base. The PIM banks
+// execute every projection/FFN GEMM through the gemm.Engine while the host
+// handles attention, softmax, normalization, GELU and (de)quantization —
+// exactly the split of Fig. 8 — with prefill/decode phases and batching for
+// the Fig. 19 scenarios.
+//
+// A Runner holds a reference to its engine; engines are safe for concurrent
+// use, so independent runners (e.g. the parallel figure drivers in package
+// experiments) may share one engine and its decision cache.
+package dnn

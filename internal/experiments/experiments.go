@@ -1,8 +1,3 @@
-// Package experiments contains one driver per figure of the paper's
-// evaluation (§III and §VI). Each driver regenerates the corresponding
-// table/series — workload generation, parameter sweep, baselines and
-// LoCaLUT — and reports headline aggregates next to the paper's published
-// values so EXPERIMENTS.md can record paper-vs-measured for every figure.
 package experiments
 
 import (
@@ -10,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"github.com/ais-snu/localut/internal/banksim"
 	"github.com/ais-snu/localut/internal/dnn"
 	"github.com/ais-snu/localut/internal/energy"
 	"github.com/ais-snu/localut/internal/gemm"
@@ -42,6 +38,11 @@ type Suite struct {
 	// Quick shrinks workloads for unit tests and smoke runs; the sweep
 	// structure (who is compared against whom) is unchanged.
 	Quick bool
+	// Parallelism is the worker-pool size for running figure drivers and
+	// bank grids concurrently (0 = NumCPU, 1 = serial). Every driver is
+	// deterministic — seeded workloads, shard-ordered aggregation — so the
+	// regenerated numbers are identical at any setting.
+	Parallelism int
 }
 
 // New returns the full-scale suite on the paper's testbed configuration.
@@ -102,25 +103,53 @@ func (s *Suite) runGEMM(m, k, n int, f quant.Format, v kernels.Variant, opt gemm
 	return s.Engine.Run(pair, opt)
 }
 
-// All runs every figure driver in paper order.
-func (s *Suite) All() ([]*Result, error) {
-	drivers := []struct {
-		name string
-		fn   func() (*Result, error)
-	}{
-		{"fig03", s.Fig03}, {"fig06", s.Fig06}, {"fig09", s.Fig09},
-		{"fig10", s.Fig10}, {"fig11", s.Fig11}, {"fig12", s.Fig12},
-		{"fig13", s.Fig13}, {"fig14", s.Fig14}, {"fig15", s.Fig15},
-		{"fig16", s.Fig16}, {"fig17", s.Fig17}, {"fig18", s.Fig18},
-		{"fig19", s.Fig19}, {"fig20", s.Fig20}, {"fig21", s.Fig21},
-	}
-	out := make([]*Result, 0, len(drivers))
-	for _, d := range drivers {
-		r, err := d.fn()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", d.name, err)
+// clone returns a suite whose engine can be used concurrently with the
+// original's (shared decision cache, private configuration).
+func (s *Suite) clone() *Suite {
+	c := *s
+	c.Engine = s.Engine.Clone()
+	return &c
+}
+
+// figDrivers lists every figure driver in paper order.
+var figDrivers = []struct {
+	name string
+	fn   func(*Suite) (*Result, error)
+}{
+	{"fig03", (*Suite).Fig03}, {"fig06", (*Suite).Fig06}, {"fig09", (*Suite).Fig09},
+	{"fig10", (*Suite).Fig10}, {"fig11", (*Suite).Fig11}, {"fig12", (*Suite).Fig12},
+	{"fig13", (*Suite).Fig13}, {"fig14", (*Suite).Fig14}, {"fig15", (*Suite).Fig15},
+	{"fig16", (*Suite).Fig16}, {"fig17", (*Suite).Fig17}, {"fig18", (*Suite).Fig18},
+	{"fig19", (*Suite).Fig19}, {"fig20", (*Suite).Fig20}, {"fig21", (*Suite).Fig21},
+}
+
+// RunFigure regenerates a single figure by id ("fig09"); figDrivers is the
+// sole driver registry, shared with All.
+func (s *Suite) RunFigure(id string) (*Result, error) {
+	for _, d := range figDrivers {
+		if d.name == id {
+			return d.fn(s)
 		}
-		out = append(out, r)
+	}
+	return nil, fmt.Errorf("unknown figure %q (fig03..fig21)", id)
+}
+
+// All regenerates every figure, dispatching the independent drivers over
+// the suite's worker pool. Each driver runs on a cloned suite so no
+// configuration state is shared; results come back in paper order whatever
+// the scheduling.
+func (s *Suite) All() ([]*Result, error) {
+	out := make([]*Result, len(figDrivers))
+	err := banksim.ForEachShard(len(figDrivers), s.Parallelism, func(i int) error {
+		r, err := figDrivers[i].fn(s.clone())
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", figDrivers[i].name, err)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

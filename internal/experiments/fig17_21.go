@@ -252,19 +252,19 @@ func (s *Suite) Fig20() (*Result, error) {
 
 	tm := banksim.HBM2()
 	// An HBM2 stack exposes 8 channels x 16 banks; the GEMM splits M
-	// across channels and N across banks, full K per bank (both units see
-	// the identical share, so the ratio is mapping-independent up to the
-	// per-bank amortization it implies).
+	// across channels and N across banks, full K per bank. Every bank of
+	// the grid is simulated through the sharded runner; the system
+	// wall-clock is the slowest bank's, which for these even splits equals
+	// the share every bank receives.
 	const chans, banks = 4, 16
 	var speedups []float64
 	for _, sz := range sizes {
+		specs, err := banksim.SplitGEMM(sz, sz, sz, chans, banks)
+		if err != nil {
+			return nil, err
+		}
 		for _, f := range quant.Formats {
-			g := banksim.GEMMSpec{
-				M: (sz + chans - 1) / chans,
-				K: sz,
-				N: (sz + banks - 1) / banks,
-			}
-			simd, err := banksim.NewSIMDPIM(tm).RunGEMM(g)
+			simd, err := banksim.RunShards(banksim.NewSIMDPIM(tm), specs, s.Parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -278,7 +278,7 @@ func (s *Suite) Fig20() (*Result, error) {
 			if err := u.ConfigureSlices(canonCol, reorderCol); err != nil {
 				return nil, err
 			}
-			lutRes, err := u.RunGEMM(g)
+			lutRes, err := banksim.RunShards(u, specs, s.Parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -342,8 +342,11 @@ func (s *Suite) Fig21() (*Result, error) {
 	for _, c := range cases {
 		var sub []float64
 		for _, sz := range sizes {
-			g := banksim.GEMMSpec{M: (sz + chans - 1) / chans, K: sz, N: (sz + banks - 1) / banks}
-			simd, err := banksim.NewSIMDPIM(tm).RunGEMM(g)
+			specs, err := banksim.SplitGEMM(sz, sz, sz, chans, banks)
+			if err != nil {
+				return nil, err
+			}
+			simd, err := banksim.RunShards(banksim.NewSIMDPIM(tm), specs, s.Parallelism)
 			if err != nil {
 				return nil, err
 			}
@@ -377,7 +380,7 @@ func (s *Suite) Fig21() (*Result, error) {
 			if err := u.ConfigureSlices(rows*fpEntryBytes, rows*int64(rb)); err != nil {
 				return nil, err
 			}
-			lutRes, err := u.RunGEMM(g)
+			lutRes, err := banksim.RunShards(u, specs, s.Parallelism)
 			if err != nil {
 				return nil, err
 			}

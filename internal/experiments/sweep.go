@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// SweepRow is one design point of a full-grid GEMM sweep.
+type SweepRow struct {
+	Design       string
+	P, SliceK    int
+	Streaming    bool
+	Banks        int // bank tiles simulated
+	KernelCycles int64
+	SimSeconds   float64 // simulated end-to-end seconds
+	Verified     bool
+}
+
+// GEMMSweep runs every kernel design of one seeded M x K x N GEMM through
+// the full-grid sharded execution engine at the given host parallelism
+// (0 = NumCPU, 1 = serial). Every bank tile of every design is simulated
+// and verified bit-exact; the rows are identical at any parallelism — only
+// the host wall-clock changes — which is exactly what localut-bench's
+// -compare mode checks.
+func GEMMSweep(m, k, n int, f quant.Format, parallelism int) ([]SweepRow, error) {
+	e := gemm.NewEngine()
+	e.Exec = gemm.ExecOptions{Parallelism: parallelism, FullGrid: true}
+	pair := workload.NewGEMMPair(m, k, n, f, 1)
+
+	rows := make([]SweepRow, 0, len(kernels.Variants))
+	for _, v := range kernels.Variants {
+		rep, err := e.Run(pair, gemm.Options{Variant: v})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Design: v.String(), P: rep.P, SliceK: rep.K, Streaming: rep.Streaming,
+			Banks: rep.BanksSimulated, KernelCycles: rep.KernelCycles,
+			SimSeconds: rep.Total, Verified: rep.Verified,
+		})
+	}
+	return rows, nil
+}

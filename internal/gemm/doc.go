@@ -1,0 +1,45 @@
+// Package gemm orchestrates full GEMMs across the simulated PIM system: it
+// picks the kernel configuration with the §IV-D cost model, tiles the
+// matrices over the 2048 banks (data/context parallelism, §V-B), charges
+// host-side quantize/sort/pack work and host<->PIM transfers, runs bank
+// tiles on simulated DPUs, and verifies tile outputs against the integer
+// reference — every timing run doubles as the "functionality check" of the
+// paper's artifact.
+//
+// # Execution modes
+//
+// The Engine simulates the bank grid in one of two modes, selected by
+// ExecOptions.FullGrid:
+//
+//   - Representative (default): bank (0,0)'s tile stands in for the grid;
+//     device event counts are scaled by the tile count and kernel wall-clock
+//     by the round count. One tile of simulation per GEMM, whatever the
+//     problem size — the right mode for figure sweeps and model inference
+//     where thousands of GEMMs run back to back.
+//
+//   - Full grid: every bank tile is built, simulated and verified
+//     bit-exact. Edge tiles contribute their true (smaller) cost, the full
+//     integer product is assembled from the simulated banks, and the
+//     reported wall-clock is the sum over rounds of the slowest bank per
+//     round — the high-fidelity mode.
+//
+// # Sharded host parallelism
+//
+// Bank tiles are mutually independent (the defining property of bank-level
+// PIM), so full-grid simulation is sharded across a worker pool of
+// ExecOptions.Parallelism goroutines. Determinism is preserved by
+// construction, not by locking discipline:
+//
+//   - shard s owns the strided bank set {s, s+W, s+2W, ...} — a fixed,
+//     scheduling-independent assignment;
+//   - each bank simulates on its own DPU and writes its outcome to a
+//     bank-indexed slot;
+//   - aggregation (event-count sums, per-round cycle maxima, output
+//     assembly) happens after the pool drains, in bank order, in exact
+//     integer arithmetic.
+//
+// Reports are therefore bit-identical at any parallelism level; only host
+// wall-clock changes. RunBatch extends the same pool across independent
+// GEMMs, with §IV-D decisions memoized in the engine's shared
+// costmodel.Cache.
+package gemm

@@ -1,10 +1,3 @@
-// Package gemm orchestrates full GEMMs across the simulated PIM system:
-// it picks the kernel configuration with the §IV-D cost model, tiles the
-// matrices over the 2048 banks (data/context parallelism, §V-B), charges
-// host-side quantize/sort/pack work and host<->PIM transfers, runs the
-// representative bank tile on a simulated DPU, and verifies the tile output
-// against the integer reference — every timing run doubles as the
-// "functionality check" of the paper's artifact.
 package gemm
 
 import (
@@ -19,7 +12,9 @@ import (
 	"github.com/ais-snu/localut/internal/workload"
 )
 
-// Engine bundles the machine configuration and cost tables.
+// Engine bundles the machine configuration and cost tables. An engine is
+// safe for concurrent use as long as its configuration fields are not
+// mutated while runs are in flight (use Clone to vary them).
 type Engine struct {
 	Cfg   pim.Config
 	Costs kernels.Costs
@@ -27,6 +22,12 @@ type Engine struct {
 	// HostOpsPerSec is the host's effective scalar throughput for the
 	// quantize/sort/pack pipeline (multicore Xeon-class).
 	HostOpsPerSec float64
+	// Exec selects the host-side execution strategy (worker-pool size,
+	// representative-tile vs full-grid bank simulation).
+	Exec ExecOptions
+	// Decisions memoizes cost-model choices across runs, batch members and
+	// bank shards. Nil falls back to uncached selection.
+	Decisions *costmodel.Cache
 }
 
 // NewEngine returns an engine with the paper's testbed defaults.
@@ -36,7 +37,24 @@ func NewEngine() *Engine {
 		Costs:         kernels.DefaultCosts(),
 		Model:         costmodel.Default(),
 		HostOpsPerSec: 2e10,
+		Decisions:     costmodel.NewCache(),
 	}
+}
+
+// choose routes a §IV-D decision through the memoized cache when present.
+func (e *Engine) choose(f quant.Format, m, k, n int) (costmodel.Choice, error) {
+	if e.Decisions != nil {
+		return e.Decisions.Choose(e.Model, f, m, k, n, &e.Cfg)
+	}
+	return costmodel.Choose(e.Model, f, m, k, n, &e.Cfg)
+}
+
+// chooseForVariant is the cached packing-degree pick for the fixed designs.
+func (e *Engine) chooseForVariant(f quant.Format, kind costmodel.SizeKind) (int, error) {
+	if e.Decisions != nil {
+		return e.Decisions.ChooseForVariant(f, kind, &e.Cfg)
+	}
+	return costmodel.ChooseForVariant(f, kind, &e.Cfg)
 }
 
 // Options selects the design point and reporting detail for one GEMM.
@@ -80,6 +98,13 @@ type Report struct {
 	TileM, TileN  int
 	Rounds        int // sequential passes when tiles exceed bank count
 	KernelSeconds float64
+	// KernelCycles is the simulated wall-clock cycle count behind
+	// KernelSeconds (sum over rounds of the slowest bank per round). It is
+	// exactly reproducible across host parallelism levels.
+	KernelCycles int64
+	// BanksSimulated counts the bank tiles actually executed: the full grid
+	// under ExecOptions.FullGrid, 1 in representative mode.
+	BanksSimulated int
 	HostSeconds   float64
 	Transfer      float64
 	InitSeconds   float64 // LUT build/broadcast + weight staging (amortized)
@@ -186,7 +211,7 @@ func (e *Engine) estimateTileCycles(v kernels.Variant, f quant.Format, tileM, k,
 		groups := float64((k + p - 1) / p)
 		return lutLoad + float64(tileM)*float64(tileN)*groups*perGroup
 	case kernels.LoCaLUT:
-		choice, err := costmodel.Choose(e.Model, f, tileM, k, tileN, &e.Cfg)
+		choice, err := e.choose(f, tileM, k, tileN)
 		if err != nil {
 			return mnk
 		}
@@ -217,7 +242,7 @@ func (e *Engine) plan(f quant.Format, tileM, k, tileN int, opt Options) (kernels
 		p := opt.ForceP
 		if p == 0 {
 			var err error
-			if p, err = costmodel.ChooseForVariant(f, costmodel.SizeOpPacked, &e.Cfg); err != nil {
+			if p, err = e.chooseForVariant(f, costmodel.SizeOpPacked); err != nil {
 				return nil, 0, 0, false, err
 			}
 		}
@@ -226,7 +251,7 @@ func (e *Engine) plan(f quant.Format, tileM, k, tileN int, opt Options) (kernels
 		p := opt.ForceP
 		if p == 0 {
 			var err error
-			if p, err = costmodel.ChooseForVariant(f, costmodel.SizeCanonical, &e.Cfg); err != nil {
+			if p, err = e.chooseForVariant(f, costmodel.SizeCanonical); err != nil {
 				return nil, 0, 0, false, err
 			}
 		}
@@ -235,7 +260,7 @@ func (e *Engine) plan(f quant.Format, tileM, k, tileN int, opt Options) (kernels
 		p := opt.ForceP
 		if p == 0 {
 			var err error
-			if p, err = costmodel.ChooseForVariant(f, costmodel.SizeCombined, &e.Cfg); err != nil {
+			if p, err = e.chooseForVariant(f, costmodel.SizeCombined); err != nil {
 				return nil, 0, 0, false, err
 			}
 		}
@@ -254,7 +279,7 @@ func (e *Engine) plan(f quant.Format, tileM, k, tileN int, opt Options) (kernels
 			}
 		} else {
 			var err error
-			choice, err = costmodel.Choose(e.Model, f, tileM, k, tileN, &e.Cfg)
+			choice, err = e.choose(f, tileM, k, tileN)
 			if err != nil {
 				return nil, 0, 0, false, err
 			}
@@ -295,36 +320,44 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 		return nil, err
 	}
 
-	// Representative tile: bank (0,0)'s share.
-	tile, err := e.buildTile(pair, tileM, tileN)
-	if err != nil {
-		return nil, err
-	}
-	dpu := pim.NewDPU(&e.Cfg)
-	res, err := kn.Run(dpu, tile)
-	if err != nil {
-		return nil, err
-	}
-
-	// Continuous functionality check (Appendix F).
-	verified := reflect.DeepEqual(tile.O, kernels.RefGEMM(tile))
-	if !verified {
-		return nil, fmt.Errorf("gemm: %s kernel output failed verification on the representative tile", kn.Name())
-	}
-
 	rep := &Report{
 		Variant: opt.Variant, P: p, K: sliceK, Streaming: streaming,
 		GridM: gridM, GridN: gridN, TileM: tileM, TileN: tileN, Rounds: rounds,
-		KernelSeconds: res.Seconds * float64(rounds),
-		Breakdown:     res.Breakdown,
-		Verified:      verified,
 	}
 
-	// Aggregate device events over all tiles for the energy model.
-	tiles := gridM * gridN
-	rep.Meter = dpu.Meter
-	for i := range rep.Meter.Counts {
-		rep.Meter.Counts[i] *= int64(tiles)
+	if e.Exec.FullGrid {
+		// Sharded per-bank simulation of the whole grid.
+		if err := e.simulateGrid(pair, kn, rep, opt.ComputeFull); err != nil {
+			return nil, err
+		}
+	} else {
+		// Representative tile: bank (0,0)'s share stands in for the grid.
+		tile, err := e.buildTile(pair, tileM, tileN)
+		if err != nil {
+			return nil, err
+		}
+		dpu := pim.NewDPU(&e.Cfg)
+		res, err := kn.Run(dpu, tile)
+		if err != nil {
+			return nil, err
+		}
+
+		// Continuous functionality check (Appendix F).
+		if !reflect.DeepEqual(tile.O, kernels.RefGEMM(tile)) {
+			return nil, fmt.Errorf("gemm: %s kernel output failed verification on the representative tile", kn.Name())
+		}
+		rep.KernelSeconds = res.Seconds * float64(rounds)
+		rep.KernelCycles = res.Cycles * int64(rounds)
+		rep.Breakdown = res.Breakdown
+		rep.Verified = true
+		rep.BanksSimulated = 1
+
+		// Aggregate device events over all tiles for the energy model.
+		tiles := gridM * gridN
+		rep.Meter = dpu.Meter
+		for i := range rep.Meter.Counts {
+			rep.Meter.Counts[i] *= int64(tiles)
+		}
 	}
 
 	e.chargeHost(rep, pair, p, opt.Variant)
@@ -333,7 +366,7 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 
 	rep.Total = rep.HostSeconds + rep.Transfer + rep.KernelSeconds
 
-	if opt.ComputeFull {
+	if opt.ComputeFull && rep.Output == nil {
 		full, err := fullTile(pair)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,19 @@
+// Package kernels implements the per-bank GEMM kernels LoCaLUT's evaluation
+// compares (§VI-A): the Naive PIM MAC kernel, the LUT-Tensor-Core-style
+// bit-serial kernel (LTC), the operation-packed LUT kernel (OP), LUT
+// canonicalization without and with the reordering LUT (OP+LC, OP+LC+RC),
+// and the full LoCaLUT design with LUT slice streaming (OP+LC+RC+SS).
+//
+// Every kernel is functional *and* cycle-charged: it computes the exact
+// integer tile product by moving real bytes through the pim.DPU's MRAM, DMA
+// and WRAM objects, while charging the documented instruction budget of its
+// inner loop. Unit tests check each kernel bit-exact against RefGEMM, so the
+// timing model and the arithmetic can never drift apart.
+//
+// Kernels are stateless after construction — all mutable state lives in the
+// DPU and Tile passed to Run — so one kernel instance may execute many bank
+// tiles concurrently from the sharded engine. Shared LUT tables come from
+// the process-wide cache in package lut and are mapped read-only into each
+// simulated bank (pim.MRAM.Map) rather than copied, keeping host memory
+// independent of the bank count.
+package kernels

@@ -1,14 +1,3 @@
-// Package kernels implements the per-bank GEMM kernels LoCaLUT's evaluation
-// compares (§VI-A): the Naive PIM MAC kernel, the LUT-Tensor-Core-style
-// bit-serial kernel (LTC), the operation-packed LUT kernel (OP), LUT
-// canonicalization without and with the reordering LUT (OP+LC, OP+LC+RC),
-// and the full LoCaLUT design with LUT slice streaming (OP+LC+RC+SS).
-//
-// Every kernel is functional *and* cycle-charged: it computes the exact
-// integer tile product by moving real bytes through the pim.DPU's MRAM, DMA
-// and WRAM objects, while charging the documented instruction budget of its
-// inner loop. Unit tests check each kernel bit-exact against RefGEMM, so the
-// timing model and the arithmetic can never drift apart.
 package kernels
 
 import (

@@ -55,11 +55,10 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
 	}
 
-	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	lutSeg, err := d.MRAM.Map("LUT", table.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
 	}
-	copy(lutSeg.Data, table.Data)
 
 	g := st.groups
 	metaBuf, err := d.WRAM.Alloc("meta", g*recBytes)

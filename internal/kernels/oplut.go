@@ -160,12 +160,13 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP: %w", err)
 	}
 
-	// The LUT is broadcast into the bank and DMAd into WRAM once.
-	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	// The LUT is broadcast into the bank and DMAd into WRAM once. Every
+	// bank holds the identical table, so the simulation maps the shared
+	// cached copy instead of duplicating it per DPU.
+	lutSeg, err := d.MRAM.Map("LUT", table.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP: %w", err)
 	}
-	copy(lutSeg.Data, table.Data)
 
 	lutBuf, err := d.WRAM.Alloc("lut", int(lutBytes))
 	if err != nil {
@@ -286,11 +287,10 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
 
-	lutSeg, err := d.MRAM.Alloc("LUT", lutBytes)
+	lutSeg, err := d.MRAM.Map("LUT", canon.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
-	copy(lutSeg.Data, canon.Data)
 	lutBuf, err := d.WRAM.Alloc("lut", int(lutBytes))
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
@@ -433,16 +433,14 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
 
-	canonSeg, err := d.MRAM.Alloc("CanonLUT", spec.CanonicalBytes())
+	canonSeg, err := d.MRAM.Map("CanonLUT", canon.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
-	copy(canonSeg.Data, canon.Data)
-	reorderSeg, err := d.MRAM.Alloc("ReorderLUT", spec.ReorderBytes())
+	reorderSeg, err := d.MRAM.Map("ReorderLUT", reorder.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
-	copy(reorderSeg.Data, reorder.Data)
 
 	canonBuf, err := d.WRAM.Alloc("canon", int(spec.CanonicalBytes()))
 	if err != nil {

@@ -76,16 +76,14 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
 
-	canonSeg, err := d.MRAM.Alloc("CanonLUT", spec.CanonicalBytes())
+	canonSeg, err := d.MRAM.Map("CanonLUT", canon.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
-	copy(canonSeg.Data, canon.Data)
-	reorderSeg, err := d.MRAM.Alloc("ReorderLUT", spec.ReorderBytes())
+	reorderSeg, err := d.MRAM.Map("ReorderLUT", reorder.Data)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
-	copy(reorderSeg.Data, reorder.Data)
 
 	// WRAM: k canonical slices, k reordering slices, metadata, streamed
 	// weight chunks (one per resident slice so the chunk loop shares the

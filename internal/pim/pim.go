@@ -200,6 +200,9 @@ type Segment struct {
 	Name string
 	Off  int64
 	Data []byte
+	// ro marks a segment mapped over shared host memory (see MRAM.Map);
+	// DMAWrite refuses to touch it.
+	ro bool
 }
 
 // MRAM is the per-bank DRAM array, modelled as a bump allocator of named
@@ -230,6 +233,30 @@ func (m *MRAM) Alloc(name string, size int64) (*Segment, error) {
 			name, size, m.capacity-m.used, m.capacity)
 	}
 	seg := &Segment{Name: name, Off: m.used, Data: make([]byte, size)}
+	m.used += size
+	m.segs[name] = seg
+	return seg, nil
+}
+
+// Map reserves len(data) bytes under name like Alloc but aliases the
+// caller's slice instead of copying it. It exists for immutable shared
+// tables (the process-wide LUT cache): when thousands of banks hold the
+// same multi-megabyte LUT, mapping keeps the sharded simulation's host
+// memory and setup time independent of the bank count. Mapped segments are
+// read-only; DMAWrite rejects them.
+func (m *MRAM) Map(name string, data []byte) (*Segment, error) {
+	size := int64(len(data))
+	if size <= 0 {
+		return nil, fmt.Errorf("pim: MRAM map %q: size %d invalid", name, size)
+	}
+	if _, dup := m.segs[name]; dup {
+		return nil, fmt.Errorf("pim: MRAM map %q: duplicate segment", name)
+	}
+	if m.used+size > m.capacity {
+		return nil, fmt.Errorf("pim: MRAM map %q: %d bytes requested, %d of %d free",
+			name, size, m.capacity-m.used, m.capacity)
+	}
+	seg := &Segment{Name: name, Off: m.used, Data: data, ro: true}
 	m.used += size
 	m.segs[name] = seg
 	return seg, nil
@@ -383,6 +410,9 @@ func (d *DPU) DMARead(seg *Segment, off int64, dst []byte) error {
 
 // DMAWrite copies src into seg[off:] (a WRAM -> MRAM transfer).
 func (d *DPU) DMAWrite(seg *Segment, off int64, src []byte) error {
+	if seg.ro {
+		return fmt.Errorf("pim: DMAWrite %q: segment is a read-only mapping", seg.Name)
+	}
 	if off < 0 || off+int64(len(src)) > int64(len(seg.Data)) {
 		return fmt.Errorf("pim: DMAWrite %q: range [%d,%d) outside segment of %d bytes",
 			seg.Name, off, off+int64(len(src)), len(seg.Data))

@@ -163,6 +163,23 @@ func WithRanks(ranks int) Option {
 	return func(s *System) { s.engine.Cfg.Ranks = ranks }
 }
 
+// WithParallelism sets the host-side worker-pool size used for sharded
+// bank simulation and batched GEMMs (0 = one worker per CPU core, 1 =
+// serial). Simulation results are bit-identical at any setting: shard→bank
+// assignment is deterministic and all aggregation happens in bank order.
+func WithParallelism(n int) Option {
+	return func(s *System) { s.engine.Exec.Parallelism = n }
+}
+
+// WithFullBankSimulation simulates every bank tile of each GEMM (sharded
+// across the worker pool, each tile verified bit-exact) instead of
+// extrapolating timing from the representative corner tile. Higher fidelity
+// — edge tiles contribute their true cost and full outputs come from the
+// simulated banks — at the price of simulating the whole problem.
+func WithFullBankSimulation() Option {
+	return func(s *System) { s.engine.Exec.FullGrid = true }
+}
+
 // WithLUTBudget sets the fraction of each bank and buffer devoted to LUTs
 // (default ~0.55, §V-A "approximately half"). §VII-B discusses shrinking
 // this when capacity is shared with large models or co-located jobs: a
@@ -205,6 +222,12 @@ type GEMMResult struct {
 	// Verified reports that the simulated kernel's tile output matched
 	// the integer reference bit-exactly (checked on every run).
 	Verified bool
+	// KernelCycles is the simulated PIM wall-clock cycle count; it is
+	// exactly reproducible across host parallelism levels.
+	KernelCycles int64
+	// BanksSimulated counts the bank tiles executed (the full grid under
+	// WithFullBankSimulation, 1 in representative mode).
+	BanksSimulated int
 	// Output is the full integer product when requested.
 	Output []int32
 }
@@ -249,22 +272,66 @@ func (s *System) GEMMQuantized(w, a *Tensor, d Design, opts ...GEMMOption) (*GEM
 }
 
 func (s *System) run(pair *workload.GEMMPair, d Design, opts ...GEMMOption) (*GEMMResult, error) {
+	rep, err := s.engine.Run(pair, gemmOptions(d, opts))
+	if err != nil {
+		return nil, err
+	}
+	return s.result(d, rep), nil
+}
+
+// gemmOptions folds the functional options into the engine's option struct.
+func gemmOptions(d Design, opts []GEMMOption) gemm.Options {
 	var o gemm.Options
 	for _, fn := range opts {
 		fn(&o)
 	}
 	o.Variant = d.variant()
-	rep, err := s.engine.Run(pair, o)
-	if err != nil {
-		return nil, err
-	}
+	return o
+}
+
+// result converts an engine report, pricing its energy.
+func (s *System) result(d Design, rep *gemm.Report) *GEMMResult {
 	e := s.energy.Price(&rep.Meter, rep.HostOps, rep.Total)
 	return &GEMMResult{
 		Design: d, P: rep.P, SliceK: rep.K, Streaming: rep.Streaming,
 		TotalSeconds: rep.Total, KernelSeconds: rep.KernelSeconds,
 		HostSeconds: rep.HostSeconds, Transfer: rep.Transfer,
-		EnergyJ: e.TotalJ, Verified: rep.Verified, Output: rep.Output,
-	}, nil
+		EnergyJ: e.TotalJ, Verified: rep.Verified,
+		KernelCycles: rep.KernelCycles, BanksSimulated: rep.BanksSimulated,
+		Output: rep.Output,
+	}
+}
+
+// GEMMShape is one member of a batched GEMM call.
+type GEMMShape struct {
+	M, K, N int
+}
+
+// GEMMBatch generates a seeded synthetic problem per shape and executes the
+// batch under the design. Batching is how a serving workload should drive
+// the simulator: cost-model decisions are memoized across members (layers
+// of one model repeat a handful of shapes), LUT construction is shared
+// through the process-wide table cache, and members are dispatched
+// concurrently over the worker pool configured with WithParallelism.
+// Member i's workload uses seed+i, so its result is identical to a GEMM
+// call on a System constructed with WithSeed(seed+i).
+func (s *System) GEMMBatch(f Format, shapes []GEMMShape, d Design, opts ...GEMMOption) ([]*GEMMResult, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("localut: empty GEMM batch")
+	}
+	pairs := make([]*workload.GEMMPair, len(shapes))
+	for i, sh := range shapes {
+		pairs[i] = workload.NewGEMMPair(sh.M, sh.K, sh.N, f.inner, s.seed+int64(i))
+	}
+	reps, err := s.engine.RunBatch(pairs, gemmOptions(d, opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*GEMMResult, len(reps))
+	for i, rep := range reps {
+		out[i] = s.result(d, rep)
+	}
+	return out, nil
 }
 
 // Tensor is a quantized 2-D tensor.

@@ -1,0 +1,58 @@
+package localut
+
+import (
+	"testing"
+)
+
+// TestSystemParallelismDeterminism exercises the public knobs end to end:
+// full-bank simulation at different parallelism levels must agree on every
+// simulated quantity.
+func TestSystemParallelismDeterminism(t *testing.T) {
+	run := func(parallelism int) *GEMMResult {
+		sys := NewSystem(WithParallelism(parallelism), WithFullBankSimulation())
+		res, err := sys.GEMM(W1A3, 96, 64, 24, DesignLoCaLUT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if !serial.Verified || !parallel.Verified {
+		t.Fatalf("verified=%v/%v, want true", serial.Verified, parallel.Verified)
+	}
+	if serial.KernelCycles != parallel.KernelCycles {
+		t.Fatalf("cycles diverge: %d vs %d", serial.KernelCycles, parallel.KernelCycles)
+	}
+	if serial.TotalSeconds != parallel.TotalSeconds || serial.EnergyJ != parallel.EnergyJ {
+		t.Fatalf("report diverges: %+v vs %+v", serial, parallel)
+	}
+	if serial.BanksSimulated < 2 {
+		t.Fatalf("full-bank simulation ran %d banks, want the whole grid", serial.BanksSimulated)
+	}
+}
+
+// TestGEMMBatchMatchesSequential checks that the batched API equals
+// one-at-a-time calls with the documented seed convention.
+func TestGEMMBatchMatchesSequential(t *testing.T) {
+	shapes := []GEMMShape{{64, 48, 16}, {32, 48, 24}, {64, 48, 16}}
+	sys := NewSystem(WithParallelism(4))
+	batch, err := sys.GEMMBatch(W2A2, shapes, DesignLoCaLUT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(shapes) {
+		t.Fatalf("got %d results, want %d", len(batch), len(shapes))
+	}
+	for i, sh := range shapes {
+		ref := NewSystem(WithSeed(1 + int64(i)))
+		want, err := ref.GEMM(W2A2, sh.M, sh.K, sh.N, DesignLoCaLUT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if got.KernelCycles != want.KernelCycles || got.TotalSeconds != want.TotalSeconds ||
+			got.P != want.P || !got.Verified {
+			t.Fatalf("batch member %d diverges from sequential run:\n%+v\n%+v", i, got, want)
+		}
+	}
+}
