@@ -6,16 +6,26 @@
 //
 // Usage:
 //
-//	localut-bench [-quick] [-fig fig09] [-j N] [-o report.md]
-//	localut-bench -sweep MxKxN [-fmt W1A3] [-j N] [-compare]
+//	localut-bench [-quick] [-fig fig09] [-j N] [-cycles-only] [-v] [-o report.md]
+//	localut-bench -sweep MxKxN [-fmt W1A3] [-j N] [-cycles-only] [-compare]
+//	localut-bench -bench-json BENCH_kernels.json
 //
 // -j sets the host worker-pool size (0 = one worker per CPU core, 1 =
 // serial). Results are bit-identical at any -j; only wall-clock changes.
-// -compare runs the sweep serially and in parallel, checks that the
-// simulated cycle counts agree, and reports the host speedup.
+// -cycles-only switches to the analytic cost backend: kernels charge the
+// identical cycle/event sequence without moving bytes, so figures and
+// sweeps regenerate the same numbers much faster (outputs are not computed,
+// so per-tile verification is skipped).
+// -compare runs the sweep serially, in parallel, and in cycles-only mode,
+// checks that the simulated cycle counts agree across all three, and
+// reports the host speedups.
+// -v prints LUT table-build cache statistics after the run.
+// -bench-json runs the kernel micro-benchmark suite (OP, OP+LC, OP+LC+RC in
+// both modes) and writes the timings as JSON to the given path.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +35,11 @@ import (
 	"time"
 
 	"github.com/ais-snu/localut/internal/experiments"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/workload"
 )
 
 func main() {
@@ -35,13 +49,29 @@ func main() {
 	par := flag.Int("j", 0, "worker-pool size (0 = NumCPU, 1 = serial)")
 	sweep := flag.String("sweep", "", "run a full-grid GEMM sweep of all designs on MxKxN (e.g. 768x768x128)")
 	fmtName := flag.String("fmt", "W1A3", "quantization format for -sweep")
-	compare := flag.Bool("compare", false, "with -sweep: run serial and parallel, verify identical cycles, report speedup")
+	compare := flag.Bool("compare", false, "with -sweep: run serial, parallel and cycles-only, verify identical cycles, report speedups")
+	cyclesOnly := flag.Bool("cycles-only", false, "use the analytic cycles-only backend (identical cycles, no functional simulation)")
+	verbose := flag.Bool("v", false, "print LUT cache statistics after the run")
+	benchJSON := flag.String("bench-json", "", "run the kernel micro-benchmarks and write JSON to this path")
 	flag.Parse()
 
-	if *sweep != "" {
-		if err := runSweep(*sweep, *fmtName, *par, *compare); err != nil {
+	mode := kernels.Functional
+	if *cyclesOnly {
+		mode = kernels.CyclesOnly
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
 			fatal(err)
 		}
+		return
+	}
+
+	if *sweep != "" {
+		if err := runSweep(*sweep, *fmtName, *par, mode, *compare); err != nil {
+			fatal(err)
+		}
+		cacheStats(*verbose)
 		return
 	}
 
@@ -50,6 +80,7 @@ func main() {
 		s = experiments.NewQuick()
 	}
 	s.Parallelism = *par
+	s.Mode = mode
 
 	var results []*experiments.Result
 	start := time.Now()
@@ -67,16 +98,30 @@ func main() {
 		results = []*experiments.Result{r}
 	}
 	doc := experiments.ReportMarkdown(results)
-	doc += fmt.Sprintf("\n---\nGenerated in %.1fs (quick=%v, j=%d)\n", time.Since(start).Seconds(), *quick, *par)
+	doc += fmt.Sprintf("\n---\nGenerated in %.1fs (quick=%v, j=%d, mode=%s)\n",
+		time.Since(start).Seconds(), *quick, *par, mode)
 
 	if *out == "" {
 		fmt.Print(doc)
+		cacheStats(*verbose)
 		return
 	}
 	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d figures, %.1fs)\n", *out, len(results), time.Since(start).Seconds())
+	cacheStats(*verbose)
+}
+
+// cacheStats reports the process-wide LUT table cache so table-build cost is
+// observable: every miss built a table, every hit shared one.
+func cacheStats(verbose bool) {
+	if !verbose {
+		return
+	}
+	hits, misses, bytes := lut.CacheStats()
+	fmt.Fprintf(os.Stderr, "lut cache: %d hits, %d misses, %.1f MiB resident\n",
+		hits, misses, float64(bytes)/(1<<20))
 }
 
 // parseShape parses "768x768x128", rejecting partial matches.
@@ -97,9 +142,9 @@ func parseShape(s string) (m, k, n int, err error) {
 	return dims[0], dims[1], dims[2], nil
 }
 
-// runSweep executes the full-grid design sweep, optionally comparing serial
-// and parallel execution.
-func runSweep(shape, fmtName string, par int, compare bool) error {
+// runSweep executes the full-grid design sweep, optionally comparing
+// serial, parallel and cycles-only execution.
+func runSweep(shape, fmtName string, par int, mode kernels.Mode, compare bool) error {
 	m, k, n, err := parseShape(shape)
 	if err != nil {
 		return err
@@ -114,12 +159,12 @@ func runSweep(shape, fmtName string, par int, compare bool) error {
 
 	if !compare {
 		start := time.Now()
-		rows, err := experiments.GEMMSweep(m, k, n, f, par)
+		rows, err := experiments.GEMMSweep(m, k, n, f, par, mode)
 		if err != nil {
 			return err
 		}
 		printRows(shape, f.Name(), rows)
-		fmt.Printf("\nhost wall-clock: %.2fs (j=%d)\n", time.Since(start).Seconds(), par)
+		fmt.Printf("\nhost wall-clock: %.2fs (j=%d, mode=%s)\n", time.Since(start).Seconds(), par, mode)
 		return nil
 	}
 
@@ -127,27 +172,34 @@ func runSweep(shape, fmtName string, par int, compare bool) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	fmt.Printf("full-grid sweep %s %s: serial vs %d workers\n\n", shape, f.Name(), workers)
+	fmt.Printf("full-grid sweep %s %s: serial vs %d workers vs cycles-only\n\n", shape, f.Name(), workers)
 
 	// Untimed warm-up: builds the process-wide LUT tables so neither timed
-	// pass pays construction costs the other skips.
-	if _, err := experiments.GEMMSweep(m, k, n, f, workers); err != nil {
+	// functional pass pays construction costs the other skips.
+	if _, err := experiments.GEMMSweep(m, k, n, f, workers, kernels.Functional); err != nil {
 		return err
 	}
 
 	t0 := time.Now()
-	serial, err := experiments.GEMMSweep(m, k, n, f, 1)
+	serial, err := experiments.GEMMSweep(m, k, n, f, 1, kernels.Functional)
 	if err != nil {
 		return err
 	}
 	serialWall := time.Since(t0).Seconds()
 
 	t1 := time.Now()
-	parallel, err := experiments.GEMMSweep(m, k, n, f, workers)
+	parallel, err := experiments.GEMMSweep(m, k, n, f, workers, kernels.Functional)
 	if err != nil {
 		return err
 	}
 	parallelWall := time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	analytic, err := experiments.GEMMSweep(m, k, n, f, workers, kernels.CyclesOnly)
+	if err != nil {
+		return err
+	}
+	analyticWall := time.Since(t2).Seconds()
 
 	printRows(shape, f.Name(), parallel)
 
@@ -155,17 +207,25 @@ func runSweep(shape, fmtName string, par int, compare bool) error {
 	for i := range serial {
 		if serial[i] != parallel[i] {
 			identical = false
-			fmt.Printf("\nMISMATCH at %s:\n  serial   %+v\n  parallel %+v\n",
+			fmt.Printf("\nMISMATCH at %s (serial vs parallel):\n  serial   %+v\n  parallel %+v\n",
 				serial[i].Design, serial[i], parallel[i])
 		}
+		if !serial[i].SameCost(analytic[i]) {
+			identical = false
+			fmt.Printf("\nMISMATCH at %s (functional vs cycles-only):\n  functional  %+v\n  cycles-only %+v\n",
+				serial[i].Design, serial[i], analytic[i])
+		}
 	}
-	fmt.Printf("\nserial:   %.2fs wall-clock (j=1)\n", serialWall)
-	fmt.Printf("parallel: %.2fs wall-clock (j=%d)\n", parallelWall, workers)
-	fmt.Printf("speedup:  %.2fx\n", serialWall/parallelWall)
+	fmt.Printf("\nserial:      %.3fs wall-clock (j=1, functional)\n", serialWall)
+	fmt.Printf("parallel:    %.3fs wall-clock (j=%d, functional)\n", parallelWall, workers)
+	fmt.Printf("cycles-only: %.3fs wall-clock (j=%d)\n", analyticWall, workers)
+	fmt.Printf("parallel speedup:    %.2fx over serial\n", serialWall/parallelWall)
+	fmt.Printf("cycles-only speedup: %.2fx over functional parallel, %.2fx over serial\n",
+		parallelWall/analyticWall, serialWall/analyticWall)
 	if identical {
-		fmt.Println("simulated cycle counts: identical in both modes")
+		fmt.Println("simulated cycle counts: identical across serial, parallel and cycles-only")
 	} else {
-		return fmt.Errorf("serial and parallel sweeps diverged")
+		return fmt.Errorf("sweep modes diverged")
 	}
 	return nil
 }
@@ -178,7 +238,95 @@ func printRows(shape, format string, rows []experiments.SweepRow) {
 		fmt.Printf("| %s | %d | %d | %v | %d | %d | %.6f | %v |\n",
 			r.Design, r.P, r.SliceK, r.Streaming, r.Banks, r.KernelCycles, r.SimSeconds, r.Verified)
 	}
-	fmt.Printf("\n(%s, %s, every bank tile simulated and verified bit-exact)\n", shape, format)
+	fmt.Printf("\n(%s, %s, every bank tile accounted)\n", shape, format)
+}
+
+// benchEntry is one kernel micro-benchmark measurement.
+type benchEntry struct {
+	Kernel        string  `json:"kernel"`
+	Mode          string  `json:"mode"`
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	N             int     `json:"n"`
+	Runs          int     `json:"runs"`
+	HostSecPerRun float64 `json:"host_seconds_per_run"`
+	SimCycles     int64   `json:"sim_cycles"`
+	// SpeedupVsFunctional is set on cycles-only entries: functional
+	// host-seconds / cycles-only host-seconds for the same kernel.
+	SpeedupVsFunctional float64 `json:"speedup_vs_functional,omitempty"`
+}
+
+// runBenchJSON times each packed-LUT kernel in both execution modes on a
+// fixed tile and writes the measurements as JSON — the start of the perf
+// trajectory tracked across PRs.
+func runBenchJSON(path string) error {
+	const m, k, n, runs = 256, 256, 32, 3
+	cfg := pim.DefaultConfig()
+	costs := kernels.DefaultCosts()
+	f := quant.W1A3
+	pair := workload.NewGEMMPair(m, k, n, f, 1)
+
+	kns := []struct {
+		name string
+		kn   kernels.Kernel
+	}{
+		{"OP", kernels.NewOPKernel(costs, lut.MustSpec(f, 2))},
+		{"OP+LC", kernels.NewOPLCKernel(costs, lut.MustSpec(f, 4))},
+		{"OP+LC+RC", kernels.NewOPLCRCKernel(costs, lut.MustSpec(f, 4))},
+		{"LoCaLUT", kernels.NewStreamKernel(costs, lut.MustSpec(f, 6), 2)},
+	}
+
+	var entries []benchEntry
+	for _, it := range kns {
+		var funcSec float64
+		for _, mode := range []kernels.Mode{kernels.Functional, kernels.CyclesOnly} {
+			var tile *kernels.Tile
+			var err error
+			if mode == kernels.CyclesOnly {
+				tile, err = kernels.NewShapeTile(m, k, n, f)
+			} else {
+				tile, err = kernels.NewTile(m, k, n, f, pair.W.Codes, pair.A.Codes)
+			}
+			if err != nil {
+				return err
+			}
+			d := kernels.DPUForMode(&cfg, mode)
+			// Warm-up builds shared LUT tables outside the timed runs.
+			if _, err := it.kn.Run(d, tile); err != nil {
+				return err
+			}
+			start := time.Now()
+			var cycles int64
+			for r := 0; r < runs; r++ {
+				res, err := it.kn.Run(d, tile)
+				if err != nil {
+					return err
+				}
+				cycles = res.Cycles
+			}
+			perRun := time.Since(start).Seconds() / runs
+			e := benchEntry{
+				Kernel: it.name, Mode: mode.String(), M: m, K: k, N: n,
+				Runs: runs, HostSecPerRun: perRun, SimCycles: cycles,
+			}
+			if mode == kernels.Functional {
+				funcSec = perRun
+			} else if perRun > 0 {
+				e.SpeedupVsFunctional = funcSec / perRun
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", path, len(entries))
+	return nil
 }
 
 func fatal(err error) {

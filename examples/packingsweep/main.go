@@ -14,7 +14,9 @@ import (
 func main() {
 	f := localut.W2A2
 	const K, N = 768, 128
-	sys := localut.NewSystem()
+	// A sweep consumes only timing, so the analytic cycles-only backend
+	// gives identical numbers without the byte-level simulation.
+	sys := localut.NewSystem(localut.WithCyclesOnly())
 
 	for _, M := range []int{192, 768, 3072} {
 		plan, err := sys.ChoosePlan(f, M, K, N)

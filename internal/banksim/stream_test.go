@@ -1,0 +1,62 @@
+package banksim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refBank replays the per-burst reference semantics (one access per burst)
+// against which the row-grouped stream fast path must stay bit-identical.
+type refBank struct{ b *Bank }
+
+func (r refBank) read(addr, n int64) {
+	for off := int64(0); off < n; off += r.b.T.BurstBytes {
+		r.b.access(addr + off)
+		r.b.Reads++
+	}
+}
+
+func (r refBank) write(addr, n int64) {
+	for off := int64(0); off < n; off += r.b.T.BurstBytes {
+		r.b.access(addr + off)
+		r.b.Writes++
+	}
+}
+
+// TestStreamMatchesPerBurstReference drives fast and reference banks with
+// identical random access sequences — unaligned addresses, row-crossing
+// spans, interleaved reads and writes — and requires identical cycles and
+// counters throughout.
+func TestStreamMatchesPerBurstReference(t *testing.T) {
+	for _, tm := range []Timing{HBM2(), DDR4()} {
+		rng := rand.New(rand.NewSource(42))
+		fast := NewBank(tm)
+		ref := refBank{b: NewBank(tm)}
+		for i := 0; i < 2000; i++ {
+			addr := rng.Int63n(1 << 20)
+			n := 1 + rng.Int63n(4*tm.RowBytes)
+			if rng.Intn(2) == 0 {
+				fast.Read(addr, n)
+				ref.read(addr, n)
+			} else {
+				fast.Write(addr, n)
+				ref.write(addr, n)
+			}
+			if fast.Cycles != ref.b.Cycles || fast.Reads != ref.b.Reads ||
+				fast.Writes != ref.b.Writes || fast.Activates != ref.b.Activates ||
+				fast.RowHits != ref.b.RowHits || fast.openRow != ref.b.openRow {
+				t.Fatalf("step %d (addr=%d n=%d): fast %+v != ref %+v", i, addr, n, *fast, *ref.b)
+			}
+		}
+	}
+}
+
+// TestStreamZeroLength checks the degenerate transfer is a no-op.
+func TestStreamZeroLength(t *testing.T) {
+	b := NewBank(HBM2())
+	b.Read(128, 0)
+	b.Write(128, 0)
+	if b.Cycles != 0 || b.Reads != 0 || b.Writes != 0 {
+		t.Fatalf("zero-length transfer charged: %+v", *b)
+	}
+}

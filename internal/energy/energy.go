@@ -71,20 +71,27 @@ type Report struct {
 }
 
 // Price converts an aggregated meter (event counts across all active banks),
-// host scalar-op count and wall-clock seconds into joules.
+// host scalar-op count and wall-clock seconds into joules. The total is
+// summed in a fixed component order: float addition is not associative, so
+// ranging over the map would make TotalJ depend on Go's randomized map
+// iteration and identical executions could differ in the last ulp.
 func (m Model) Price(meter *pim.Meter, hostOps int64, wallSeconds float64) *Report {
-	dyn := map[string]float64{
-		"dpu_instr": float64(meter.Count(pim.EvInstr)) * m.InstrJ,
-		"dpu_mul":   float64(meter.Count(pim.EvMul8))*(m.InstrJ+m.Mul8J) + float64(meter.Count(pim.EvMul32))*(m.InstrJ+m.Mul8J)*4,
-		"dma":       float64(meter.Count(pim.EvDMARead)+meter.Count(pim.EvDMAWrite)) * m.DMAByteJ,
-		"wram":      float64(meter.Count(pim.EvWRAMAccess)) * m.WRAMAccessJ,
-		"host_link": float64(meter.Count(pim.EvHostToPIM)+meter.Count(pim.EvPIMToHost)) * m.HostLinkByteJ,
-		"host_cpu":  float64(hostOps) * m.HostOpJ,
+	components := []struct {
+		name string
+		j    float64
+	}{
+		{"dpu_instr", float64(meter.Count(pim.EvInstr)) * m.InstrJ},
+		{"dpu_mul", float64(meter.Count(pim.EvMul8))*(m.InstrJ+m.Mul8J) + float64(meter.Count(pim.EvMul32))*(m.InstrJ+m.Mul8J)*4},
+		{"dma", float64(meter.Count(pim.EvDMARead)+meter.Count(pim.EvDMAWrite)) * m.DMAByteJ},
+		{"wram", float64(meter.Count(pim.EvWRAMAccess)) * m.WRAMAccessJ},
+		{"host_link", float64(meter.Count(pim.EvHostToPIM)+meter.Count(pim.EvPIMToHost)) * m.HostLinkByteJ},
+		{"host_cpu", float64(hostOps) * m.HostOpJ},
 	}
-	r := &Report{DynamicJ: dyn, StaticJ: m.StaticW * wallSeconds}
+	r := &Report{DynamicJ: make(map[string]float64, len(components)), StaticJ: m.StaticW * wallSeconds}
 	r.TotalJ = r.StaticJ
-	for _, v := range dyn {
-		r.TotalJ += v
+	for _, c := range components {
+		r.DynamicJ[c.name] = c.j
+		r.TotalJ += c.j
 	}
 	return r
 }

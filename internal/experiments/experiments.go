@@ -10,6 +10,7 @@ import (
 	"github.com/ais-snu/localut/internal/energy"
 	"github.com/ais-snu/localut/internal/gemm"
 	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/trace"
 	"github.com/ais-snu/localut/internal/workload"
@@ -43,6 +44,32 @@ type Suite struct {
 	// deterministic — seeded workloads, shard-ordered aggregation — so the
 	// regenerated numbers are identical at any setting.
 	Parallelism int
+	// Mode selects the engine's execution backend for every GEMM the
+	// figures run. CyclesOnly regenerates identical numbers (the figures
+	// consume only cycle/energy models, like the paper's) without the
+	// byte-level functional simulation or its per-run verification. Like
+	// Parallelism, it is a plain field: RunFigure and All apply it to the
+	// engine when they run.
+	Mode kernels.Mode
+}
+
+// syncMode pushes the suite-level mode into the engine before a run.
+func (s *Suite) syncMode() { s.Engine.Exec.Mode = s.Mode }
+
+// kernelTile builds the tile a direct (engine-bypassing) kernel run needs
+// under the suite's mode: seeded data in Functional mode, shape only in
+// CyclesOnly. Pair it with kernelDPU.
+func (s *Suite) kernelTile(m, k, n int, f quant.Format) (*kernels.Tile, error) {
+	if s.Mode == kernels.CyclesOnly {
+		return kernels.NewShapeTile(m, k, n, f)
+	}
+	pair := workload.NewGEMMPair(m, k, n, f, s.Seed)
+	return kernels.NewTile(m, k, n, f, pair.W.Codes, pair.A.Codes)
+}
+
+// kernelDPU builds the DPU for a direct kernel run under the suite's mode.
+func (s *Suite) kernelDPU(cfg *pim.Config) *pim.DPU {
+	return kernels.DPUForMode(cfg, s.Mode)
 }
 
 // New returns the full-scale suite on the paper's testbed configuration.
@@ -126,6 +153,7 @@ var figDrivers = []struct {
 // RunFigure regenerates a single figure by id ("fig09"); figDrivers is the
 // sole driver registry, shared with All.
 func (s *Suite) RunFigure(id string) (*Result, error) {
+	s.syncMode()
 	for _, d := range figDrivers {
 		if d.name == id {
 			return d.fn(s)
@@ -139,6 +167,7 @@ func (s *Suite) RunFigure(id string) (*Result, error) {
 // configuration state is shared; results come back in paper order whatever
 // the scheduling.
 func (s *Suite) All() ([]*Result, error) {
+	s.syncMode()
 	out := make([]*Result, len(figDrivers))
 	err := banksim.ForEachShard(len(figDrivers), s.Parallelism, func(i int) error {
 		r, err := figDrivers[i].fn(s.clone())

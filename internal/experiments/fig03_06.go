@@ -6,10 +6,8 @@ import (
 	"github.com/ais-snu/localut/internal/costmodel"
 	"github.com/ais-snu/localut/internal/kernels"
 	"github.com/ais-snu/localut/internal/lut"
-	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/trace"
-	"github.com/ais-snu/localut/internal/workload"
 )
 
 // Fig03 regenerates Fig. 3(c): DRAM-bank-sized vs buffer-sized
@@ -32,12 +30,11 @@ func (s *Suite) Fig03() (*Result, error) {
 	pBufMax := costmodel.MaxP(f, cfg.WRAMLUTBudget(), costmodel.SizeOpPacked)
 	var dramAtPBuf, bufAtPBuf float64
 	for p := 1; p <= 6; p++ {
-		pair := workload.NewGEMMPair(m, k, nSim, f, s.Seed)
-		tile, err := kernels.NewTile(m, k, nSim, f, pair.W.Codes, pair.A.Codes)
+		tile, err := s.kernelTile(m, k, nSim, f)
 		if err != nil {
 			return nil, err
 		}
-		dpu := pim.NewDPU(&cfg)
+		dpu := s.kernelDPU(&cfg)
 		dram, err := kernels.NewOPDRAMKernel(costs, lut.MustSpec(f, p)).Run(dpu, tile)
 		if err != nil {
 			return nil, err
@@ -46,7 +43,7 @@ func (s *Suite) Fig03() (*Result, error) {
 
 		bufCell := "n/a (exceeds WRAM)"
 		if p <= pBufMax {
-			dpu2 := pim.NewDPU(&cfg)
+			dpu2 := s.kernelDPU(&cfg)
 			buf, err := kernels.NewOPKernel(costs, lut.MustSpec(f, p)).Run(dpu2, tile)
 			if err != nil {
 				return nil, err

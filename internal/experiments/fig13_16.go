@@ -287,18 +287,32 @@ func (s *Suite) Fig15() (*Result, error) {
 		speedups[cfg.Name] = naive.Total / s.pqEndToEndSeconds(cfg)
 	}
 
+	// Fixed method order (map iteration would shuffle the table rows
+	// between otherwise-identical runs). PQ names come from the configs
+	// themselves so a rename cannot leave stale literals behind.
+	pqNames := make([]string, 0, 3)
+	for _, cfg := range []pq.Config{pq.PIMDL(), pq.LUTDLAL1(), pq.LUTDLAL2()} {
+		pqNames = append(pqNames, cfg.Name)
+	}
+	methods := make([]string, 0, len(errs))
+	for _, f := range quant.Formats {
+		methods = append(methods, "LoCaLUT "+f.Name())
+	}
+	methods = append(methods, pqNames...)
+
 	dominated := 0
 	comparisons := 0
 	for _, task := range glueTasks() {
 		anchorErr := errs["LoCaLUT "+task.anchorFmt.Name()]
 		alpha := (task.fp32 - task.anchorAcc) / anchorErr
-		for name, e := range errs {
+		for _, name := range methods {
+			e := errs[name]
 			acc := task.fp32 - alpha*e
 			tab.Add(task.name, name, speedups[name], e, acc)
 		}
 		// Count PQ points dominated by some LoCaLUT point (faster AND at
 		// least as accurate) — the paper's "clear advantage" claim.
-		for _, cfg := range []string{"PIM-DL", "LUT-DLA (L1)", "LUT-DLA (L2)"} {
+		for _, cfg := range pqNames {
 			comparisons++
 			pqAcc := task.fp32 - alpha*errs[cfg]
 			for _, f := range quant.Formats {

@@ -11,10 +11,8 @@ import (
 	"github.com/ais-snu/localut/internal/hostsim"
 	"github.com/ais-snu/localut/internal/kernels"
 	"github.com/ais-snu/localut/internal/lut"
-	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/trace"
-	"github.com/ais-snu/localut/internal/workload"
 )
 
 // Fig17 regenerates the CPU/GPU comparison on the (12288, 192, 65536)
@@ -114,12 +112,11 @@ func (s *Suite) Fig18() (*Result, error) {
 			}
 
 			// Single-DPU simulation on nSim columns, scaled to full N.
-			pair := workload.NewGEMMPair(c.m, kDim, nSim, c.f, s.Seed)
-			tile, err := kernels.NewTile(c.m, kDim, nSim, c.f, pair.W.Codes, pair.A.Codes)
+			tile, err := s.kernelTile(c.m, kDim, nSim, c.f)
 			if err != nil {
 				return nil, err
 			}
-			dpu := pim.NewDPU(&cfg)
+			dpu := s.kernelDPU(&cfg)
 			var kres *kernels.Result
 			if streaming {
 				kSlices := costmodel.MaxSliceK(spec, &cfg)

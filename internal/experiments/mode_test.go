@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// TestFigureModeEquivalence regenerates figures under both execution modes
+// and requires identical rendered tables and values — including the drivers
+// that bypass the engine and run kernels on their own DPUs (fig03, fig18).
+func TestFigureModeEquivalence(t *testing.T) {
+	for _, id := range []string{"fig03", "fig09", "fig18"} {
+		fs := NewQuick()
+		fr, err := fs.RunFigure(id)
+		if err != nil {
+			t.Fatalf("%s functional: %v", id, err)
+		}
+		cs := NewQuick()
+		cs.Mode = kernels.CyclesOnly
+		cr, err := cs.RunFigure(id)
+		if err != nil {
+			t.Fatalf("%s cycles-only: %v", id, err)
+		}
+
+		var fb, cb strings.Builder
+		fr.Render(&fb)
+		cr.Render(&cb)
+		if fb.String() != cb.String() {
+			t.Errorf("%s: rendered tables diverge across modes\nfunctional:\n%s\ncycles-only:\n%s",
+				id, fb.String(), cb.String())
+		}
+		if !reflect.DeepEqual(fr.Values, cr.Values) {
+			t.Errorf("%s: values diverge across modes\n functional  %v\n cycles-only %v", id, fr.Values, cr.Values)
+		}
+	}
+}
+
+// TestSweepModeEquivalence pins GEMMSweep across modes: identical rows up
+// to the Verified flag.
+func TestSweepModeEquivalence(t *testing.T) {
+	fn, err := GEMMSweep(96, 64, 24, quant.W1A3, 2, kernels.Functional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := GEMMSweep(96, 64, 24, quant.W1A3, 2, kernels.CyclesOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fn {
+		if !fn[i].Verified {
+			t.Errorf("%s: functional sweep row not verified", fn[i].Design)
+		}
+		if cy[i].Verified {
+			t.Errorf("%s: cycles-only sweep row claims verification", cy[i].Design)
+		}
+		if !fn[i].SameCost(cy[i]) {
+			t.Errorf("sweep rows diverge across modes\n functional  %+v\n cycles-only %+v", fn[i], cy[i])
+		}
+	}
+}

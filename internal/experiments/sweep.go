@@ -12,21 +12,33 @@ type SweepRow struct {
 	Design       string
 	P, SliceK    int
 	Streaming    bool
-	Banks        int // bank tiles simulated
+	Banks        int // bank tiles accounted
 	KernelCycles int64
 	SimSeconds   float64 // simulated end-to-end seconds
 	Verified     bool
 }
 
+// SameCost reports whether two rows agree on everything the cost model
+// produces — design point, bank count, cycles, simulated seconds. Verified
+// is excluded: it records whether the functional data program ran, which is
+// exactly what differs between execution modes with identical costs.
+func (r SweepRow) SameCost(o SweepRow) bool {
+	r.Verified = false
+	o.Verified = false
+	return r == o
+}
+
 // GEMMSweep runs every kernel design of one seeded M x K x N GEMM through
 // the full-grid sharded execution engine at the given host parallelism
-// (0 = NumCPU, 1 = serial). Every bank tile of every design is simulated
-// and verified bit-exact; the rows are identical at any parallelism — only
-// the host wall-clock changes — which is exactly what localut-bench's
-// -compare mode checks.
-func GEMMSweep(m, k, n int, f quant.Format, parallelism int) ([]SweepRow, error) {
+// (0 = NumCPU, 1 = serial) and execution mode. In Functional mode every
+// bank tile of every design is simulated and verified bit-exact; in
+// CyclesOnly mode the same grid is costed analytically (identical cycles,
+// no outputs, Verified=false). The rows are identical at any parallelism —
+// only the host wall-clock changes — which is exactly what localut-bench's
+// -compare mode checks, across modes as well.
+func GEMMSweep(m, k, n int, f quant.Format, parallelism int, mode kernels.Mode) ([]SweepRow, error) {
 	e := gemm.NewEngine()
-	e.Exec = gemm.ExecOptions{Parallelism: parallelism, FullGrid: true}
+	e.Exec = gemm.ExecOptions{Parallelism: parallelism, FullGrid: true, Mode: mode}
 	pair := workload.NewGEMMPair(m, k, n, f, 1)
 
 	rows := make([]SweepRow, 0, len(kernels.Variants))

@@ -23,6 +23,15 @@
 //     reported wall-clock is the sum over rounds of the slowest bank per
 //     round — the high-fidelity mode.
 //
+// Orthogonally, ExecOptions.Mode selects the execution backend:
+// kernels.Functional simulates data movement and lookups byte for byte and
+// verifies every tile, while kernels.CyclesOnly runs each kernel's cost
+// program on an accounting DPU — bit-identical cycles, meters, breakdowns
+// and energy, no byte work, no outputs, no verification. Cost records are
+// pure functions of the tile shape, so identical-shape banks share one
+// memoized record (CostMemo, alongside the costmodel.Cache decision memo)
+// and a full-grid sweep executes at most the grid's distinct edge shapes.
+//
 // # Sharded host parallelism
 //
 // Bank tiles are mutually independent (the defining property of bank-level

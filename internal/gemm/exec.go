@@ -28,6 +28,14 @@ type ExecOptions struct {
 	// and the full integer product is available for free, at the price of
 	// simulating the whole problem.
 	FullGrid bool
+	// Mode selects functional execution (default) or the cycles-only cost
+	// program. CyclesOnly charges the exact same Exec/Note/DMA sequence as
+	// Functional — cycles, meters, breakdowns and energy are bit-identical —
+	// but moves no bytes, builds no LUT images and computes no outputs, so
+	// runs cannot be verified against the integer reference
+	// (Report.Verified is false) and identical-shape bank tiles share one
+	// memoized cost record (Engine.CostRecords).
+	Mode kernels.Mode
 }
 
 // workers resolves the pool size (ForEachShard applies the same default;
@@ -115,36 +123,50 @@ func buildTileAt(pair *workload.GEMMPair, t bankTask) (*kernels.Tile, error) {
 //     in each round (banks within a round run concurrently on the PIM side);
 //   - event counts are summed in bank-index order (integer addition, so the
 //     result is identical whatever the host-side interleaving);
-//   - every tile is verified bit-exact against the integer reference.
+//   - in Functional mode, every tile is verified bit-exact against the
+//     integer reference.
+//
+// In CyclesOnly mode only the distinct tile shapes of the grid run (a
+// ceil-division grid has at most four: interior, right edge, bottom edge,
+// corner), each through the kernel's cost program on an accounting DPU; all
+// same-shape banks then share the one record. The merge is unchanged, so
+// cycles, meters and breakdowns are bit-identical to Functional mode.
 //
 // The kernel instance is shared: kernels are stateless (all mutable state
 // lives in the per-task DPU and tile).
 func (e *Engine) simulateGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *Report, wantOutput bool) error {
 	tasks := gridTasks(pair.M, pair.N, rep.GridM, rep.GridN, rep.TileM, rep.TileN)
 	outcomes := make([]bankOutcome, len(tasks))
-	err := banksim.ForEachShard(len(tasks), e.Exec.Parallelism, func(i int) error {
-		t := tasks[i]
-		tile, err := buildTileAt(pair, t)
+
+	if e.Exec.Mode == kernels.CyclesOnly {
+		if err := e.costGrid(pair, kn, rep, tasks, outcomes); err != nil {
+			return err
+		}
+	} else {
+		err := banksim.ForEachShard(len(tasks), e.Exec.Parallelism, func(i int) error {
+			t := tasks[i]
+			tile, err := buildTileAt(pair, t)
+			if err != nil {
+				return err
+			}
+			dpu := pim.NewDPU(&e.Cfg)
+			res, err := kn.Run(dpu, tile)
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(tile.O, kernels.RefGEMM(tile)) {
+				return fmt.Errorf("gemm: %s kernel output failed verification on bank tile (%d,%d)",
+					kn.Name(), t.m0/max(rep.TileM, 1), t.n0/max(rep.TileN, 1))
+			}
+			outcomes[i] = bankOutcome{cycles: res.Cycles, meter: dpu.Meter, breakdown: res.Breakdown}
+			if wantOutput {
+				outcomes[i].out = tile.O
+			}
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		dpu := pim.NewDPU(&e.Cfg)
-		res, err := kn.Run(dpu, tile)
-		if err != nil {
-			return err
-		}
-		if !reflect.DeepEqual(tile.O, kernels.RefGEMM(tile)) {
-			return fmt.Errorf("gemm: %s kernel output failed verification on bank tile (%d,%d)",
-				kn.Name(), t.m0/max(rep.TileM, 1), t.n0/max(rep.TileN, 1))
-		}
-		outcomes[i] = bankOutcome{cycles: res.Cycles, meter: dpu.Meter, breakdown: res.Breakdown}
-		if wantOutput {
-			outcomes[i].out = tile.O
-		}
-		return nil
-	})
-	if err != nil {
-		return err
 	}
 
 	// Deterministic merge in bank-index order.
@@ -167,9 +189,9 @@ func (e *Engine) simulateGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *R
 	rep.KernelCycles = kernelCycles
 	rep.KernelSeconds = e.Cfg.Seconds(kernelCycles)
 	rep.BanksSimulated = len(tasks)
-	rep.Verified = true
+	rep.Verified = e.Exec.Mode == kernels.Functional
 
-	if wantOutput {
+	if wantOutput && e.Exec.Mode == kernels.Functional {
 		out := make([]int32, pair.M*pair.N)
 		for i, t := range tasks {
 			for m := 0; m < t.tileM; m++ {
@@ -178,6 +200,46 @@ func (e *Engine) simulateGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *R
 			}
 		}
 		rep.Output = out
+	}
+	return nil
+}
+
+// costGrid fills outcomes with cycles-only records, running each distinct
+// tile shape once (sharded) and fanning the records out to all same-shape
+// banks.
+func (e *Engine) costGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *Report,
+	tasks []bankTask, outcomes []bankOutcome) error {
+
+	type shape struct{ m, n int }
+	owner := make(map[shape]int, 4)
+	distinct := make([]int, 0, 4)
+	ownerOf := make([]int, len(tasks))
+	for i, t := range tasks {
+		s := shape{t.tileM, t.tileN}
+		if j, ok := owner[s]; ok {
+			ownerOf[i] = j
+			continue
+		}
+		owner[s] = i
+		ownerOf[i] = i
+		distinct = append(distinct, i)
+	}
+
+	err := banksim.ForEachShard(len(distinct), e.Exec.Parallelism, func(di int) error {
+		i := distinct[di]
+		t := tasks[i]
+		rec, err := e.runCost(kn, rep, pair.Fmt, t.tileM, pair.K, t.tileN)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = bankOutcome{cycles: rec.cycles, meter: rec.meter, breakdown: rec.breakdown}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range tasks {
+		outcomes[i] = outcomes[ownerOf[i]]
 	}
 	return nil
 }

@@ -28,6 +28,11 @@ type Engine struct {
 	// Decisions memoizes cost-model choices across runs, batch members and
 	// bank shards. Nil falls back to uncached selection.
 	Decisions *costmodel.Cache
+	// CostRecords memoizes cycles-only bank cost records across runs, batch
+	// members and bank shards (the key embeds the machine config and cost
+	// table, so sharing it across Clone'd engines is safe). Nil falls back
+	// to unmemoized cost runs.
+	CostRecords *CostMemo
 }
 
 // NewEngine returns an engine with the paper's testbed defaults.
@@ -38,6 +43,7 @@ func NewEngine() *Engine {
 		Model:         costmodel.Default(),
 		HostOpsPerSec: 2e10,
 		Decisions:     costmodel.NewCache(),
+		CostRecords:   NewCostMemo(),
 	}
 }
 
@@ -105,16 +111,16 @@ type Report struct {
 	// BanksSimulated counts the bank tiles actually executed: the full grid
 	// under ExecOptions.FullGrid, 1 in representative mode.
 	BanksSimulated int
-	HostSeconds   float64
-	Transfer      float64
-	InitSeconds   float64 // LUT build/broadcast + weight staging (amortized)
-	Total         float64 // host + transfer + kernel (steady state)
-	Host          HostBreakdown
-	HostOps       int64
-	Breakdown     kernels.Breakdown
-	Meter         pim.Meter // events aggregated over all executed tiles
-	Verified      bool
-	Output        []int32 // full output when Options.ComputeFull
+	HostSeconds    float64
+	Transfer       float64
+	InitSeconds    float64 // LUT build/broadcast + weight staging (amortized)
+	Total          float64 // host + transfer + kernel (steady state)
+	Host           HostBreakdown
+	HostOps        int64
+	Breakdown      kernels.Breakdown
+	Meter          pim.Meter // events aggregated over all executed tiles
+	Verified       bool
+	Output         []int32 // full output when Options.ComputeFull
 }
 
 // tileMMax bounds the per-bank weight-row count by the WRAM space left for
@@ -329,6 +335,24 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 		// Sharded per-bank simulation of the whole grid.
 		if err := e.simulateGrid(pair, kn, rep, opt.ComputeFull); err != nil {
 			return nil, err
+		}
+	} else if e.Exec.Mode == kernels.CyclesOnly {
+		// Representative tile, cost program only: the same charges the
+		// functional representative run makes, memoized by shape.
+		rec, err := e.runCost(kn, rep, pair.Fmt, tileM, pair.K, tileN)
+		if err != nil {
+			return nil, err
+		}
+		rep.KernelSeconds = e.Cfg.Seconds(rec.cycles) * float64(rounds)
+		rep.KernelCycles = rec.cycles * int64(rounds)
+		rep.Breakdown = rec.breakdown
+		rep.Verified = false
+		rep.BanksSimulated = 1
+
+		tiles := gridM * gridN
+		rep.Meter = rec.meter
+		for i := range rep.Meter.Counts {
+			rep.Meter.Counts[i] *= int64(tiles)
 		}
 	} else {
 		// Representative tile: bank (0,0)'s share stands in for the grid.

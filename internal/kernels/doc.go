@@ -10,6 +10,15 @@
 // inner loop. Unit tests check each kernel bit-exact against RefGEMM, so the
 // timing model and the arithmetic can never drift apart.
 //
+// Each Run is structured as two interleaved programs — a cost program (the
+// charge sequence, a data-independent function of the tile shape) and a
+// data program (the byte work). Mode selects how much runs: Functional
+// executes both; CyclesOnly executes only the cost program on an
+// accounting DPU (pim.NewAccountingDPU) with a data-less NewShapeTile,
+// producing bit-identical cycles, meters and breakdowns at O(meter
+// updates) host cost. Mode-equivalence tests pin that guarantee for every
+// kernel.
+//
 // Kernels are stateless after construction — all mutable state lives in the
 // DPU and Tile passed to Run — so one kernel instance may execute many bank
 // tiles concurrently from the sharded engine. Shared LUT tables come from

@@ -42,6 +42,44 @@ func (v Variant) String() string {
 // Variants lists all designs in order.
 var Variants = []Variant{Naive, LTC, OP, OPLC, OPLCRC, LoCaLUT}
 
+// Mode selects how a kernel executes a tile.
+//
+// Every kernel's Run is two interleaved programs: a cost program (the
+// Exec/Note/DMA charge sequence, a data-independent function of the tile
+// shape, the spec and the machine config) and a data program (byte movement
+// through MRAM/WRAM and the per-element lookups that fill t.O). Functional
+// runs both; CyclesOnly runs only the cost program on an accounting DPU —
+// same loop trip counts, same charges in the same order, so cycles, meters
+// and breakdowns are bit-identical to Functional, at O(meter updates) host
+// work instead of O(M·N·K) byte work. CyclesOnly produces no output (t.O is
+// untouched) and therefore cannot be verified against the reference.
+type Mode int
+
+const (
+	// Functional executes both the cost and the data program.
+	Functional Mode = iota
+	// CyclesOnly executes only the cost program.
+	CyclesOnly
+)
+
+var modeNames = [...]string{"functional", "cycles-only"}
+
+func (m Mode) String() string {
+	if m >= 0 && int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// DPUForMode builds the DPU a kernel run under the mode needs: a functional
+// DPU with backed memories, or a segment-less accounting DPU.
+func DPUForMode(cfg *pim.Config, m Mode) *pim.DPU {
+	if m == CyclesOnly {
+		return pim.NewAccountingDPU(cfg)
+	}
+	return pim.NewDPU(cfg)
+}
+
 // Costs bundles the per-inner-loop instruction budgets of each kernel. All
 // values are DPU instructions (1 cycle each unless noted); they encode the
 // realistic UPMEM assembly the paper's kernels compile to and are the only
@@ -124,6 +162,18 @@ func NewTile(m, k, n int, f quant.Format, w, a []uint8) (*Tile, error) {
 		return nil, fmt.Errorf("kernels: A has %d codes, want %d", len(a), k*n)
 	}
 	return &Tile{M: m, K: k, N: n, Fmt: f, W: w, A: a, O: make([]int32, m*n)}, nil
+}
+
+// NewShapeTile builds a data-less tile for cycles-only runs: the shape and
+// format drive the cost program, and no code arrays or output are allocated.
+// The DPU mode — not the tile — selects which program runs, so a shape tile
+// must only be paired with an accounting DPU: on a functional DPU the data
+// program will index the nil code slices and panic.
+func NewShapeTile(m, k, n int, f quant.Format) (*Tile, error) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("kernels: invalid tile %dx%dx%d", m, k, n)
+	}
+	return &Tile{M: m, K: k, N: n, Fmt: f}, nil
 }
 
 // RefGEMM computes the exact integer reference product of the tile's codes.
@@ -250,3 +300,54 @@ func MetaRecordBytes(v Variant, spec lut.Spec) int {
 
 // chunkBytes is the staging granularity for raw-code DMA transfers.
 const chunkBytes = 2048
+
+// lutSegment places one host-built LUT in the bank: functional DPUs build
+// (or fetch from the process-wide cache) the table via build and map it
+// read-only; accounting DPUs reserve the identical byte count without ever
+// materializing the table. All packed-LUT kernels route their table setup
+// through here so the two programs cannot drift.
+func lutSegment(d *pim.DPU, name string, size int64, build func() ([]byte, error)) (*pim.Segment, error) {
+	if d.CostOnly() {
+		return d.MRAM.Reserve(name, size)
+	}
+	data, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return d.MRAM.Map(name, data)
+}
+
+// dmaIn streams n bytes from seg[off:] into the WRAM buffer on a functional
+// DPU, or charges the identical transfer on an accounting DPU. Kernels call
+// it so the cost and data programs share one call site per transfer.
+func dmaIn(d *pim.DPU, seg *pim.Segment, off int64, buf *pim.Buffer, n int) error {
+	if d.CostOnly() {
+		return d.ChargeDMARead(seg, off, int64(n))
+	}
+	return d.DMARead(seg, off, buf.Data[:n])
+}
+
+// dmaOut is dmaIn for the WRAM -> MRAM direction.
+func dmaOut(d *pim.DPU, seg *pim.Segment, off int64, buf *pim.Buffer, n int) error {
+	if d.CostOnly() {
+		return d.ChargeDMAWrite(seg, off, int64(n))
+	}
+	return d.DMAWrite(seg, off, buf.Data[:n])
+}
+
+// flushAcc serializes the int32 column accumulator into the output buffer's
+// little-endian byte image before writeback. Kernels accumulate in acc (one
+// register-file-style scratch, satellite of the byte-RMW removal) and only
+// touch bytes once per column.
+func flushAcc(acc []int32, dst []byte) {
+	for i, v := range acc {
+		lut.WriteEntry(dst, i, 4, v)
+	}
+}
+
+// zeroAcc clears the accumulator.
+func zeroAcc(acc []int32) {
+	for i := range acc {
+		acc[i] = 0
+	}
+}

@@ -67,6 +67,7 @@ func planeBits(c quant.Codec, code uint8) uint8 {
 // Run executes the tile. The DPU must be freshly reset.
 func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	bw := t.Fmt.Weight.Bits
 	g4 := groupsOf(t.K, ltcGroup)
 	planeRowBytes := (g4 + 1) / 2 // two 4-bit groups per byte
@@ -87,36 +88,38 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
-	for m := 0; m < t.M; m++ {
-		for b := 0; b < bw; b++ {
-			base := (m*bw + b) * planeRowBytes
-			for g := 0; g < g4; g++ {
-				var nib byte
-				for i := 0; i < ltcGroup; i++ {
-					kk := g*ltcGroup + i
-					if kk >= t.K {
-						break
+	if !cost {
+		for m := 0; m < t.M; m++ {
+			for b := 0; b < bw; b++ {
+				base := (m*bw + b) * planeRowBytes
+				for g := 0; g < g4; g++ {
+					var nib byte
+					for i := 0; i < ltcGroup; i++ {
+						kk := g*ltcGroup + i
+						if kk >= t.K {
+							break
+						}
+						bit := (planeBits(t.Fmt.Weight, t.W[m*t.K+kk]) >> uint(b)) & 1
+						nib |= bit << uint(i)
 					}
-					bit := (planeBits(t.Fmt.Weight, t.W[m*t.K+kk]) >> uint(b)) & 1
-					nib |= bit << uint(i)
-				}
-				if g%2 == 0 {
-					wSeg.Data[base+g/2] |= nib
-				} else {
-					wSeg.Data[base+g/2] |= nib << 4
+					if g%2 == 0 {
+						wSeg.Data[base+g/2] |= nib
+					} else {
+						wSeg.Data[base+g/2] |= nib << 4
+					}
 				}
 			}
 		}
-	}
-	for n := 0; n < t.N; n++ {
-		base := n * colRec
-		var colSum int32
-		for kk := 0; kk < t.K; kk++ {
-			v := t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))
-			aSeg.Data[base+4+kk] = byte(int8(v))
-			colSum += v
+		for n := 0; n < t.N; n++ {
+			base := n * colRec
+			var colSum int32
+			for kk := 0; kk < t.K; kk++ {
+				v := t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))
+				aSeg.Data[base+4+kk] = byte(int8(v))
+				colSum += v
+			}
+			lut.WriteEntry(aSeg.Data[base:], 0, 4, colSum)
 		}
-		lut.WriteEntry(aSeg.Data[base:], 0, 4, colSum)
 	}
 
 	// WRAM: activation column record, subset-sum tables (2 B entries),
@@ -147,73 +150,94 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	accs := make([]int32, bw)
 
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(aSeg, int64(n*colRec), aBuf.Data); err != nil {
+		if err := dmaIn(d, aSeg, int64(n*colRec), aBuf, colRec); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		colSum := lut.ReadEntry(aBuf.Data, 0, 4)
+		var colSum int32
+		if !cost {
+			colSum = lut.ReadEntry(aBuf.Data, 0, 4)
 
-		// Runtime table build: gray-code subset sums per activation group.
-		for g := 0; g < g4; g++ {
-			tbase := g * 16
-			lut.WriteEntry(tblBuf.Data, tbase, 2, 0)
-			for idx := 1; idx < 16; idx++ {
-				low := idx & -idx
-				prev := lut.ReadEntry(tblBuf.Data, tbase+(idx^low), 2)
-				bitPos := trailingZeros4(low)
-				kk := g*ltcGroup + bitPos
-				var av int32
-				if kk < t.K {
-					av = int32(int8(aBuf.Data[4+kk]))
+			// Runtime table build: gray-code subset sums per activation group.
+			for g := 0; g < g4; g++ {
+				tbase := g * 16
+				lut.WriteEntry(tblBuf.Data, tbase, 2, 0)
+				for idx := 1; idx < 16; idx++ {
+					low := idx & -idx
+					prev := lut.ReadEntry(tblBuf.Data, tbase+(idx^low), 2)
+					bitPos := trailingZeros4(low)
+					kk := g*ltcGroup + bitPos
+					var av int32
+					if kk < t.K {
+						av = int32(int8(aBuf.Data[4+kk]))
+					}
+					lut.WriteEntry(tblBuf.Data, tbase+idx, 2, prev+av)
 				}
-				lut.WriteEntry(tblBuf.Data, tbase+idx, 2, prev+av)
 			}
 		}
 		d.Exec(pim.EvInstr, int64(g4)*16*k.Costs.LTCTableBuildInstr)
 		d.Note(pim.EvWRAMAccess, int64(g4)*32)
 		x.charge(&x.b.Other)
 
-		for m := 0; m < t.M; m++ {
-			if err := d.DMARead(wSeg, int64(m*bw*planeRowBytes), wBuf.Data); err != nil {
+		if cost {
+			// The per-row charge sequence is a linear function of the trip
+			// count, so the cost program folds the M rows into three batched
+			// charges with identical totals and phase attribution.
+			if err := d.ChargeDMAReadSeq(wSeg, 0, int64(bw*planeRowBytes),
+				int64(t.M), int64(bw*planeRowBytes)); err != nil {
 				return nil, err
 			}
 			x.charge(&x.b.Transfer)
-
-			for b := 0; b < bw; b++ {
-				var acc int32
-				prow := wBuf.Data[b*planeRowBytes : (b+1)*planeRowBytes]
-				for g := 0; g < g4; g++ {
-					nib := prow[g/2]
-					if g%2 == 1 {
-						nib >>= 4
-					}
-					acc += lut.ReadEntry(tblBuf.Data, g*16+int(nib&0xF), 2)
-				}
-				accs[b] = acc
-			}
-			d.Exec(pim.EvInstr, int64(bw)*int64(g4)*k.Costs.LTCGroupInstr)
-			d.Note(pim.EvWRAMAccess, int64(bw)*int64(g4)*2)
+			d.Exec(pim.EvInstr, int64(t.M)*int64(bw)*int64(g4)*k.Costs.LTCGroupInstr)
+			d.Note(pim.EvWRAMAccess, int64(t.M)*int64(bw)*int64(g4)*2)
 			x.charge(&x.b.CanonAccess)
-
-			var out int32
-			for b := 0; b < bw; b++ {
-				out += coefs[b] * accs[b]
-			}
-			out += corr * colSum
-			lut.WriteEntry(oBuf.Data, m, 4, out)
-			d.Exec(pim.EvInstr, int64(bw)*k.Costs.LTCCombineInstr+2)
+			d.Exec(pim.EvInstr, int64(t.M)*(int64(bw)*k.Costs.LTCCombineInstr+2))
 			x.charge(&x.b.Accumulate)
+		} else {
+			for m := 0; m < t.M; m++ {
+				if err := d.DMARead(wSeg, int64(m*bw*planeRowBytes), wBuf.Data); err != nil {
+					return nil, err
+				}
+				x.charge(&x.b.Transfer)
+
+				for b := 0; b < bw; b++ {
+					var acc int32
+					prow := wBuf.Data[b*planeRowBytes : (b+1)*planeRowBytes]
+					for g := 0; g < g4; g++ {
+						nib := prow[g/2]
+						if g%2 == 1 {
+							nib >>= 4
+						}
+						acc += lut.ReadEntry(tblBuf.Data, g*16+int(nib&0xF), 2)
+					}
+					accs[b] = acc
+				}
+				d.Exec(pim.EvInstr, int64(bw)*int64(g4)*k.Costs.LTCGroupInstr)
+				d.Note(pim.EvWRAMAccess, int64(bw)*int64(g4)*2)
+				x.charge(&x.b.CanonAccess)
+
+				var out int32
+				for b := 0; b < bw; b++ {
+					out += coefs[b] * accs[b]
+				}
+				out += corr * colSum
+				lut.WriteEntry(oBuf.Data, m, 4, out)
+				d.Exec(pim.EvInstr, int64(bw)*k.Costs.LTCCombineInstr+2)
+				x.charge(&x.b.Accumulate)
+			}
 		}
-		if err := d.DMAWrite(oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if err := dmaOut(d, oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
 
 	// O is stored column-major in the bank; transpose out.
-	for n := 0; n < t.N; n++ {
-		for m := 0; m < t.M; m++ {
-			t.O[m*t.N+n] = lut.ReadEntry(oSeg.Data, n*t.M+m, 4)
+	if !cost {
+		for n := 0; n < t.N; n++ {
+			for m := 0; m < t.M; m++ {
+				t.O[m*t.N+n] = lut.ReadEntry(oSeg.Data, n*t.M+m, 4)
+			}
 		}
 	}
 	return x.result(LTC, lut.Spec{}, 0, 0), nil

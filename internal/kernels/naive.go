@@ -7,11 +7,11 @@ import (
 	"github.com/ais-snu/localut/internal/pim"
 )
 
-// NaiveKernel is the conventional PIM baseline: the in-order core performs
-// every MAC with its native 8-bit multiplier. The host pre-decodes the
-// quantized codes to int8 values (all evaluated formats fit int8), ships W
-// row-major and A column-major, and the device streams weight rows against
-// WRAM-staged activation columns.
+// NaiveKernel is conventional PIM: the in-order core performs every MAC with
+// its native 8-bit multiplier. The host pre-decodes the quantized codes to
+// int8 values (all evaluated formats fit int8), ships W row-major and A
+// column-major, and the device streams weight rows against WRAM-staged
+// activation columns.
 type NaiveKernel struct {
 	Costs Costs
 }
@@ -25,6 +25,7 @@ func (k *NaiveKernel) Variant() Variant { return Naive }
 // Run executes the tile. The DPU must be freshly reset.
 func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 
 	// Host-side staging into the bank (uncharged here; the orchestrator
 	// charges the host->PIM link for these bytes).
@@ -40,15 +41,17 @@ func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("naive: %w", err)
 	}
-	for m := 0; m < t.M; m++ {
-		for kk := 0; kk < t.K; kk++ {
-			wSeg.Data[m*t.K+kk] = byte(int8(t.Fmt.Weight.Decode(uint32(t.W[m*t.K+kk]))))
+	if !cost {
+		for m := 0; m < t.M; m++ {
+			for kk := 0; kk < t.K; kk++ {
+				wSeg.Data[m*t.K+kk] = byte(int8(t.Fmt.Weight.Decode(uint32(t.W[m*t.K+kk]))))
+			}
 		}
-	}
-	// A column-major so device column DMAs are contiguous.
-	for kk := 0; kk < t.K; kk++ {
-		for n := 0; n < t.N; n++ {
-			aSeg.Data[n*t.K+kk] = byte(int8(t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))))
+		// A column-major so device column DMAs are contiguous.
+		for kk := 0; kk < t.K; kk++ {
+			for n := 0; n < t.N; n++ {
+				aSeg.Data[n*t.K+kk] = byte(int8(t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))))
+			}
 		}
 	}
 
@@ -80,30 +83,39 @@ func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		if n0+ncols > t.N {
 			ncols = t.N - n0
 		}
-		if err := d.DMARead(aSeg, int64(n0*t.K), aChunk.Data[:ncols*t.K]); err != nil {
+		if err := dmaIn(d, aSeg, int64(n0*t.K), aChunk, ncols*t.K); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
 
 		for m := 0; m < t.M; m++ {
-			if err := d.DMARead(wSeg, int64(m*t.K), wRow.Data); err != nil {
+			if err := dmaIn(d, wSeg, int64(m*t.K), wRow, t.K); err != nil {
 				return nil, err
 			}
 			x.charge(&x.b.Transfer)
 
-			for j := 0; j < ncols; j++ {
-				acol := aChunk.Data[j*t.K : (j+1)*t.K]
-				var acc int32
-				for kk := 0; kk < t.K; kk++ {
-					acc += int32(int8(wRow.Data[kk])) * int32(int8(acol[kk]))
+			// The per-column charge sequence is a linear function of the trip
+			// count, so the cost program folds the ncols columns into one
+			// batch of identical totals.
+			if cost {
+				d.Exec(pim.EvInstr, int64(ncols)*int64(t.K)*k.Costs.NaiveMACInstr)
+				d.Exec(pim.EvMul8, int64(ncols)*int64(t.K))
+				d.Note(pim.EvWRAMAccess, int64(ncols)*int64(2*t.K))
+			} else {
+				for j := 0; j < ncols; j++ {
+					acol := aChunk.Data[j*t.K : (j+1)*t.K]
+					var acc int32
+					for kk := 0; kk < t.K; kk++ {
+						acc += int32(int8(wRow.Data[kk])) * int32(int8(acol[kk]))
+					}
+					lut.WriteEntry(oRow.Data, j, 4, acc)
+					d.Exec(pim.EvInstr, int64(t.K)*k.Costs.NaiveMACInstr)
+					d.Exec(pim.EvMul8, int64(t.K))
+					d.Note(pim.EvWRAMAccess, int64(2*t.K))
 				}
-				lut.WriteEntry(oRow.Data, j, 4, acc)
-				d.Exec(pim.EvInstr, int64(t.K)*k.Costs.NaiveMACInstr)
-				d.Exec(pim.EvMul8, int64(t.K))
-				d.Note(pim.EvWRAMAccess, int64(2*t.K))
 			}
 			x.charge(&x.b.Accumulate)
-			if err := d.DMAWrite(oSeg, int64((m*t.N+n0)*4), oRow.Data[:ncols*4]); err != nil {
+			if err := dmaOut(d, oSeg, int64((m*t.N+n0)*4), oRow, ncols*4); err != nil {
 				return nil, err
 			}
 			x.charge(&x.b.Other)
@@ -112,8 +124,10 @@ func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 
 	// Read the output back out of the bank image (host gather is charged
 	// by the orchestrator).
-	for i := 0; i < t.M*t.N; i++ {
-		t.O[i] = lut.ReadEntry(oSeg.Data, i, 4)
+	if !cost {
+		for i := 0; i < t.M*t.N; i++ {
+			t.O[i] = lut.ReadEntry(oSeg.Data, i, 4)
+		}
 	}
 	return x.result(Naive, lut.Spec{}, 0, 0), nil
 }

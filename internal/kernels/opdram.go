@@ -28,6 +28,7 @@ func (k *OPDRAMKernel) Variant() Variant { return OP }
 
 func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	spec := k.Spec
 	bo := spec.EntryBytes()
 	lutBytes := spec.OpPackedBytes()
@@ -35,15 +36,11 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP(DRAM) LUT %s needs %d bytes, MRAM LUT budget is %d",
 			spec, lutBytes, d.Cfg.MRAMLUTBudget())
 	}
-	table, err := lut.CachedOpPacked(spec)
-	if err != nil {
-		return nil, err
-	}
 
 	recBytes := byteWidthFor(spec.OpCols() * int64(bo))
 	aBits := spec.Fmt.Act.Bits
+	codes := make([]uint32, spec.P)
 	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
-		codes := make([]uint32, spec.P)
 		for i, c := range actCodes {
 			codes[i] = uint32(c)
 		}
@@ -55,7 +52,13 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
 	}
 
-	lutSeg, err := d.MRAM.Map("LUT", table.Data)
+	lutSeg, err := lutSegment(d, "LUT", lutBytes, func() ([]byte, error) {
+		table, err := lut.CachedOpPacked(spec)
+		if err != nil {
+			return nil, err
+		}
+		return table.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w", err)
 	}
@@ -73,45 +76,57 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w (tile M too large)", err)
 	}
+	var acc []int32
+	if !cost {
+		acc = make([]int32, t.M)
+	}
 
 	rowStride := int64(spec.OpCols()) * int64(bo)
 	entry := make([]byte, bo)
 	x := newBK(d)
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		for i := range oBuf.Data {
-			oBuf.Data[i] = 0
+		if !cost {
+			zeroAcc(acc)
 		}
 		d.Exec(pim.EvInstr, int64(t.M))
 		x.charge(&x.b.Other)
 
 		for gi := 0; gi < g; gi++ {
-			aOff := int64(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			var aOff int64
+			if !cost {
+				aOff = int64(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			}
 			for m0 := 0; m0 < t.M; m0 += wChunk {
 				mc := wChunk
 				if m0+mc > t.M {
 					mc = t.M - m0
 				}
-				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
-					wBuf.Data[:mc*st.rowBytes]); err != nil {
+				if err := dmaIn(d, st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf, mc*st.rowBytes); err != nil {
 					return nil, err
 				}
 				x.charge(&x.b.Transfer)
 
-				for m := 0; m < mc; m++ {
-					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-					// Per-lookup MRAM access: the defining cost of this
-					// design point.
-					if err := d.DMARead(lutSeg, int64(w)*rowStride+aOff, entry); err != nil {
+				// Per-lookup MRAM access: the defining cost of this design
+				// point. Entry addresses are data-dependent but every access
+				// moves the same bo bytes, so the cost program folds the mc
+				// lookups into one aggregate charge of identical cycles.
+				if cost {
+					if err := d.ChargeDMAReads(lutSeg, int64(mc), int64(bo)); err != nil {
 						return nil, err
 					}
-					e := lut.ReadEntry(entry, 0, bo)
-					idx := m0 + m
-					lut.WriteEntry(oBuf.Data, idx, 4,
-						lut.ReadEntry(oBuf.Data, idx, 4)+e)
+				} else {
+					for m := 0; m < mc; m++ {
+						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+						if err := d.DMARead(lutSeg, int64(w)*rowStride+aOff, entry); err != nil {
+							return nil, err
+						}
+						acc[m0+m] += lut.ReadEntry(entry, 0, bo)
+					}
 				}
 				x.charge(&x.b.LUTLoad)
 				d.Exec(pim.EvInstr, int64(mc)*k.Costs.OPGroupInstr)
@@ -119,11 +134,16 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				x.charge(&x.b.CanonAccess)
 			}
 		}
-		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if !cost {
+			flushAcc(acc, oBuf.Data)
+		}
+		if err := dmaOut(d, st.oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
-	st.readO(t)
+	if !cost {
+		st.readO(t)
+	}
 	return x.result(OP, spec, spec.P, 0), nil
 }

@@ -38,9 +38,12 @@ func padActCode(c quant.Codec) (uint32, error) {
 	return 0, fmt.Errorf("kernels: activation codec %v cannot represent 0; K must be a multiple of p", c)
 }
 
-// stageCommon allocates and fills the weight, metadata and output segments.
-// buildMeta fills the record for group g of column n given the group's
-// activation codes.
+// stageCommon allocates the weight, metadata and output segments and — on a
+// functional DPU — fills the weight and metadata images. buildMeta fills the
+// record for group g of column n given the group's activation codes; it is
+// never invoked on an accounting DPU, whose segments have the same sizes but
+// no bytes. Staging is host work and charges nothing, so skipping the fills
+// cannot perturb the meter.
 func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
 	buildMeta func(rec []byte, actCodes []int) error) (*stagedLUT, error) {
 
@@ -58,6 +61,16 @@ func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
 	}
 	if st.oSeg, err = d.MRAM.Alloc("O", int64(t.M*t.N*4)); err != nil {
 		return nil, err
+	}
+
+	// The pad code is resolved in both modes so a padding-impossible codec
+	// fails identically whichever program runs.
+	padCode, err := padActCode(spec.Fmt.Act)
+	if err != nil {
+		return nil, err
+	}
+	if d.CostOnly() {
+		return st, nil
 	}
 
 	// Pack weights group-major: [g][m].
@@ -79,10 +92,6 @@ func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
 	}
 
 	// Metadata per (n, g).
-	padCode, err := padActCode(spec.Fmt.Act)
-	if err != nil {
-		return nil, err
-	}
 	actCodes := make([]int, p)
 	for n := 0; n < t.N; n++ {
 		for gi := 0; gi < g; gi++ {
@@ -132,6 +141,7 @@ func (k *OPKernel) Variant() Variant { return OP }
 
 func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	spec := k.Spec
 	bo := spec.EntryBytes()
 	lutBytes := spec.OpPackedBytes()
@@ -139,16 +149,12 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP LUT %s needs %d bytes, WRAM LUT budget is %d",
 			spec, lutBytes, d.Cfg.WRAMLUTBudget())
 	}
-	table, err := lut.CachedOpPacked(spec)
-	if err != nil {
-		return nil, err
-	}
 
 	// Meta record: byte offset of the packed activation within a LUT row.
 	aBits := spec.Fmt.Act.Bits
 	recBytes := MetaRecordBytes(OP, spec)
+	codes := make([]uint32, spec.P)
 	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
-		codes := make([]uint32, spec.P)
 		for i, c := range actCodes {
 			codes[i] = uint32(c)
 		}
@@ -161,9 +167,16 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	}
 
 	// The LUT is broadcast into the bank and DMAd into WRAM once. Every
-	// bank holds the identical table, so the simulation maps the shared
-	// cached copy instead of duplicating it per DPU.
-	lutSeg, err := d.MRAM.Map("LUT", table.Data)
+	// bank holds the identical table, so the functional simulation maps the
+	// shared cached copy instead of duplicating it per DPU; the cost program
+	// reserves the same bytes without ever building the table.
+	lutSeg, err := lutSegment(d, "LUT", lutBytes, func() ([]byte, error) {
+		table, err := lut.CachedOpPacked(spec)
+		if err != nil {
+			return nil, err
+		}
+		return table.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP: %w", err)
 	}
@@ -173,7 +186,7 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP: %w", err)
 	}
 	x := newBK(d)
-	if err := d.DMARead(lutSeg, 0, lutBuf.Data); err != nil {
+	if err := dmaIn(d, lutSeg, 0, lutBuf, int(lutBytes)); err != nil {
 		return nil, err
 	}
 	x.charge(&x.b.LUTLoad)
@@ -192,49 +205,60 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP: %w (tile M too large)", err)
 	}
+	var acc []int32
+	if !cost {
+		acc = make([]int32, t.M)
+	}
 
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		for i := range oBuf.Data {
-			oBuf.Data[i] = 0
+		if !cost {
+			zeroAcc(acc)
 		}
 		d.Exec(pim.EvInstr, int64(t.M))
 		x.charge(&x.b.Other)
 
 		for gi := 0; gi < g; gi++ {
-			aOff := int(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			var aOff int
+			if !cost {
+				aOff = int(lut.ReadUint(metaBuf.Data, gi, recBytes))
+			}
 			for m0 := 0; m0 < t.M; m0 += wChunk {
 				mc := wChunk
 				if m0+mc > t.M {
 					mc = t.M - m0
 				}
-				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
-					wBuf.Data[:mc*st.rowBytes]); err != nil {
+				if err := dmaIn(d, st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf, mc*st.rowBytes); err != nil {
 					return nil, err
 				}
 				x.charge(&x.b.Transfer)
 
-				for m := 0; m < mc; m++ {
-					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-					entry := lut.ReadEntry(lutBuf.Data[int(w)*rowStride+aOff:], 0, bo)
-					idx := m0 + m
-					lut.WriteEntry(oBuf.Data, idx, 4,
-						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
+				if !cost {
+					for m := 0; m < mc; m++ {
+						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+						acc[m0+m] += lut.ReadEntry(lutBuf.Data[int(w)*rowStride+aOff:], 0, bo)
+					}
 				}
 				d.Exec(pim.EvInstr, int64(mc)*k.Costs.OPGroupInstr)
 				d.Note(pim.EvWRAMAccess, int64(mc)*4)
 				x.charge(&x.b.CanonAccess)
 			}
 		}
-		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if !cost {
+			flushAcc(acc, oBuf.Data)
+		}
+		if err := dmaOut(d, st.oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
-	st.readO(t)
+	if !cost {
+		st.readO(t)
+	}
 	return x.result(OP, spec, spec.P, 0), nil
 }
 
@@ -255,6 +279,7 @@ func (k *OPLCKernel) Variant() Variant { return OPLC }
 
 func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	spec := k.Spec
 	p := spec.P
 	bo := spec.EntryBytes()
@@ -262,10 +287,6 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if lutBytes > d.Cfg.WRAMLUTBudget() {
 		return nil, fmt.Errorf("kernels: OP+LC canonical LUT %s needs %d bytes, WRAM LUT budget is %d",
 			spec, lutBytes, d.Cfg.WRAMLUTBudget())
-	}
-	canon, err := lut.CachedCanonical(spec)
-	if err != nil {
-		return nil, err
 	}
 
 	// Meta record: canonical column byte offset (minimal width) + the sort
@@ -287,7 +308,13 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
 
-	lutSeg, err := d.MRAM.Map("LUT", canon.Data)
+	lutSeg, err := lutSegment(d, "LUT", lutBytes, func() ([]byte, error) {
+		canon, err := lut.CachedCanonical(spec)
+		if err != nil {
+			return nil, err
+		}
+		return canon.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
@@ -296,7 +323,7 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
 	x := newBK(d)
-	if err := d.DMARead(lutSeg, 0, lutBuf.Data); err != nil {
+	if err := dmaIn(d, lutSeg, 0, lutBuf, int(lutBytes)); err != nil {
 		return nil, err
 	}
 	x.charge(&x.b.LUTLoad)
@@ -314,60 +341,72 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC: %w (tile M too large)", err)
 	}
+	var acc []int32
+	if !cost {
+		acc = make([]int32, t.M)
+	}
 
 	wb := spec.Fmt.Weight.Bits
 	unpacked := make([]uint32, p)
 	permuted := make([]uint32, p)
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		for i := range oBuf.Data {
-			oBuf.Data[i] = 0
+		if !cost {
+			zeroAcc(acc)
 		}
 		d.Exec(pim.EvInstr, int64(t.M))
 		x.charge(&x.b.Other)
 
 		for gi := 0; gi < g; gi++ {
-			rec := metaBuf.Data[gi*recBytes : (gi+1)*recBytes]
-			colOff := int(lut.ReadUint(rec, 0, colB))
-			sigma := rec[colB : colB+p]
+			var colOff int
+			var sigma []byte
+			if !cost {
+				rec := metaBuf.Data[gi*recBytes : (gi+1)*recBytes]
+				colOff = int(lut.ReadUint(rec, 0, colB))
+				sigma = rec[colB : colB+p]
+			}
 			for m0 := 0; m0 < t.M; m0 += wChunk {
 				mc := wChunk
 				if m0+mc > t.M {
 					mc = t.M - m0
 				}
-				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
-					wBuf.Data[:mc*st.rowBytes]); err != nil {
+				if err := dmaIn(d, st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf, mc*st.rowBytes); err != nil {
 					return nil, err
 				}
 				x.charge(&x.b.Transfer)
 
-				for m := 0; m < mc; m++ {
-					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-					// Software reorder: unpack, permute, repack.
-					quant.UnpackInto(unpacked, w, wb)
-					for i := 0; i < p; i++ {
-						permuted[i] = unpacked[sigma[i]]
+				if !cost {
+					for m := 0; m < mc; m++ {
+						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+						// Software reorder: unpack, permute, repack.
+						quant.UnpackInto(unpacked, w, wb)
+						for i := 0; i < p; i++ {
+							permuted[i] = unpacked[sigma[i]]
+						}
+						wCanon := quant.PackVector(permuted, wb)
+						acc[m0+m] += lut.ReadEntry(lutBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
 					}
-					wCanon := quant.PackVector(permuted, wb)
-					entry := lut.ReadEntry(lutBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
-					idx := m0 + m
-					lut.WriteEntry(oBuf.Data, idx, 4,
-						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
 				}
 				d.Exec(pim.EvInstr, int64(mc)*(k.Costs.LCSWPerElement*int64(p)+k.Costs.LCSWGroupInstr))
 				d.Note(pim.EvWRAMAccess, int64(mc)*int64(4+p))
 				x.charge(&x.b.IdxCalc)
 			}
 		}
-		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if !cost {
+			flushAcc(acc, oBuf.Data)
+		}
+		if err := dmaOut(d, st.oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
-	st.readO(t)
+	if !cost {
+		st.readO(t)
+	}
 	return x.result(OPLC, spec, p, 0), nil
 }
 
@@ -399,6 +438,7 @@ func (k *OPLCRCKernel) Variant() Variant { return OPLCRC }
 
 func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	spec := k.Spec
 	bo := spec.EntryBytes()
 	rb := spec.WeightRowBytes()
@@ -406,14 +446,6 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if needed > d.Cfg.WRAMLUTBudget() {
 		return nil, fmt.Errorf("kernels: OP+LC+RC LUTs %s need %d bytes, WRAM LUT budget is %d",
 			spec, needed, d.Cfg.WRAMLUTBudget())
-	}
-	canon, err := lut.CachedCanonical(spec)
-	if err != nil {
-		return nil, err
-	}
-	reorder, err := lut.CachedReorder(spec)
-	if err != nil {
-		return nil, err
 	}
 
 	rows := int(spec.Rows())
@@ -433,11 +465,23 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
 
-	canonSeg, err := d.MRAM.Map("CanonLUT", canon.Data)
+	canonSeg, err := lutSegment(d, "CanonLUT", spec.CanonicalBytes(), func() ([]byte, error) {
+		canon, err := lut.CachedCanonical(spec)
+		if err != nil {
+			return nil, err
+		}
+		return canon.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
-	reorderSeg, err := d.MRAM.Map("ReorderLUT", reorder.Data)
+	reorderSeg, err := lutSegment(d, "ReorderLUT", spec.ReorderBytes(), func() ([]byte, error) {
+		reorder, err := lut.CachedReorder(spec)
+		if err != nil {
+			return nil, err
+		}
+		return reorder.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
@@ -451,10 +495,10 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
 	x := newBK(d)
-	if err := d.DMARead(canonSeg, 0, canonBuf.Data); err != nil {
+	if err := dmaIn(d, canonSeg, 0, canonBuf, int(spec.CanonicalBytes())); err != nil {
 		return nil, err
 	}
-	if err := d.DMARead(reorderSeg, 0, reorderBuf.Data); err != nil {
+	if err := dmaIn(d, reorderSeg, 0, reorderBuf, int(spec.ReorderBytes())); err != nil {
 		return nil, err
 	}
 	x.charge(&x.b.LUTLoad)
@@ -472,39 +516,45 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w (tile M too large)", err)
 	}
+	var acc []int32
+	if !cost {
+		acc = make([]int32, t.M)
+	}
 
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		for i := range oBuf.Data {
-			oBuf.Data[i] = 0
+		if !cost {
+			zeroAcc(acc)
 		}
 		d.Exec(pim.EvInstr, int64(t.M))
 		x.charge(&x.b.Other)
 
 		for gi := 0; gi < g; gi++ {
-			colOff := int(lut.ReadUint(metaBuf.Data[gi*recBytes:], 0, colB))
-			sigmaOff := int(lut.ReadUint(metaBuf.Data[gi*recBytes+colB:], 0, sigB))
+			var colOff, sigmaOff int
+			if !cost {
+				colOff = int(lut.ReadUint(metaBuf.Data[gi*recBytes:], 0, colB))
+				sigmaOff = int(lut.ReadUint(metaBuf.Data[gi*recBytes+colB:], 0, sigB))
+			}
 			for m0 := 0; m0 < t.M; m0 += wChunk {
 				mc := wChunk
 				if m0+mc > t.M {
 					mc = t.M - m0
 				}
-				if err := d.DMARead(st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
-					wBuf.Data[:mc*st.rowBytes]); err != nil {
+				if err := dmaIn(d, st.wSeg, int64((gi*t.M+m0)*st.rowBytes),
+					wBuf, mc*st.rowBytes); err != nil {
 					return nil, err
 				}
 				x.charge(&x.b.Transfer)
 
-				for m := 0; m < mc; m++ {
-					w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-					wCanon := lut.ReadUint(reorderBuf.Data[sigmaOff+int(w)*rb:], 0, rb)
-					entry := lut.ReadEntry(canonBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
-					idx := m0 + m
-					lut.WriteEntry(oBuf.Data, idx, 4,
-						lut.ReadEntry(oBuf.Data, idx, 4)+entry)
+				if !cost {
+					for m := 0; m < mc; m++ {
+						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+						wCanon := lut.ReadUint(reorderBuf.Data[sigmaOff+int(w)*rb:], 0, rb)
+						acc[m0+m] += lut.ReadEntry(canonBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
+					}
 				}
 				mc64 := int64(mc)
 				d.Exec(pim.EvInstr, mc64*k.Costs.RCIdxCalcInstr)
@@ -518,11 +568,16 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				d.Note(pim.EvWRAMAccess, mc64*4)
 			}
 		}
-		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if !cost {
+			flushAcc(acc, oBuf.Data)
+		}
+		if err := dmaOut(d, st.oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
-	st.readO(t)
+	if !cost {
+		st.readO(t)
+	}
 	return x.result(OPLCRC, spec, spec.P, 0), nil
 }

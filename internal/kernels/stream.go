@@ -31,6 +31,7 @@ func (k *StreamKernel) Variant() Variant { return LoCaLUT }
 
 func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	d.Reset()
+	cost := d.CostOnly()
 	if k.SliceK < 1 {
 		return nil, fmt.Errorf("kernels: LoCaLUT: SliceK %d < 1", k.SliceK)
 	}
@@ -51,15 +52,6 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 			k.SliceK, sliceBytes, d.Cfg.WRAMLUTBudget())
 	}
 
-	canon, err := lut.CachedCanonical(spec)
-	if err != nil {
-		return nil, err
-	}
-	reorder, err := lut.CachedReorder(spec)
-	if err != nil {
-		return nil, err
-	}
-
 	colB := byteWidthFor(spec.CanonicalBytes())
 	sigB := byteWidthFor(spec.ReorderBytes())
 	recBytes := colB + sigB
@@ -76,11 +68,23 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
 
-	canonSeg, err := d.MRAM.Map("CanonLUT", canon.Data)
+	canonSeg, err := lutSegment(d, "CanonLUT", spec.CanonicalBytes(), func() ([]byte, error) {
+		canon, err := lut.CachedCanonical(spec)
+		if err != nil {
+			return nil, err
+		}
+		return canon.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
-	reorderSeg, err := d.MRAM.Map("ReorderLUT", reorder.Data)
+	reorderSeg, err := lutSegment(d, "ReorderLUT", spec.ReorderBytes(), func() ([]byte, error) {
+		reorder, err := lut.CachedReorder(spec)
+		if err != nil {
+			return nil, err
+		}
+		return reorder.Data, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w", err)
 	}
@@ -109,15 +113,19 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w (tile M too large)", err)
 	}
+	var acc []int32
+	if !cost {
+		acc = make([]int32, t.M)
+	}
 
 	x := newBK(d)
 	for n := 0; n < t.N; n++ {
-		if err := d.DMARead(st.metaSeg, int64(n*g*recBytes), metaBuf.Data); err != nil {
+		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Transfer)
-		for i := range oBuf.Data {
-			oBuf.Data[i] = 0
+		if !cost {
+			zeroAcc(acc)
 		}
 		d.Exec(pim.EvInstr, int64(t.M))
 		x.charge(&x.b.Other)
@@ -128,16 +136,28 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				kk = g - g0
 			}
 			// Stream the slice pairs for this group batch (step 3, Fig. 7).
-			for j := 0; j < kk; j++ {
-				colOff := int64(lut.ReadUint(metaBuf.Data[(g0+j)*recBytes:], 0, colB))
-				sigmaOff := int64(lut.ReadUint(metaBuf.Data[(g0+j)*recBytes+colB:], 0, sigB))
-				if err := d.DMARead(canonSeg, colOff,
-					canonSlices.Data[j*rows*bo:(j+1)*rows*bo]); err != nil {
+			// The streamed addresses are data-dependent but every slice has
+			// the same size, so the cost program folds the batch into two
+			// aggregate charges of identical total cycles and bytes.
+			if cost {
+				if err := d.ChargeDMAReads(canonSeg, int64(kk), int64(rows*bo)); err != nil {
 					return nil, err
 				}
-				if err := d.DMARead(reorderSeg, sigmaOff,
-					reorderSlices.Data[j*rows*rb:(j+1)*rows*rb]); err != nil {
+				if err := d.ChargeDMAReads(reorderSeg, int64(kk), int64(rows*rb)); err != nil {
 					return nil, err
+				}
+			} else {
+				for j := 0; j < kk; j++ {
+					colOff := int64(lut.ReadUint(metaBuf.Data[(g0+j)*recBytes:], 0, colB))
+					sigmaOff := int64(lut.ReadUint(metaBuf.Data[(g0+j)*recBytes+colB:], 0, sigB))
+					if err := d.DMARead(canonSeg, colOff,
+						canonSlices.Data[j*rows*bo:(j+1)*rows*bo]); err != nil {
+						return nil, err
+					}
+					if err := d.DMARead(reorderSeg, sigmaOff,
+						reorderSlices.Data[j*rows*rb:(j+1)*rows*rb]); err != nil {
+						return nil, err
+					}
 				}
 			}
 			x.charge(&x.b.LUTLoad)
@@ -149,10 +169,17 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				if m0+mc > t.M {
 					mc = t.M - m0
 				}
-				for j := 0; j < kk; j++ {
-					if err := d.DMARead(st.wSeg, int64(((g0+j)*t.M+m0)*rb),
-						wBuf.Data[j*wChunk*rb:j*wChunk*rb+mc*rb]); err != nil {
+				if cost {
+					if err := d.ChargeDMAReadSeq(st.wSeg, int64((g0*t.M+m0)*rb),
+						int64(t.M*rb), int64(kk), int64(mc*rb)); err != nil {
 						return nil, err
+					}
+				} else {
+					for j := 0; j < kk; j++ {
+						if err := d.DMARead(st.wSeg, int64(((g0+j)*t.M+m0)*rb),
+							wBuf.Data[j*wChunk*rb:j*wChunk*rb+mc*rb]); err != nil {
+							return nil, err
+						}
 					}
 				}
 				x.charge(&x.b.Transfer)
@@ -162,16 +189,16 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				// only one WRAM output update closes the row. This
 				// register-level output reuse is what makes larger k pay
 				// off (§VI-D, Fig. 13).
-				for m := 0; m < mc; m++ {
-					var reg int32
-					for j := 0; j < kk; j++ {
-						w := lut.ReadUint(wBuf.Data[j*wChunk*rb:], m, rb)
-						wCanon := lut.ReadUint(reorderSlices.Data[j*rows*rb:], int(w), rb)
-						reg += lut.ReadEntry(canonSlices.Data[j*rows*bo:], int(wCanon), bo)
+				if !cost {
+					for m := 0; m < mc; m++ {
+						var reg int32
+						for j := 0; j < kk; j++ {
+							w := lut.ReadUint(wBuf.Data[j*wChunk*rb:], m, rb)
+							wCanon := lut.ReadUint(reorderSlices.Data[j*rows*rb:], int(w), rb)
+							reg += lut.ReadEntry(canonSlices.Data[j*rows*bo:], int(wCanon), bo)
+						}
+						acc[m0+m] += reg
 					}
-					idx := m0 + m
-					lut.WriteEntry(oBuf.Data, idx, 4,
-						lut.ReadEntry(oBuf.Data, idx, 4)+reg)
 				}
 				mk := int64(mc) * int64(kk)
 				d.Exec(pim.EvInstr, mk*k.Costs.RCIdxCalcInstr)
@@ -185,11 +212,16 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				d.Note(pim.EvWRAMAccess, mk*3+int64(mc)*2)
 			}
 		}
-		if err := d.DMAWrite(st.oSeg, int64(n*t.M*4), oBuf.Data); err != nil {
+		if !cost {
+			flushAcc(acc, oBuf.Data)
+		}
+		if err := dmaOut(d, st.oSeg, int64(n*t.M*4), oBuf, t.M*4); err != nil {
 			return nil, err
 		}
 		x.charge(&x.b.Other)
 	}
-	st.readO(t)
+	if !cost {
+		st.readO(t)
+	}
 	return x.result(LoCaLUT, spec, spec.P, k.SliceK), nil
 }

@@ -1,0 +1,52 @@
+package lut
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// TestCacheStats pins the table-cache accounting: a first build is a miss
+// that grows the resident byte count, a repeat is a hit that does not, and
+// all three table kinds are tracked.
+func TestCacheStats(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+
+	if h, m, b := CacheStats(); h != 0 || m != 0 || b != 0 {
+		t.Fatalf("fresh cache reports %d hits, %d misses, %d bytes", h, m, b)
+	}
+
+	spec := MustSpec(quant.W1A3, 2)
+	op, err := CachedOpPacked(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m, b := CacheStats(); h != 0 || m != 1 || b != int64(len(op.Data)) {
+		t.Fatalf("after one build: %d hits, %d misses, %d bytes (table is %d)", h, m, b, len(op.Data))
+	}
+
+	again, err := CachedOpPacked(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != op {
+		t.Fatal("repeat lookup built a second table")
+	}
+	if h, m, b := CacheStats(); h != 1 || m != 1 || b != int64(len(op.Data)) {
+		t.Fatalf("after one hit: %d hits, %d misses, %d bytes", h, m, b)
+	}
+
+	canon, err := CachedCanonical(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reorder, err := CachedReorder(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(op.Data) + len(canon.Data) + len(reorder.Data))
+	if h, m, b := CacheStats(); h != 1 || m != 3 || b != want {
+		t.Fatalf("after all kinds: %d hits, %d misses, %d bytes (want %d)", h, m, b, want)
+	}
+}

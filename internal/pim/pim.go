@@ -195,10 +195,14 @@ func (m *Meter) Merge(other *Meter) {
 // Reset zeroes the meter.
 func (m *Meter) Reset() { *m = Meter{} }
 
-// Segment is a named MRAM allocation.
+// Segment is a named MRAM allocation. Size is always the allocated byte
+// count; Data backs it with host memory only on functional banks (on an
+// accounting bank Data stays nil and only the capacity bookkeeping and DMA
+// charges exist).
 type Segment struct {
 	Name string
 	Off  int64
+	Size int64
 	Data []byte
 	// ro marks a segment mapped over shared host memory (see MRAM.Map);
 	// DMAWrite refuses to touch it.
@@ -207,16 +211,25 @@ type Segment struct {
 
 // MRAM is the per-bank DRAM array, modelled as a bump allocator of named
 // segments. Only touched segments allocate host memory, so simulating a
-// few representative banks of a 128 GB system stays cheap.
+// few representative banks of a 128 GB system stays cheap. A cost-only
+// MRAM (NewAccountingDPU) allocates no host memory at all: segments keep
+// their sizes and offsets for capacity and bounds checking, but carry no
+// bytes.
 type MRAM struct {
 	capacity int64
 	used     int64
+	costOnly bool
 	segs     map[string]*Segment
 }
 
 // NewMRAM returns an empty bank of the given capacity.
 func NewMRAM(capacity int64) *MRAM {
 	return &MRAM{capacity: capacity, segs: make(map[string]*Segment)}
+}
+
+// newMRAM returns a bank, segment-less when costOnly.
+func newMRAM(capacity int64, costOnly bool) *MRAM {
+	return &MRAM{capacity: capacity, costOnly: costOnly, segs: make(map[string]*Segment)}
 }
 
 // Alloc reserves size bytes under name. It fails when the bank is full —
@@ -232,7 +245,34 @@ func (m *MRAM) Alloc(name string, size int64) (*Segment, error) {
 		return nil, fmt.Errorf("pim: MRAM alloc %q: %d bytes requested, %d of %d free",
 			name, size, m.capacity-m.used, m.capacity)
 	}
-	seg := &Segment{Name: name, Off: m.used, Data: make([]byte, size)}
+	seg := &Segment{Name: name, Off: m.used, Size: size}
+	if !m.costOnly {
+		seg.Data = make([]byte, size)
+	}
+	m.used += size
+	m.segs[name] = seg
+	return seg, nil
+}
+
+// Reserve records a segment of the given size without ever backing it with
+// host memory, whatever the bank mode. It exists for tables whose contents
+// the caller never materializes (a cycles-only kernel charging the DMA cost
+// of a LUT it will not read): capacity accounting works exactly as for
+// Alloc, but the bytes do not exist — only the ChargeDMA* entry points
+// accept such a segment (DMARead rejects it, DMAWrite rejects it as
+// read-only).
+func (m *MRAM) Reserve(name string, size int64) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("pim: MRAM reserve %q: size %d invalid", name, size)
+	}
+	if _, dup := m.segs[name]; dup {
+		return nil, fmt.Errorf("pim: MRAM reserve %q: duplicate segment", name)
+	}
+	if m.used+size > m.capacity {
+		return nil, fmt.Errorf("pim: MRAM reserve %q: %d bytes requested, %d of %d free",
+			name, size, m.capacity-m.used, m.capacity)
+	}
+	seg := &Segment{Name: name, Off: m.used, Size: size, ro: true}
 	m.used += size
 	m.segs[name] = seg
 	return seg, nil
@@ -256,7 +296,7 @@ func (m *MRAM) Map(name string, data []byte) (*Segment, error) {
 		return nil, fmt.Errorf("pim: MRAM map %q: %d bytes requested, %d of %d free",
 			name, size, m.capacity-m.used, m.capacity)
 	}
-	seg := &Segment{Name: name, Off: m.used, Data: data, ro: true}
+	seg := &Segment{Name: name, Off: m.used, Size: size, Data: data, ro: true}
 	m.used += size
 	m.segs[name] = seg
 	return seg, nil
@@ -269,7 +309,7 @@ func (m *MRAM) Free(name string) error {
 		return fmt.Errorf("pim: MRAM free %q: no such segment", name)
 	}
 	delete(m.segs, name)
-	m.used -= int64(len(seg.Data))
+	m.used -= seg.Size
 	return nil
 }
 
@@ -285,22 +325,32 @@ func (m *MRAM) Segment(name string) (*Segment, bool) {
 	return s, ok
 }
 
-// WRAM is the per-DPU scratchpad with the same named bump allocation.
+// WRAM is the per-DPU scratchpad with the same named bump allocation. A
+// cost-only WRAM tracks sizes without allocating bytes, like a cost-only
+// MRAM.
 type WRAM struct {
 	capacity int
 	used     int
+	costOnly bool
 	bufs     map[string]*Buffer
 }
 
-// Buffer is a named WRAM allocation.
+// Buffer is a named WRAM allocation. Size is always the allocated byte
+// count; Data is nil on accounting DPUs.
 type Buffer struct {
 	Name string
+	Size int
 	Data []byte
 }
 
 // NewWRAM returns an empty scratchpad.
 func NewWRAM(capacity int) *WRAM {
 	return &WRAM{capacity: capacity, bufs: make(map[string]*Buffer)}
+}
+
+// newWRAM returns a scratchpad, byte-less when costOnly.
+func newWRAM(capacity int, costOnly bool) *WRAM {
+	return &WRAM{capacity: capacity, costOnly: costOnly, bufs: make(map[string]*Buffer)}
 }
 
 // Alloc reserves size bytes under name, failing when WRAM is exhausted —
@@ -316,7 +366,10 @@ func (w *WRAM) Alloc(name string, size int) (*Buffer, error) {
 		return nil, fmt.Errorf("pim: WRAM alloc %q: %d bytes requested, %d of %d free",
 			name, size, w.capacity-w.used, w.capacity)
 	}
-	buf := &Buffer{Name: name, Data: make([]byte, size)}
+	buf := &Buffer{Name: name, Size: size}
+	if !w.costOnly {
+		buf.Data = make([]byte, size)
+	}
 	w.used += size
 	w.bufs[name] = buf
 	return buf, nil
@@ -329,7 +382,7 @@ func (w *WRAM) Free(name string) error {
 		return fmt.Errorf("pim: WRAM free %q: no such buffer", name)
 	}
 	delete(w.bufs, name)
-	w.used -= len(buf.Data)
+	w.used -= buf.Size
 	return nil
 }
 
@@ -351,16 +404,37 @@ type DPU struct {
 	MRAM  *MRAM
 	WRAM  *WRAM
 	Meter Meter
+	// costOnly marks an accounting DPU (NewAccountingDPU): allocations are
+	// segment-less and transfers are pure charges. Kernels consult it to
+	// run their cost program instead of the data program.
+	costOnly bool
 }
 
-// NewDPU builds a DPU under the config.
+// NewDPU builds a functional DPU under the config.
 func NewDPU(cfg *Config) *DPU {
+	return newDPU(cfg, false)
+}
+
+// NewAccountingDPU builds a cycles-only DPU: the same capacities, the same
+// meter, the same charge arithmetic, but no backing bytes anywhere. It
+// exists for cost-program execution, where timing and event counts — which
+// are data-independent functions of the workload shape — are wanted without
+// the byte-level functional simulation.
+func NewAccountingDPU(cfg *Config) *DPU {
+	return newDPU(cfg, true)
+}
+
+func newDPU(cfg *Config, costOnly bool) *DPU {
 	return &DPU{
-		Cfg:  cfg,
-		MRAM: NewMRAM(cfg.MRAMBytes),
-		WRAM: NewWRAM(cfg.WRAMBytes),
+		Cfg:      cfg,
+		MRAM:     newMRAM(cfg.MRAMBytes, costOnly),
+		WRAM:     newWRAM(cfg.WRAMBytes, costOnly),
+		costOnly: costOnly,
 	}
 }
+
+// CostOnly reports whether this is an accounting (cycles-only) DPU.
+func (d *DPU) CostOnly() bool { return d.costOnly }
 
 // Exec charges n instructions of the class.
 func (d *DPU) Exec(class EventClass, n int64) {
@@ -397,9 +471,12 @@ func (d *DPU) dmaCycles(n int64) int64 {
 // DMARead copies seg[off:off+len(dst)] into dst (an MRAM -> WRAM transfer)
 // and charges the DMA engine.
 func (d *DPU) DMARead(seg *Segment, off int64, dst []byte) error {
-	if off < 0 || off+int64(len(dst)) > int64(len(seg.Data)) {
+	if off < 0 || off+int64(len(dst)) > seg.Size {
 		return fmt.Errorf("pim: DMARead %q: range [%d,%d) outside segment of %d bytes",
-			seg.Name, off, off+int64(len(dst)), len(seg.Data))
+			seg.Name, off, off+int64(len(dst)), seg.Size)
+	}
+	if seg.Data == nil && len(dst) > 0 {
+		return fmt.Errorf("pim: DMARead %q: segment is a size-only reservation (use ChargeDMARead)", seg.Name)
 	}
 	copy(dst, seg.Data[off:])
 	n := int64(len(dst))
@@ -413,9 +490,12 @@ func (d *DPU) DMAWrite(seg *Segment, off int64, src []byte) error {
 	if seg.ro {
 		return fmt.Errorf("pim: DMAWrite %q: segment is a read-only mapping", seg.Name)
 	}
-	if off < 0 || off+int64(len(src)) > int64(len(seg.Data)) {
+	if off < 0 || off+int64(len(src)) > seg.Size {
 		return fmt.Errorf("pim: DMAWrite %q: range [%d,%d) outside segment of %d bytes",
-			seg.Name, off, off+int64(len(src)), len(seg.Data))
+			seg.Name, off, off+int64(len(src)), seg.Size)
+	}
+	if seg.Data == nil && len(src) > 0 {
+		return fmt.Errorf("pim: DMAWrite %q: segment is a size-only reservation (use ChargeDMAWrite)", seg.Name)
 	}
 	copy(seg.Data[off:], src)
 	n := int64(len(src))
@@ -424,14 +504,90 @@ func (d *DPU) DMAWrite(seg *Segment, off int64, src []byte) error {
 	return nil
 }
 
+// ChargeDMARead charges one MRAM -> WRAM transfer of n bytes from the
+// segment without moving data: exactly the cycles and event counts of a
+// DMARead of the same size, with only the bounds check and the meter. It is
+// the cost-program counterpart of DMARead.
+func (d *DPU) ChargeDMARead(seg *Segment, off, n int64) error {
+	if off < 0 || off+n > seg.Size {
+		return fmt.Errorf("pim: DMARead %q: range [%d,%d) outside segment of %d bytes",
+			seg.Name, off, off+n, seg.Size)
+	}
+	d.Meter.add(EvDMARead, n)
+	d.Meter.Cycles += d.dmaCycles(n)
+	return nil
+}
+
+// ChargeDMAReads charges count back-to-back transfers of n bytes each from
+// the segment. It folds a loop of equal-sized DMAReads into one meter update:
+// each transfer costs dmaCycles(n), so the aggregate is exact. It is meant
+// for trains whose offsets are data-dependent (LUT entry and slice
+// addresses): only the transfer size is checked against the segment,
+// because without data an out-of-bounds offset that a functional run would
+// report cannot be detected. Shape-derived trains should use
+// ChargeDMAReadSeq, which keeps the bounds check.
+func (d *DPU) ChargeDMAReads(seg *Segment, count, n int64) error {
+	if count <= 0 {
+		return nil
+	}
+	if n < 0 || n > seg.Size {
+		return fmt.Errorf("pim: DMARead %q: %d-byte transfer outside segment of %d bytes",
+			seg.Name, n, seg.Size)
+	}
+	d.Meter.add(EvDMARead, count*n)
+	d.Meter.Cycles += count * d.dmaCycles(n)
+	return nil
+}
+
+// ChargeDMAReadSeq charges count transfers of n bytes each at offsets off,
+// off+stride, off+2*stride, ... — the cost-program counterpart of a strided
+// DMARead loop with shape-derived addresses. Checking the first and last
+// transfer bounds covers every intermediate one (offsets are monotone in
+// the stride), so a layout bug a functional run would report fails here
+// identically.
+func (d *DPU) ChargeDMAReadSeq(seg *Segment, off, stride, count, n int64) error {
+	if count <= 0 {
+		return nil
+	}
+	last := off + (count-1)*stride
+	lo, hi := off, last
+	if stride < 0 {
+		lo, hi = last, off
+	}
+	if lo < 0 || hi+n > seg.Size {
+		return fmt.Errorf("pim: DMARead %q: strided train [%d..%d)+%d outside segment of %d bytes",
+			seg.Name, lo, hi, n, seg.Size)
+	}
+	d.Meter.add(EvDMARead, count*n)
+	d.Meter.Cycles += count * d.dmaCycles(n)
+	return nil
+}
+
+// ChargeDMAWrite charges one WRAM -> MRAM transfer of n bytes without moving
+// data — the cost-program counterpart of DMAWrite, including its read-only
+// refusal.
+func (d *DPU) ChargeDMAWrite(seg *Segment, off, n int64) error {
+	if seg.ro {
+		return fmt.Errorf("pim: DMAWrite %q: segment is a read-only mapping", seg.Name)
+	}
+	if off < 0 || off+n > seg.Size {
+		return fmt.Errorf("pim: DMAWrite %q: range [%d,%d) outside segment of %d bytes",
+			seg.Name, off, off+n, seg.Size)
+	}
+	d.Meter.add(EvDMAWrite, n)
+	d.Meter.Cycles += d.dmaCycles(n)
+	return nil
+}
+
 // Seconds returns this DPU's elapsed simulated time.
 func (d *DPU) Seconds() float64 { return d.Cfg.Seconds(d.Meter.Cycles) }
 
-// Reset clears meter, WRAM and MRAM allocations for kernel reuse.
+// Reset clears meter, WRAM and MRAM allocations for kernel reuse,
+// preserving the DPU's mode.
 func (d *DPU) Reset() {
 	d.Meter.Reset()
 	d.WRAM.FreeAll()
-	d.MRAM = NewMRAM(d.Cfg.MRAMBytes)
+	d.MRAM = newMRAM(d.Cfg.MRAMBytes, d.costOnly)
 }
 
 // System models the whole PIM server: a host connected to NumDPUs banks.

@@ -180,6 +180,18 @@ func WithFullBankSimulation() Option {
 	return func(s *System) { s.engine.Exec.FullGrid = true }
 }
 
+// WithCyclesOnly switches the system to the analytic cycles-only execution
+// backend: kernels charge the exact same cycle/event sequence as functional
+// simulation — timing, meters, breakdowns and energy are bit-identical —
+// but move no bytes, build no LUT images and compute no GEMM outputs.
+// Identical-shape bank tiles share one memoized cost record, so sweeps and
+// serving workloads that only consume timing run orders of magnitude
+// faster. Results report Verified=false (there is no output to check) and
+// Output stays nil unless WithFullOutput computes the host reference.
+func WithCyclesOnly() Option {
+	return func(s *System) { s.engine.Exec.Mode = kernels.CyclesOnly }
+}
+
 // WithLUTBudget sets the fraction of each bank and buffer devoted to LUTs
 // (default ~0.55, §V-A "approximately half"). §VII-B discusses shrinking
 // this when capacity is shared with large models or co-located jobs: a
