@@ -1,0 +1,66 @@
+// servingsla finds, for each kernel design, the highest open-loop arrival
+// rate a LoCaLUT appliance can sustain while meeting a p99 latency SLO —
+// the capacity-planning question the request-level serving simulator
+// exists to answer. Each probe is a full discrete-event simulation priced
+// through the cycles-only backend, so the binary search over rates runs in
+// well under a second.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ais-snu/localut"
+)
+
+const (
+	sloP99Seconds = 0.5 // the service-level objective on p99 latency
+	windowSeconds = 10  // arrival window per probe
+	maxRate       = 512 // search ceiling (requests/sec)
+)
+
+func main() {
+	sys := localut.NewSystem(localut.WithSeed(1))
+
+	probe := func(d localut.Design, rate float64) (*localut.ServeReport, error) {
+		return sys.Serve(localut.ServeConfig{
+			Model:           localut.BERTBase,
+			Format:          localut.W1A3,
+			Design:          d,
+			RatePerSec:      rate,
+			DurationSeconds: windowSeconds,
+		})
+	}
+
+	fmt.Printf("max sustainable rate meeting p99 <= %.0f ms (BERT-base W1A3, 10s windows):\n\n",
+		sloP99Seconds*1e3)
+	fmt.Printf("%-10s %12s %14s %10s %10s\n", "design", "max rate/s", "throughput/s", "p99 (ms)", "util")
+
+	for _, d := range localut.Designs {
+		// Binary search the largest integer rate whose p99 meets the SLO.
+		// The simulator is deterministic, so the search is reproducible.
+		lo, hi := 0, maxRate // lo: known-feasible, hi: known-infeasible
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			rep, err := probe(d, float64(mid))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Latency.P99 <= sloP99Seconds && rep.Completed > 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			fmt.Printf("%-10s %12s\n", d, "none")
+			continue
+		}
+		rep, err := probe(d, float64(lo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d %14.1f %10.1f %10.2f\n",
+			d, lo, rep.ThroughputPerSec, rep.Latency.P99*1e3, rep.RankUtilization)
+	}
+}

@@ -149,7 +149,15 @@ func (r *Runner) runGEMM(sh GEMMShape, tokens int, seed int64) (*gemm.Report, fl
 		scale = float64(n) / float64(cap)
 		n = cap
 	}
-	pair := workload.NewGEMMPair(sh.M, sh.K, n, r.Fmt, seed)
+	var pair *workload.GEMMPair
+	if r.Engine.Exec.Mode == kernels.CyclesOnly {
+		// No data flows through cycles-only kernels, so skip generating and
+		// quantizing the synthetic operands — the dominant host cost when a
+		// serving simulator prices thousands of forward passes.
+		pair = workload.NewShapePair(sh.M, sh.K, n, r.Fmt)
+	} else {
+		pair = workload.NewGEMMPair(sh.M, sh.K, n, r.Fmt, seed)
+	}
 	rep, err := r.Engine.Run(pair, gemm.Options{Variant: r.Variant})
 	if err != nil {
 		return nil, 0, fmt.Errorf("dnn: %s %s: %w", r.Model.Name, sh.Name, err)
@@ -184,6 +192,15 @@ func (r *Runner) runPhase(phase string, tokens, ctx int) (*PhaseReport, error) {
 	p.HostOps += int64(hostFlops)
 	p.finalize()
 	return p, nil
+}
+
+// ForwardTokens prices one forward pass over `tokens` activation columns
+// whose attention spans a ctx-token context — the serving layer's entry
+// point, where a batch packs requests of varying length so the token count
+// is not a (batch x SeqLen) multiple. The report covers all transformer
+// layers.
+func (r *Runner) ForwardTokens(tokens, ctx int) (*PhaseReport, error) {
+	return r.runPhase("forward", tokens, ctx)
 }
 
 // Prefill runs the prompt phase for a batch of sequences.

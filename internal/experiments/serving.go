@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/serve"
+	"github.com/ais-snu/localut/internal/trace"
+)
+
+// ServingPoint is one (design, arrival rate) sample of a saturation sweep:
+// the latency–throughput curve the serving layer exists to draw.
+type ServingPoint struct {
+	Design           string
+	RatePerSec       float64
+	OfferedPerSec    float64
+	ThroughputPerSec float64
+	LatencyP50       float64
+	LatencyP95       float64
+	LatencyP99       float64
+	Utilization      float64
+	MeanBatchSize    float64
+	Requests         int
+}
+
+// ServingCurve sweeps the open-loop arrival rate for each design and
+// returns one point per (design, rate), in input order. The base config's
+// RatePerSec and Variant are overridden per point; everything else
+// (duration, seed, scheduler, length distribution) is shared, so points
+// differ only in offered load and design. Runs are sequential and each is
+// individually deterministic, so the curve is bit-reproducible.
+func ServingCurve(base serve.Config, designs []kernels.Variant, rates []float64) ([]ServingPoint, error) {
+	points := make([]ServingPoint, 0, len(designs)*len(rates))
+	for _, d := range designs {
+		for _, r := range rates {
+			cfg := base
+			cfg.Variant = d
+			cfg.RatePerSec = r
+			cfg.Clients = 0
+			cfg.ArrivalTimes = nil
+			rep, err := serve.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ServingPoint{
+				Design:           rep.Design,
+				RatePerSec:       r,
+				OfferedPerSec:    rep.OfferedPerSec,
+				ThroughputPerSec: rep.ThroughputPerSec,
+				LatencyP50:       rep.Latency.P50,
+				LatencyP95:       rep.Latency.P95,
+				LatencyP99:       rep.Latency.P99,
+				Utilization:      rep.RankUtilization,
+				MeanBatchSize:    rep.MeanBatchSize,
+				Requests:         rep.Requests,
+			})
+		}
+	}
+	return points, nil
+}
+
+// ServingTable renders a curve as a trace table (markdown or CSV ready).
+func ServingTable(title string, points []ServingPoint) *trace.Table {
+	t := trace.NewTable(title,
+		"design", "rate/s", "offered/s", "throughput/s",
+		"p50 (s)", "p95 (s)", "p99 (s)", "util", "batch", "requests")
+	for _, p := range points {
+		t.Add(p.Design, p.RatePerSec, p.OfferedPerSec, p.ThroughputPerSec,
+			p.LatencyP50, p.LatencyP95, p.LatencyP99, p.Utilization,
+			p.MeanBatchSize, p.Requests)
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+func servingBase() serve.Config {
+	return serve.Config{
+		Model:           dnn.BERTBase(),
+		Fmt:             quant.W1A3,
+		DurationSeconds: 2,
+		Seed:            1,
+	}
+}
+
+func TestServingCurveShapeAndSaturation(t *testing.T) {
+	rates := []float64{20, 2000}
+	points, err := ServingCurve(servingBase(), []kernels.Variant{kernels.LoCaLUT}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	light, heavy := points[0], points[1]
+	if light.Design != "LoCaLUT" || heavy.RatePerSec != 2000 {
+		t.Errorf("point identity wrong: %+v", points)
+	}
+	// The saturation signature: pushing the offered rate 100x must not
+	// scale throughput 100x, and p99 latency must blow up.
+	if heavy.ThroughputPerSec > light.ThroughputPerSec*50 {
+		t.Errorf("no saturation: throughput %g -> %g", light.ThroughputPerSec, heavy.ThroughputPerSec)
+	}
+	if heavy.LatencyP99 <= light.LatencyP99 {
+		t.Errorf("p99 did not degrade under overload: %g -> %g", light.LatencyP99, heavy.LatencyP99)
+	}
+	if heavy.Utilization <= light.Utilization {
+		t.Errorf("utilization did not rise under overload: %g -> %g", light.Utilization, heavy.Utilization)
+	}
+}
+
+func TestServingCurvePerDesign(t *testing.T) {
+	designs := []kernels.Variant{kernels.OPLCRC, kernels.LoCaLUT}
+	points, err := ServingCurve(servingBase(), designs, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want one per design", len(points))
+	}
+	if points[0].Design == points[1].Design {
+		t.Error("designs collapsed in the curve")
+	}
+}
+
+func TestServingCurveDeterministic(t *testing.T) {
+	run := func() []ServingPoint {
+		p, err := ServingCurve(servingBase(), []kernels.Variant{kernels.LoCaLUT}, []float64{50, 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("curve not reproducible:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestServingTable(t *testing.T) {
+	points, err := ServingCurve(servingBase(), []kernels.Variant{kernels.LoCaLUT}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ServingTable("saturation", points).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "LoCaLUT") || !strings.Contains(out, "p99") {
+		t.Errorf("table missing expected content:\n%s", out)
+	}
+}

@@ -307,6 +307,16 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 	if err := e.Cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if pair.W == nil || pair.A == nil {
+		// Shape-only pairs (workload.NewShapePair) carry no operand data;
+		// only the cycles-only cost programs can run without it.
+		if e.Exec.Mode != kernels.CyclesOnly {
+			return nil, fmt.Errorf("gemm: shape-only pair requires cycles-only execution mode")
+		}
+		if opt.ComputeFull {
+			return nil, fmt.Errorf("gemm: cannot compute the full output of a shape-only pair")
+		}
+	}
 	var gridM, gridN, rounds int
 	if opt.NSplitOnly {
 		gridN = pair.N

@@ -1,0 +1,39 @@
+// Package serve is a deterministic discrete-event serving simulator for a
+// multi-rank LoCaLUT appliance: the layer that turns the repo's per-GEMM
+// and per-forward-pass oracles into answers about *requests over time* —
+// queueing delay under a Poisson arrival stream, p99 latency at a given
+// offered rate, the saturation throughput of a design point, energy per
+// request.
+//
+// The simulation is a single-threaded event loop over a (time, sequence)
+// ordered heap. Three processes feed it:
+//
+//   - open-loop arrivals: exponential inter-arrival gaps at a fixed rate
+//     (workload.ArrivalSampler), each request with a sampled bounded
+//     sequence length (workload.LengthSampler);
+//   - closed-loop arrivals: a fixed client population, each client issuing
+//     its next request an exponential think time after its previous one
+//     completes;
+//   - trace replay: caller-provided arrival timestamps.
+//
+// Requests wait in an admission queue until a replica — an equal share of
+// the appliance's ranks — is free. A pluggable scheduler forms the batch:
+// FCFS takes the head of the line; the packing scheduler scans a bounded
+// window for requests in the same padded-length bucket, so batches are
+// uniform GEMM shape groups (less padding waste, fewer distinct shapes).
+//
+// Service time comes from the cost oracle: one dnn forward pass over the
+// batch's padded token count, priced through the gemm planners in
+// cycles-only mode on an engine scaled to the replica's rank share. The
+// price of a (tokens, ctx) shape is memoized, and cycles-only pricing is
+// itself memoized per bank shape (gemm.CostMemo), so a million-request run
+// executes only a handful of distinct simulations — this is what makes
+// request-level simulation of a cycle-approximate machine tractable.
+//
+// Determinism: every random draw comes from a seeded sampler consumed in
+// event order, the event heap breaks time ties by insertion sequence, and
+// all aggregation (latency vectors, energy, token counts) happens in
+// completion order with the quantile helpers of internal/trace. Same seed
+// and config => bit-identical Report, at any host parallelism level —
+// cycles-only GEMM reports are parallelism-independent by construction.
+package serve

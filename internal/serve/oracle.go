@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/energy"
+	"github.com/ais-snu/localut/internal/kernels"
+)
+
+// batchCost is the priced outcome of one batched forward pass.
+type batchCost struct {
+	seconds float64 // end-to-end service seconds (host + transfer + PIM)
+	pimSec  float64 // PIM kernel share of seconds
+	energyJ float64 // priced energy of the pass
+}
+
+// costKey identifies one distinct forward-pass shape.
+type costKey struct {
+	tokens, ctx int
+}
+
+// oracle prices batched forward passes through the dnn/gemm planners in
+// cycles-only mode and memoizes per shape. Replica scaling happens here:
+// the runner's engine is a clone of the appliance engine with its rank
+// count divided by the replica count, so each replica's forward pass sees
+// only its share of banks.
+type oracle struct {
+	runner    *dnn.Runner
+	energy    energy.Model
+	outTokens int
+
+	prefill map[costKey]batchCost
+	decode  map[costKey]batchCost // key: (batch size, ctx)
+}
+
+// newOracle builds the pricing path for one serving run.
+func newOracle(cfg *Config) *oracle {
+	eng := cfg.Engine.Clone()
+	eng.Exec.Mode = kernels.CyclesOnly
+	eng.Exec.FullGrid = false
+	ranks := eng.Cfg.Ranks / cfg.Replicas
+	if ranks < 1 {
+		ranks = 1
+	}
+	eng.Cfg.Ranks = ranks
+
+	r := dnn.NewRunner(cfg.Model, cfg.Fmt, cfg.Variant)
+	r.Engine = eng
+	r.Seed = cfg.Seed
+	return &oracle{
+		runner:    r,
+		energy:    cfg.Energy,
+		outTokens: cfg.OutTokens,
+		prefill:   make(map[costKey]batchCost),
+		decode:    make(map[costKey]batchCost),
+	}
+}
+
+// price converts a phase report to a batchCost.
+func (o *oracle) price(p *dnn.PhaseReport) batchCost {
+	e := o.energy.Price(&p.Meter, p.HostOps, p.Total)
+	return batchCost{seconds: p.Total, pimSec: p.GEMMPIM, energyJ: e.TotalJ}
+}
+
+// batch prices one batch: `tokens` padded prompt tokens attending over a
+// ctx-token context, plus OutTokens decode steps for n sequences on
+// decoder models. Misses run the planners; hits are map lookups.
+func (o *oracle) batch(tokens, ctx, n int) (batchCost, error) {
+	key := costKey{tokens, ctx}
+	cost, ok := o.prefill[key]
+	if !ok {
+		rep, err := o.runner.ForwardTokens(tokens, ctx)
+		if err != nil {
+			return batchCost{}, err
+		}
+		cost = o.price(rep)
+		o.prefill[key] = cost
+	}
+	if o.outTokens > 0 && o.runner.Model.Decoder {
+		// Decode derives its own context (SeqLen + outTokens/2), so its
+		// cost depends only on the batch size — keying on ctx would rerun
+		// identical simulations and overcount DistinctForwardSims.
+		dkey := costKey{n, 0}
+		dcost, ok := o.decode[dkey]
+		if !ok {
+			rep, err := o.runner.Decode(n, o.outTokens)
+			if err != nil {
+				return batchCost{}, err
+			}
+			dcost = o.price(rep)
+			o.decode[dkey] = dcost
+		}
+		cost.seconds += dcost.seconds
+		cost.pimSec += dcost.pimSec
+		cost.energyJ += dcost.energyJ
+	}
+	return cost, nil
+}
+
+// distinctSims counts the planner executions the whole run needed.
+func (o *oracle) distinctSims() int { return len(o.prefill) + len(o.decode) }

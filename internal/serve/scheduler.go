@@ -1,0 +1,161 @@
+package serve
+
+import "fmt"
+
+// request is one inference request moving through the simulator.
+type request struct {
+	id     int
+	client int // closed-loop client index, -1 for open-loop/trace arrivals
+	tokens int // sampled sequence length
+	padded int // tokens rounded up to the token quantum
+
+	arrive, start, finish float64 // simulated seconds
+}
+
+// queue is the FIFO admission queue. Head pops are O(1); the packing
+// scheduler removes scattered entries from a bounded prefix, which costs
+// O(window) per batch.
+type queue struct {
+	items []*request
+	head  int
+}
+
+func (q *queue) len() int          { return len(q.items) - q.head }
+func (q *queue) push(r *request)   { q.items = append(q.items, r) }
+func (q *queue) at(i int) *request { return q.items[q.head+i] }
+
+func (q *queue) popHead() *request {
+	r := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.maybeCompact()
+	return r
+}
+
+// removePrefix removes the requests at the ascending prefix-relative
+// indices sel (which must include 0) and returns them in order. Survivors
+// in the prefix shift toward the head so the queue stays contiguous.
+func (q *queue) removePrefix(sel []int) []*request {
+	out := make([]*request, 0, len(sel))
+	last := sel[len(sel)-1]
+	surv := make([]*request, 0, last)
+	next := 0
+	for i := 0; i <= last; i++ {
+		it := q.items[q.head+i]
+		if next < len(sel) && sel[next] == i {
+			out = append(out, it)
+			next++
+		} else {
+			surv = append(surv, it)
+		}
+	}
+	newHead := q.head + last + 1 - len(surv)
+	copy(q.items[newHead:q.head+last+1], surv)
+	for i := q.head; i < newHead; i++ {
+		q.items[i] = nil
+	}
+	q.head = newHead
+	q.maybeCompact()
+	return out
+}
+
+// maybeCompact reclaims the dead prefix once it dominates the backing array.
+func (q *queue) maybeCompact() {
+	if q.head > 1024 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// Policy selects the batch-forming scheduler.
+type Policy int
+
+const (
+	// FCFS serves strictly in arrival order: the next batch is the first
+	// MaxBatch waiting requests, whatever their lengths.
+	FCFS Policy = iota
+	// Packed is the continuous-batching-style shape packer: it scans a
+	// bounded window of the queue for requests in the head's padded-length
+	// bucket, so every batch is a uniform GEMM shape group.
+	Packed
+)
+
+var policyNames = [...]string{"fcfs", "packed"}
+
+func (p Policy) String() string {
+	if p >= 0 && int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses "fcfs" or "packed".
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if s == n {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown scheduler %q (want fcfs or packed)", s)
+}
+
+// scheduler forms the next batch from a non-empty queue. Implementations
+// must be deterministic pure functions of the queue contents.
+type scheduler interface {
+	// pick removes and returns 1..max requests, always including the head
+	// (no starvation: the oldest request is served first in every batch).
+	pick(q *queue, max int) []*request
+}
+
+// fcfsScheduler takes the first max requests in arrival order.
+type fcfsScheduler struct{}
+
+func (fcfsScheduler) pick(q *queue, max int) []*request {
+	n := q.len()
+	if n > max {
+		n = max
+	}
+	out := make([]*request, n)
+	for i := range out {
+		out[i] = q.popHead()
+	}
+	return out
+}
+
+// packedScheduler groups same-bucket requests: it serves the head plus up
+// to max-1 requests from the first window queue entries whose padded
+// length matches the head's. Requests it skips keep their place in line.
+type packedScheduler struct {
+	window int
+}
+
+func (p packedScheduler) pick(q *queue, max int) []*request {
+	bucket := q.at(0).padded
+	w := q.len()
+	if w > p.window {
+		w = p.window
+	}
+	sel := make([]int, 0, max)
+	for i := 0; i < w && len(sel) < max; i++ {
+		if q.at(i).padded == bucket {
+			sel = append(sel, i)
+		}
+	}
+	return q.removePrefix(sel)
+}
+
+// newScheduler builds the policy's scheduler. The packing window bounds
+// the per-batch queue scan (and how far a request can be overtaken).
+func newScheduler(p Policy, window int) (scheduler, error) {
+	switch p {
+	case FCFS:
+		return fcfsScheduler{}, nil
+	case Packed:
+		return packedScheduler{window: window}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown scheduler policy %d", int(p))
+}

@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/energy"
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/trace"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// Config describes one serving simulation. Zero fields take the defaults
+// documented on each; exactly one arrival source is active: ArrivalTimes
+// if set, else a closed loop when Clients > 0, else open-loop Poisson at
+// RatePerSec.
+type Config struct {
+	Model   dnn.ModelConfig
+	Fmt     quant.Format
+	Variant kernels.Variant
+
+	// Engine is the appliance's base engine (nil = testbed defaults). It is
+	// cloned and forced into cycles-only representative mode; the clone's
+	// rank count is divided across Replicas.
+	Engine *gemm.Engine
+	// Energy prices each batch's meter (zero value = energy.Default()).
+	Energy energy.Model
+
+	// Replicas is the number of independent serving groups the appliance's
+	// ranks are split into (integer division: remainder ranks stay idle);
+	// each replica serves one batch at a time (default 4, must not exceed
+	// the rank count).
+	Replicas int
+
+	// RatePerSec is the open-loop Poisson arrival rate.
+	RatePerSec float64
+	// Clients switches to a closed loop: this many clients, each issuing
+	// its next request ThinkSeconds (mean, exponential) after its previous
+	// one completes.
+	Clients      int
+	ThinkSeconds float64 // closed-loop mean think time (default 0.1)
+	// ArrivalTimes replays an explicit trace of arrival timestamps
+	// (seconds, need not be sorted).
+	ArrivalTimes []float64
+
+	// DurationSeconds is the arrival window; requests already admitted are
+	// drained afterwards (default 60).
+	DurationSeconds float64
+	// Seed drives every sampler (default 1).
+	Seed int64
+
+	// MaxBatch bounds requests per batch (default 8).
+	MaxBatch int
+	// Scheduler picks FCFS (the zero value) or Packed.
+	Scheduler Policy
+	// PackWindow bounds how deep the packing scheduler scans the queue
+	// (default 8*MaxBatch).
+	PackWindow int
+
+	// MinTokens/MaxTokens/MeanTokens parameterize the request length
+	// distribution (defaults 16 / 256 / the model's SeqLen, clamped).
+	MinTokens, MaxTokens int
+	MeanTokens           float64
+	// TokenQuantum is the shape-padding bucket: request lengths and batch
+	// token totals round up to it, bounding the distinct forward-pass
+	// shapes the oracle must simulate (default 64).
+	TokenQuantum int
+
+	// OutTokens adds autoregressive decode steps per request on decoder
+	// models (default 0: prefill-only serving).
+	OutTokens int
+}
+
+// withDefaults fills unset fields and validates the result.
+func (c Config) withDefaults() (Config, error) {
+	if c.Model.Layers == 0 {
+		return c, fmt.Errorf("serve: config has no model")
+	}
+	if c.Engine == nil {
+		c.Engine = gemm.NewEngine()
+	}
+	if c.Energy == (energy.Model{}) {
+		c.Energy = energy.Default()
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 4
+	}
+	if c.DurationSeconds == 0 {
+		if len(c.ArrivalTimes) > 0 {
+			for _, t := range c.ArrivalTimes {
+				if t > c.DurationSeconds {
+					c.DurationSeconds = t
+				}
+			}
+		} else {
+			c.DurationSeconds = 60
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.PackWindow == 0 {
+		c.PackWindow = 8 * c.MaxBatch
+	}
+	if c.MinTokens == 0 {
+		c.MinTokens = 16
+	}
+	if c.MaxTokens == 0 {
+		c.MaxTokens = 256
+	}
+	if c.MeanTokens == 0 {
+		c.MeanTokens = float64(c.Model.SeqLen)
+	}
+	if c.MeanTokens < float64(c.MinTokens) {
+		c.MeanTokens = float64(c.MinTokens)
+	}
+	if c.MeanTokens > float64(c.MaxTokens) {
+		c.MeanTokens = float64(c.MaxTokens)
+	}
+	if c.TokenQuantum == 0 {
+		c.TokenQuantum = 64
+	}
+	if c.ThinkSeconds == 0 {
+		c.ThinkSeconds = 0.1
+	}
+
+	switch {
+	case c.Replicas < 0 || c.MaxBatch < 0 || c.TokenQuantum < 0 || c.PackWindow < 0:
+		return c, fmt.Errorf("serve: negative replica/batch/quantum/window configuration")
+	case c.Replicas > c.Engine.Cfg.Ranks:
+		return c, fmt.Errorf("serve: %d replicas exceed the appliance's %d ranks",
+			c.Replicas, c.Engine.Cfg.Ranks)
+	case c.DurationSeconds <= 0:
+		return c, fmt.Errorf("serve: duration %g must be positive", c.DurationSeconds)
+	case len(c.ArrivalTimes) == 0 && c.Clients == 0 && c.RatePerSec <= 0:
+		return c, fmt.Errorf("serve: no arrival source (set RatePerSec, Clients or ArrivalTimes)")
+	case c.Clients < 0:
+		return c, fmt.Errorf("serve: %d clients", c.Clients)
+	case c.OutTokens < 0:
+		return c, fmt.Errorf("serve: %d decode tokens", c.OutTokens)
+	case c.OutTokens > 0 && !c.Model.Decoder:
+		return c, fmt.Errorf("serve: %s is not a decoder model (OutTokens must be 0)", c.Model.Name)
+	}
+	return c, nil
+}
+
+// Stats summarizes one latency population in seconds.
+type Stats struct {
+	P50, P95, P99 float64
+	Mean, Max     float64
+}
+
+// statsOf computes the summary; samples arrive in completion order, so the
+// mean's float accumulation order is fixed and the result reproducible.
+func statsOf(vals []float64) Stats {
+	if len(vals) == 0 {
+		return Stats{}
+	}
+	qs := trace.Quantiles(vals, 0.5, 0.95, 0.99)
+	s := Stats{P50: qs[0], P95: qs[1], P99: qs[2]}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	return s
+}
+
+// Report is the outcome of one serving simulation. Same config + seed =>
+// bit-identical Report.
+type Report struct {
+	Model     string
+	Format    string
+	Design    string
+	Scheduler string
+	Replicas  int
+
+	Requests  int // admitted during the arrival window
+	Completed int // all admitted requests are drained
+	Batches   int
+
+	MeanBatchSize    float64
+	DurationSeconds  float64 // arrival window
+	MakespanSeconds  float64 // last completion time
+	OfferedPerSec    float64 // Requests / DurationSeconds
+	ThroughputPerSec float64 // Completed / MakespanSeconds
+
+	Queue   Stats // admission to batch start
+	Service Stats // batch start to completion
+	Latency Stats // admission to completion
+
+	// RankUtilization is the mean busy fraction of the replicas over the
+	// makespan; ReplicaUtilization itemizes it.
+	RankUtilization    float64
+	ReplicaUtilization []float64
+	// PIMUtilization is the PIM-kernel share of that busy time — the rest
+	// is host quant/pack work and transfers.
+	PIMUtilization float64
+
+	TokensIn     int64 // sampled request tokens
+	TokensPadded int64 // tokens actually priced after shape padding
+
+	EnergyJ           float64
+	EnergyPerRequestJ float64
+
+	// DistinctForwardSims counts the planner executions behind the whole
+	// run — the memoization that makes million-request simulation cheap.
+	DistinctForwardSims int
+
+	// LatencyHist buckets the total latency of every completed request
+	// over [0, Latency.Max] (nil when nothing completed).
+	LatencyHist *trace.Histogram
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evComplete
+)
+
+// event is one heap entry; seq breaks time ties in insertion order so the
+// loop is deterministic even under simultaneous events.
+type event struct {
+	at   float64
+	seq  int64
+	kind int
+
+	req     *request   // evArrival
+	replica int        // evComplete
+	batch   []*request // evComplete
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// sim is the mutable state of one run.
+type sim struct {
+	cfg    Config
+	oracle *oracle
+	sched  scheduler
+
+	events eventHeap
+	seq    int64
+	q      queue
+
+	arrivals *workload.ArrivalSampler // open loop
+	lengths  *workload.LengthSampler
+	think    *workload.ArrivalSampler // closed loop
+
+	replicaBusy []bool
+	busy        []float64 // accumulated service seconds per replica
+	pimBusy     float64   // accumulated PIM-kernel seconds across replicas
+
+	nextID    int
+	requests  int
+	batches   int
+	batchReqs int
+
+	tokensIn, tokensPadded int64
+	energyJ                float64
+
+	qLat, sLat, tLat []float64
+	makespan         float64
+}
+
+func (s *sim) pushEvent(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// newRequest admits a request arriving at t for the given closed-loop
+// client (-1 for open-loop/trace), sampling its length.
+func (s *sim) newRequest(t float64, client int) *request {
+	tok := s.lengths.Next()
+	pad := roundUp(tok, s.cfg.TokenQuantum)
+	r := &request{id: s.nextID, client: client, tokens: tok, padded: pad, arrive: t}
+	s.nextID++
+	return r
+}
+
+func roundUp(v, quantum int) int {
+	return (v + quantum - 1) / quantum * quantum
+}
+
+// freeReplica returns the lowest-index idle replica, or -1.
+func (s *sim) freeReplica() int {
+	for i, b := range s.replicaBusy {
+		if !b {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatch forms and launches batches while a replica is idle and requests
+// wait.
+func (s *sim) dispatch(now float64) error {
+	for s.q.len() > 0 {
+		rep := s.freeReplica()
+		if rep < 0 {
+			return nil
+		}
+		batch := s.sched.pick(&s.q, s.cfg.MaxBatch)
+		// Members are already quantum-padded, so their sum is the batch's
+		// padded shape; ctx is the longest member (attention span).
+		padTokens, maxPad := 0, 0
+		for _, r := range batch {
+			r.start = now
+			padTokens += r.padded
+			s.tokensIn += int64(r.tokens)
+			if r.padded > maxPad {
+				maxPad = r.padded
+			}
+		}
+		cost, err := s.oracle.batch(padTokens, maxPad, len(batch))
+		if err != nil {
+			return err
+		}
+		s.tokensPadded += int64(padTokens)
+		s.energyJ += cost.energyJ
+		s.busy[rep] += cost.seconds
+		s.pimBusy += cost.pimSec
+		s.batches++
+		s.batchReqs += len(batch)
+		s.replicaBusy[rep] = true
+		s.pushEvent(&event{at: now + cost.seconds, kind: evComplete, replica: rep, batch: batch})
+	}
+	return nil
+}
+
+// Run executes the simulation to completion: arrivals stop at the duration
+// cutoff and the queue drains.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{cfg: cfg, oracle: newOracle(&cfg)}
+	if s.sched, err = newScheduler(cfg.Scheduler, cfg.PackWindow); err != nil {
+		return nil, err
+	}
+	if s.lengths, err = workload.NewLengthSampler(cfg.MinTokens, cfg.MaxTokens, cfg.MeanTokens, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	s.replicaBusy = make([]bool, cfg.Replicas)
+	s.busy = make([]float64, cfg.Replicas)
+
+	// Seed the arrival process.
+	switch {
+	case len(cfg.ArrivalTimes) > 0:
+		for _, t := range cfg.ArrivalTimes {
+			if t < 0 {
+				return nil, fmt.Errorf("serve: negative arrival time %g in trace", t)
+			}
+			if t > cfg.DurationSeconds {
+				// The arrival window applies to every source; with an unset
+				// duration withDefaults derived it from the trace maximum,
+				// so nothing is dropped in that case.
+				continue
+			}
+			s.pushEvent(&event{at: t, kind: evArrival})
+		}
+	case cfg.Clients > 0:
+		if s.think, err = workload.NewArrivalSampler(1/cfg.ThinkSeconds, cfg.Seed+2); err != nil {
+			return nil, err
+		}
+		for c := 0; c < cfg.Clients; c++ {
+			if t := s.think.Next(); t <= cfg.DurationSeconds {
+				s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: c}})
+			}
+		}
+	default:
+		if s.arrivals, err = workload.NewArrivalSampler(cfg.RatePerSec, cfg.Seed); err != nil {
+			return nil, err
+		}
+		if t := s.arrivals.Next(); t <= cfg.DurationSeconds {
+			s.pushEvent(&event{at: t, kind: evArrival})
+		}
+	}
+
+	// The event loop.
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		now := ev.at
+		switch ev.kind {
+		case evArrival:
+			client := -1
+			if ev.req != nil {
+				client = ev.req.client
+			}
+			r := s.newRequest(now, client)
+			s.requests++
+			s.q.push(r)
+			if s.arrivals != nil {
+				if t := now + s.arrivals.Next(); t <= cfg.DurationSeconds {
+					s.pushEvent(&event{at: t, kind: evArrival})
+				}
+			}
+			if err := s.dispatch(now); err != nil {
+				return nil, err
+			}
+		case evComplete:
+			s.replicaBusy[ev.replica] = false
+			if now > s.makespan {
+				s.makespan = now
+			}
+			for _, r := range ev.batch {
+				r.finish = now
+				s.qLat = append(s.qLat, r.start-r.arrive)
+				s.sLat = append(s.sLat, r.finish-r.start)
+				s.tLat = append(s.tLat, r.finish-r.arrive)
+				if s.think != nil && r.client >= 0 {
+					if t := now + s.think.Next(); t <= cfg.DurationSeconds {
+						s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: r.client}})
+					}
+				}
+			}
+			if err := s.dispatch(now); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s.report(), nil
+}
+
+// report assembles the final metrics.
+func (s *sim) report() *Report {
+	cfg := &s.cfg
+	r := &Report{
+		Model:     cfg.Model.Name,
+		Format:    cfg.Fmt.Name(),
+		Design:    cfg.Variant.String(),
+		Scheduler: cfg.Scheduler.String(),
+		Replicas:  cfg.Replicas,
+
+		Requests:        s.requests,
+		Completed:       len(s.tLat),
+		Batches:         s.batches,
+		DurationSeconds: cfg.DurationSeconds,
+		MakespanSeconds: s.makespan,
+
+		Queue:   statsOf(s.qLat),
+		Service: statsOf(s.sLat),
+		Latency: statsOf(s.tLat),
+
+		TokensIn:     s.tokensIn,
+		TokensPadded: s.tokensPadded,
+		EnergyJ:      s.energyJ,
+
+		DistinctForwardSims: s.oracle.distinctSims(),
+	}
+	r.OfferedPerSec = float64(r.Requests) / cfg.DurationSeconds
+	if s.batches > 0 {
+		r.MeanBatchSize = float64(s.batchReqs) / float64(s.batches)
+	}
+	if s.makespan > 0 {
+		r.ThroughputPerSec = float64(r.Completed) / s.makespan
+		r.ReplicaUtilization = make([]float64, cfg.Replicas)
+		var totalBusy float64
+		for i, b := range s.busy {
+			r.ReplicaUtilization[i] = b / s.makespan
+			totalBusy += b
+		}
+		r.RankUtilization = totalBusy / (float64(cfg.Replicas) * s.makespan)
+		if totalBusy > 0 {
+			r.PIMUtilization = s.pimBusy / totalBusy
+		}
+	}
+	if r.Completed > 0 {
+		r.EnergyPerRequestJ = s.energyJ / float64(r.Completed)
+		// Nextafter keeps the maximum inside the half-open top bucket.
+		hi := math.Nextafter(r.Latency.Max, math.Inf(1))
+		if hist, err := trace.NewHistogram(0, hi, 20); err == nil {
+			for _, v := range s.tLat {
+				hist.Add(v)
+			}
+			r.LatencyHist = hist
+		}
+	}
+	return r
+}

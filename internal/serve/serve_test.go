@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// testConfig is a small, fast serving run.
+func testConfig() Config {
+	return Config{
+		Model:           dnn.BERTBase(),
+		Fmt:             quant.W1A3,
+		Variant:         kernels.LoCaLUT,
+		RatePerSec:      50,
+		DurationSeconds: 5,
+		Seed:            1,
+	}
+}
+
+func TestServeBasics(t *testing.T) {
+	rep, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests arrived")
+	}
+	if rep.Completed != rep.Requests {
+		t.Errorf("completed %d of %d requests (the queue must drain)", rep.Completed, rep.Requests)
+	}
+	if rep.Batches == 0 || rep.MeanBatchSize < 1 {
+		t.Errorf("batches=%d meanBatch=%g", rep.Batches, rep.MeanBatchSize)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Errorf("suspicious latency stats %+v", rep.Latency)
+	}
+	if rep.Latency.Max < rep.Latency.P99 {
+		t.Errorf("max %g < p99 %g", rep.Latency.Max, rep.Latency.P99)
+	}
+	if rep.EnergyJ <= 0 || rep.EnergyPerRequestJ <= 0 {
+		t.Errorf("energy not priced: %g total, %g per request", rep.EnergyJ, rep.EnergyPerRequestJ)
+	}
+	if rep.RankUtilization <= 0 || rep.RankUtilization > 1 {
+		t.Errorf("rank utilization %g outside (0, 1]", rep.RankUtilization)
+	}
+	if rep.TokensPadded < rep.TokensIn {
+		t.Errorf("padded tokens %d < input tokens %d", rep.TokensPadded, rep.TokensIn)
+	}
+	if rep.DistinctForwardSims == 0 || rep.DistinctForwardSims > rep.Batches {
+		t.Errorf("distinct sims %d vs %d batches", rep.DistinctForwardSims, rep.Batches)
+	}
+	if rep.MakespanSeconds < rep.DurationSeconds*0.1 {
+		t.Errorf("makespan %g implausibly short", rep.MakespanSeconds)
+	}
+}
+
+// TestServeDeterministic pins the tentpole invariant: same seed + config
+// => bit-identical report, run to run and at every parallelism level.
+func TestServeDeterministic(t *testing.T) {
+	base, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", base, again)
+	}
+	for _, par := range []int{1, 2, 8} {
+		cfg := testConfig()
+		cfg.Engine = gemm.NewEngine()
+		cfg.Engine.Exec.Parallelism = par
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("parallelism %d diverged:\n%+v\n%+v", par, base, rep)
+		}
+	}
+}
+
+func TestServeSeedMatters(t *testing.T) {
+	a, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func TestServeSchedulers(t *testing.T) {
+	for _, pol := range []Policy{FCFS, Packed} {
+		cfg := testConfig()
+		cfg.Scheduler = pol
+		cfg.RatePerSec = 400 // oversubscribed, so batching actually packs
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Scheduler != pol.String() {
+			t.Errorf("report names scheduler %q, want %q", rep.Scheduler, pol)
+		}
+		if rep.Completed != rep.Requests {
+			t.Errorf("%v: completed %d of %d", pol, rep.Completed, rep.Requests)
+		}
+		if rep.MeanBatchSize < 2 {
+			t.Errorf("%v: oversubscribed run batched only %g requests/batch", pol, rep.MeanBatchSize)
+		}
+	}
+}
+
+// TestPackedBatchesShareShape checks the packing scheduler's contract
+// directly on the queue.
+func TestPackedBatchesShareShape(t *testing.T) {
+	q := &queue{}
+	for i, pad := range []int{64, 128, 64, 192, 64, 64} {
+		q.push(&request{id: i, padded: pad})
+	}
+	batch := packedScheduler{window: 16}.pick(q, 4)
+	if len(batch) != 4 {
+		t.Fatalf("picked %d requests, want 4", len(batch))
+	}
+	for _, r := range batch {
+		if r.padded != 64 {
+			t.Errorf("mixed bucket in packed batch: request %d has %d", r.id, r.padded)
+		}
+	}
+	if q.len() != 2 {
+		t.Fatalf("queue keeps %d, want 2", q.len())
+	}
+	if q.at(0).id != 1 || q.at(1).id != 3 {
+		t.Errorf("skipped requests lost their order: %d, %d", q.at(0).id, q.at(1).id)
+	}
+}
+
+func TestFCFSKeepsArrivalOrder(t *testing.T) {
+	q := &queue{}
+	for i := 0; i < 5; i++ {
+		q.push(&request{id: i, padded: 64 * (1 + i%2)})
+	}
+	batch := fcfsScheduler{}.pick(q, 3)
+	for i, r := range batch {
+		if r.id != i {
+			t.Errorf("batch[%d] = request %d", i, r.id)
+		}
+	}
+	if q.len() != 2 || q.at(0).id != 3 {
+		t.Error("queue head after FCFS pick is wrong")
+	}
+}
+
+func TestServeClosedLoop(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePerSec = 0
+	cfg.Clients = 4
+	cfg.ThinkSeconds = 0.05
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("closed loop admitted no requests")
+	}
+	if rep.Completed != rep.Requests {
+		t.Errorf("completed %d of %d", rep.Completed, rep.Requests)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Error("closed loop is not deterministic")
+	}
+}
+
+func TestServeTraceReplay(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePerSec = 0
+	cfg.ArrivalTimes = []float64{0.5, 0.1, 0.1, 2.0}
+	cfg.DurationSeconds = 0 // derive from the trace
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.Completed != 4 {
+		t.Fatalf("trace replay served %d/%d, want 4/4", rep.Completed, rep.Requests)
+	}
+	if rep.DurationSeconds != 2.0 {
+		t.Errorf("derived duration %g, want 2", rep.DurationSeconds)
+	}
+}
+
+func TestServeDecoderDecode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.OutTokens = 8
+	cfg.RatePerSec = 20
+	cfg.DurationSeconds = 2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OutTokens = 0
+	noDecode, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Service.Mean <= noDecode.Service.Mean {
+		t.Errorf("decode added no service time: %g vs %g", rep.Service.Mean, noDecode.Service.Mean)
+	}
+}
+
+// TestOracleDecodeMemoIgnoresCtx pins that decode pricing is keyed by
+// batch size only: dnn.Decode derives its own context, so two batches
+// differing only in ctx must share one decode simulation.
+func TestOracleDecodeMemoIgnoresCtx(t *testing.T) {
+	cfg := testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.OutTokens = 4
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOracle(&cfg)
+	if _, err := o.batch(256, 64, 4); err != nil {
+		t.Fatal(err)
+	}
+	after := o.distinctSims()
+	if _, err := o.batch(256, 128, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The second call reuses the decode record (same batch size) and only
+	// adds one prefill shape for the new ctx.
+	if got := o.distinctSims(); got != after+1 {
+		t.Errorf("distinct sims went %d -> %d; decode memo must not key on ctx", after, got)
+	}
+}
+
+func TestServeMemoizationBoundsSims(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePerSec = 1000
+	cfg.DurationSeconds = 10
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 5000 {
+		t.Fatalf("expected thousands of requests, got %d", rep.Requests)
+	}
+	// MaxBatch*MaxTokens/quantum = 8*256/64 = 32 token buckets, 4 ctx
+	// buckets: far fewer distinct sims than batches.
+	if rep.DistinctForwardSims > 128 {
+		t.Errorf("%d distinct sims for %d batches — memoization is not collapsing shapes",
+			rep.DistinctForwardSims, rep.Batches)
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := testConfig()
+	cfg.RatePerSec = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("config without an arrival source accepted")
+	}
+	cfg = testConfig()
+	cfg.OutTokens = 4 // BERT is not a decoder
+	if _, err := Run(cfg); err == nil {
+		t.Error("decode on an encoder model accepted")
+	}
+	cfg = testConfig()
+	cfg.Scheduler = Packed
+	cfg.PackWindow = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative pack window accepted")
+	}
+	cfg = testConfig()
+	cfg.Replicas = 1000 // testbed has 32 ranks
+	if _, err := Run(cfg); err == nil {
+		t.Error("more replicas than ranks accepted")
+	}
+}
+
+// TestServeTraceHonorsDuration pins the arrival-window contract on trace
+// replay: timestamps past an explicit cutoff are not admitted.
+func TestServeTraceHonorsDuration(t *testing.T) {
+	cfg := testConfig()
+	cfg.RatePerSec = 0
+	cfg.ArrivalTimes = []float64{0.5, 1.0, 100.0}
+	cfg.DurationSeconds = 10
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 2 {
+		t.Errorf("admitted %d requests, want 2 (t=100 is past the 10s window)", rep.Requests)
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	cases := [][3]int{{1, 64, 64}, {64, 64, 64}, {65, 64, 128}, {128, 64, 128}}
+	for _, c := range cases {
+		if got := roundUp(c[0], c[1]); got != c[2] {
+			t.Errorf("roundUp(%d, %d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, pol := range []Policy{FCFS, Packed} {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Errorf("ParsePolicy(%q) = %v, %v", pol.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("lifo"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyAndSingleton(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton quantile = %g, want 7", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5}, {0.95, 38},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilesOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	a := Quantiles(vals, 0.5, 0.95, 0.99)
+
+	shuffled := make([]float64, len(vals))
+	copy(shuffled, vals)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := Quantiles(shuffled, 0.5, 0.95, 0.99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("quantile %d differs across insertion orders: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuantilesDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Quantiles(vals, 0.5)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Errorf("Quantiles mutated its input: %v", vals)
+	}
+}
+
+func TestHistogramCounts(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.999, 10, 42} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	want := []int64{2, 1, 0, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("bucket 1 bounds = [%g, %g), want [2, 4)", lo, hi)
+	}
+}
+
+func TestHistogramOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 12
+	}
+	a, _ := NewHistogram(0, 10, 16)
+	b, _ := NewHistogram(0, 10, 16)
+	for _, v := range vals {
+		a.Add(v)
+	}
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		b.Add(v)
+	}
+	if a.Under != b.Under || a.Over != b.Over {
+		t.Fatal("under/over differ across insertion orders")
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatalf("bucket %d differs across insertion orders", i)
+		}
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(9)
+	var sb strings.Builder
+	if err := h.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "out of range: 0 under, 1 over") {
+		t.Errorf("render missing overflow line:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("render should have 3 lines:\n%s", out)
+	}
+}

@@ -14,7 +14,10 @@
 //     designs (NaivePIM, LTC, OP, OP+LC, OP+LC+RC, LoCaLUT), each verified
 //     bit-exact against an integer reference on every run;
 //   - end-to-end transformer inference (BERT-base, OPT-125M, ViT-Base)
-//     with the host/PIM split of Fig. 8.
+//     with the host/PIM split of Fig. 8;
+//   - request-level serving simulation (System.Serve): a deterministic
+//     discrete-event traffic engine with seeded arrivals, batching
+//     schedulers and SLO metrics, priced through the cycles-only backend.
 //
 // Quick start:
 //

@@ -1,0 +1,120 @@
+package localut
+
+import (
+	"reflect"
+	"testing"
+)
+
+func serveTestConfig() ServeConfig {
+	return ServeConfig{
+		Model:           BERTBase,
+		Format:          W1A3,
+		Design:          DesignLoCaLUT,
+		RatePerSec:      50,
+		DurationSeconds: 5,
+	}
+}
+
+func TestSystemServe(t *testing.T) {
+	sys := NewSystem(WithSeed(1))
+	rep, err := sys.Serve(serveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Completed != rep.Requests {
+		t.Fatalf("served %d of %d requests", rep.Completed, rep.Requests)
+	}
+	if rep.Model != "BERT-base" || rep.Format != "W1A3" || rep.Design != "LoCaLUT" {
+		t.Errorf("report identity %s/%s/%s", rep.Model, rep.Format, rep.Design)
+	}
+	if rep.Latency.P99 < rep.Latency.P50 || rep.Latency.P50 <= 0 {
+		t.Errorf("suspicious latency stats %+v", rep.Latency)
+	}
+	if rep.EnergyPerRequestJ <= 0 {
+		t.Error("energy per request not priced")
+	}
+}
+
+// TestServeParallelismInvariant pins the acceptance invariant on the
+// public API: identical reports across repeated runs and WithParallelism
+// levels.
+func TestServeParallelismInvariant(t *testing.T) {
+	base, err := NewSystem(WithSeed(1)).Serve(serveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 0} {
+		rep, err := NewSystem(WithSeed(1), WithParallelism(par)).Serve(serveTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("parallelism %d changed the report:\n%+v\n%+v", par, base, rep)
+		}
+	}
+}
+
+func TestServeSeedOverride(t *testing.T) {
+	sys := NewSystem(WithSeed(1))
+	a, err := sys.Serve(serveTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serveTestConfig()
+	cfg.Seed = 2
+	b, err := sys.Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("seed override had no effect")
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	sys := NewSystem()
+	cfg := serveTestConfig()
+	cfg.RatePerSec = 0
+	if _, err := sys.Serve(cfg); err == nil {
+		t.Error("config without an arrival source accepted")
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	for _, d := range Designs {
+		got, err := ParseDesign(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDesign(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if got, err := ParseDesign("locaLUT"); err != nil || got != DesignLoCaLUT {
+		t.Errorf("case-insensitive ParseDesign failed: %v, %v", got, err)
+	}
+	if _, err := ParseDesign("gpu"); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range []Model{BERTBase, OPT125M, ViTBase} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("gpt-5"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestParseSchedulerPolicy(t *testing.T) {
+	for _, p := range []SchedulerPolicy{ScheduleFCFS, SchedulePacked} {
+		got, err := ParseSchedulerPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseSchedulerPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseSchedulerPolicy("lifo"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
