@@ -9,6 +9,8 @@
 //	localut-bench [-quick] [-fig fig09] [-j N] [-cycles-only] [-v] [-o report.md]
 //	localut-bench -sweep MxKxN [-fmt W1A3] [-j N] [-cycles-only] [-compare]
 //	localut-bench -bench-json BENCH_kernels.json
+//	localut-bench -engine-json BENCH_engine.json [-max-allocs-per-tile N]
+//	localut-bench ... [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -j sets the host worker-pool size (0 = one worker per CPU core, 1 =
 // serial). Results are bit-identical at any -j; only wall-clock changes.
@@ -16,12 +18,18 @@
 // identical cycle/event sequence without moving bytes, so figures and
 // sweeps regenerate the same numbers much faster (outputs are not computed,
 // so per-tile verification is skipped).
-// -compare runs the sweep serially, in parallel, and in cycles-only mode,
-// checks that the simulated cycle counts agree across all three, and
-// reports the host speedups.
+// -compare runs the sweep serially, in parallel, through the unpooled
+// (NoArena) reference engine and in cycles-only mode, checks that the
+// simulated results agree across all four, and reports the host speedups.
 // -v prints LUT table-build cache statistics after the run.
 // -bench-json runs the kernel micro-benchmark suite (OP, OP+LC, OP+LC+RC in
 // both modes) and writes the timings as JSON to the given path.
+// -engine-json benchmarks the full-grid functional engine (pooled vs
+// unpooled wall-clock, steady-state allocations per bank tile) and writes
+// the measurements as JSON; with -max-allocs-per-tile it exits nonzero when
+// the steady state regresses past the ceiling (the CI allocation gate).
+// -cpuprofile / -memprofile stream a pprof CPU profile and write a post-GC
+// heap snapshot, so perf changes ship with evidence.
 package main
 
 import (
@@ -35,9 +43,11 @@ import (
 	"time"
 
 	"github.com/ais-snu/localut/internal/experiments"
+	"github.com/ais-snu/localut/internal/gemm"
 	"github.com/ais-snu/localut/internal/kernels"
 	"github.com/ais-snu/localut/internal/lut"
 	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/prof"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/workload"
 )
@@ -53,7 +63,18 @@ func main() {
 	cyclesOnly := flag.Bool("cycles-only", false, "use the analytic cycles-only backend (identical cycles, no functional simulation)")
 	verbose := flag.Bool("v", false, "print LUT cache statistics after the run")
 	benchJSON := flag.String("bench-json", "", "run the kernel micro-benchmarks and write JSON to this path")
+	engineJSON := flag.String("engine-json", "", "run the full-grid engine benchmark and write JSON to this path")
+	maxAllocs := flag.Float64("max-allocs-per-tile", 0, "with -engine-json: fail if steady-state allocations per bank tile exceed this ceiling (0 = no check)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profStop = stopProf
+	defer stopProf()
 
 	mode := kernels.Functional
 	if *cyclesOnly {
@@ -62,6 +83,13 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *engineJSON != "" {
+		if err := runEngineJSON(*engineJSON, *par, *maxAllocs); err != nil {
 			fatal(err)
 		}
 		return
@@ -172,10 +200,10 @@ func runSweep(shape, fmtName string, par int, mode kernels.Mode, compare bool) e
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	fmt.Printf("full-grid sweep %s %s: serial vs %d workers vs cycles-only\n\n", shape, f.Name(), workers)
+	fmt.Printf("full-grid sweep %s %s: serial vs %d workers vs unpooled vs cycles-only\n\n", shape, f.Name(), workers)
 
-	// Untimed warm-up: builds the process-wide LUT tables so neither timed
-	// functional pass pays construction costs the other skips.
+	// Untimed warm-up: builds the process-wide LUT tables so no timed
+	// functional pass pays construction costs the others skip.
 	if _, err := experiments.GEMMSweep(m, k, n, f, workers, kernels.Functional); err != nil {
 		return err
 	}
@@ -195,11 +223,19 @@ func runSweep(shape, fmtName string, par int, mode kernels.Mode, compare bool) e
 	parallelWall := time.Since(t1).Seconds()
 
 	t2 := time.Now()
+	unpooled, err := experiments.GEMMSweepExec(m, k, n, f,
+		gemm.ExecOptions{Parallelism: workers, NoArena: true})
+	if err != nil {
+		return err
+	}
+	unpooledWall := time.Since(t2).Seconds()
+
+	t3 := time.Now()
 	analytic, err := experiments.GEMMSweep(m, k, n, f, workers, kernels.CyclesOnly)
 	if err != nil {
 		return err
 	}
-	analyticWall := time.Since(t2).Seconds()
+	analyticWall := time.Since(t3).Seconds()
 
 	printRows(shape, f.Name(), parallel)
 
@@ -210,20 +246,27 @@ func runSweep(shape, fmtName string, par int, mode kernels.Mode, compare bool) e
 			fmt.Printf("\nMISMATCH at %s (serial vs parallel):\n  serial   %+v\n  parallel %+v\n",
 				serial[i].Design, serial[i], parallel[i])
 		}
+		if serial[i] != unpooled[i] {
+			identical = false
+			fmt.Printf("\nMISMATCH at %s (pooled vs unpooled):\n  pooled   %+v\n  unpooled %+v\n",
+				serial[i].Design, serial[i], unpooled[i])
+		}
 		if !serial[i].SameCost(analytic[i]) {
 			identical = false
 			fmt.Printf("\nMISMATCH at %s (functional vs cycles-only):\n  functional  %+v\n  cycles-only %+v\n",
 				serial[i].Design, serial[i], analytic[i])
 		}
 	}
-	fmt.Printf("\nserial:      %.3fs wall-clock (j=1, functional)\n", serialWall)
-	fmt.Printf("parallel:    %.3fs wall-clock (j=%d, functional)\n", parallelWall, workers)
+	fmt.Printf("\nserial:      %.3fs wall-clock (j=1, functional, pooled)\n", serialWall)
+	fmt.Printf("parallel:    %.3fs wall-clock (j=%d, functional, pooled)\n", parallelWall, workers)
+	fmt.Printf("unpooled:    %.3fs wall-clock (j=%d, functional, NoArena reference)\n", unpooledWall, workers)
 	fmt.Printf("cycles-only: %.3fs wall-clock (j=%d)\n", analyticWall, workers)
 	fmt.Printf("parallel speedup:    %.2fx over serial\n", serialWall/parallelWall)
+	fmt.Printf("pooled speedup:      %.2fx over the unpooled reference engine\n", unpooledWall/parallelWall)
 	fmt.Printf("cycles-only speedup: %.2fx over functional parallel, %.2fx over serial\n",
 		parallelWall/analyticWall, serialWall/analyticWall)
 	if identical {
-		fmt.Println("simulated cycle counts: identical across serial, parallel and cycles-only")
+		fmt.Println("simulated results: identical across serial, parallel, unpooled and cycles-only")
 	} else {
 		return fmt.Errorf("sweep modes diverged")
 	}
@@ -329,7 +372,118 @@ func runBenchJSON(path string) error {
 	return nil
 }
 
+// engineBench is the BENCH_engine.json payload: one full-grid functional
+// measurement of the pooled execution engine against the unpooled
+// (NoArena) reference, plus the steady-state allocation rate of the
+// per-bank-tile hot path.
+type engineBench struct {
+	Shape           string  `json:"shape"`
+	Format          string  `json:"format"`
+	Designs         int     `json:"designs"`
+	TilesPerPass    int     `json:"tiles_per_pass"`
+	Workers         int     `json:"workers"`
+	PooledSeconds   float64 `json:"pooled_seconds"`
+	UnpooledSeconds float64 `json:"unpooled_seconds"`
+	PooledSpeedup   float64 `json:"pooled_speedup"`
+	AllocsPerTile   float64 `json:"allocs_per_tile"`
+	BytesPerTile    float64 `json:"bytes_per_tile"`
+}
+
+// runEngineJSON benchmarks the full-grid functional engine and writes the
+// measurements as JSON — the engine-level perf trajectory tracked across
+// PRs, and CI's allocation-regression gate (-max-allocs-per-tile).
+func runEngineJSON(path string, par int, maxAllocsPerTile float64) error {
+	const m, k, n = 256, 256, 64
+	f := quant.W1A3
+	workers := par
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	pair := workload.NewGEMMPair(m, k, n, f, 1)
+	runAll := func(e *gemm.Engine) (tiles int, err error) {
+		for _, v := range kernels.Variants {
+			rep, err := e.Run(pair, gemm.Options{Variant: v})
+			if err != nil {
+				return 0, err
+			}
+			tiles += rep.BanksSimulated
+		}
+		return tiles, nil
+	}
+
+	// Pooled engine: one warm pass populates the LUT cache and arena pool,
+	// the second pass is the timed steady state.
+	pooled := gemm.NewEngine()
+	pooled.Exec = gemm.ExecOptions{Parallelism: workers, FullGrid: true}
+	tiles, err := runAll(pooled)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if _, err := runAll(pooled); err != nil {
+		return err
+	}
+	pooledWall := time.Since(t0).Seconds()
+
+	// Steady-state allocation rate, measured serially (a worker pool would
+	// charge its goroutine setup to the tiles).
+	pooled.Exec.Parallelism = 1
+	if _, err := runAll(pooled); err != nil { // settle the serial arena
+		return err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := runAll(pooled); err != nil {
+		return err
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerTile := float64(after.Mallocs-before.Mallocs) / float64(tiles)
+	bytesPerTile := float64(after.TotalAlloc-before.TotalAlloc) / float64(tiles)
+
+	// Unpooled reference engine, same warm-then-time protocol.
+	unpooled := gemm.NewEngine()
+	unpooled.Exec = gemm.ExecOptions{Parallelism: workers, FullGrid: true, NoArena: true}
+	if _, err := runAll(unpooled); err != nil {
+		return err
+	}
+	t1 := time.Now()
+	if _, err := runAll(unpooled); err != nil {
+		return err
+	}
+	unpooledWall := time.Since(t1).Seconds()
+
+	bench := engineBench{
+		Shape: fmt.Sprintf("%dx%dx%d", m, k, n), Format: f.Name(),
+		Designs: len(kernels.Variants), TilesPerPass: tiles, Workers: workers,
+		PooledSeconds: pooledWall, UnpooledSeconds: unpooledWall,
+		PooledSpeedup: unpooledWall / pooledWall,
+		AllocsPerTile: allocsPerTile, BytesPerTile: bytesPerTile,
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (pooled %.3fs, unpooled %.3fs, %.2f allocs/tile)\n",
+		path, pooledWall, unpooledWall, allocsPerTile)
+
+	if maxAllocsPerTile > 0 && allocsPerTile > maxAllocsPerTile {
+		return fmt.Errorf("allocation regression: %.2f allocs per bank tile exceeds the %.2f ceiling",
+			allocsPerTile, maxAllocsPerTile)
+	}
+	return nil
+}
+
+// profStop flushes any active pprof collectors before an error exit, so a
+// failing profiled run still leaves usable profiles. Idempotent; the
+// success path defers the same stop.
+var profStop = func() {}
+
 func fatal(err error) {
+	profStop()
 	fmt.Fprintln(os.Stderr, "localut-bench:", err)
 	os.Exit(1)
 }

@@ -32,6 +32,7 @@ import (
 	"github.com/ais-snu/localut/internal/experiments"
 	"github.com/ais-snu/localut/internal/gemm"
 	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/prof"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/serve"
 	"github.com/ais-snu/localut/internal/trace"
@@ -63,7 +64,16 @@ func main() {
 	hist := flag.Bool("hist", false, "print the latency histogram (table output only)")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	benchJSON := flag.String("bench-json", "", "run the simulator self-benchmark and write JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profStop = stopProf
+	defer stopProf()
 
 	w := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -354,7 +364,13 @@ func variantByName(s string) (kernels.Variant, error) {
 	return 0, fmt.Errorf("unknown design %q", s)
 }
 
+// profStop flushes any active pprof collectors before an error exit, so a
+// failing profiled run still leaves usable profiles. Idempotent; the
+// success path defers the same stop.
+var profStop = func() {}
+
 func fatal(err error) {
+	profStop()
 	fmt.Fprintln(os.Stderr, "localut-serve:", err)
 	os.Exit(1)
 }

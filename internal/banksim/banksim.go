@@ -58,6 +58,10 @@ type Bank struct {
 // NewBank returns a precharged bank.
 func NewBank(t Timing) *Bank { return &Bank{T: t, openRow: -1} }
 
+// reset returns the bank to the precharged zero-cycle state under the
+// timing, recycling the struct for per-worker reuse (see ArenaRunner).
+func (b *Bank) reset(t Timing) { *b = Bank{T: t, openRow: -1} }
+
 // access applies the timing for one column command on the byte address. It
 // is the per-burst reference semantics; the streaming entry points batch it
 // row by row (see stream) and tests pin the equivalence.
@@ -165,13 +169,19 @@ func NewSIMDPIM(t Timing) *SIMDPIM { return &SIMDPIM{Lanes: 16, T: t} }
 
 // RunGEMM simulates the command stream of one bank's M x K x N share.
 func (s *SIMDPIM) RunGEMM(g GEMMSpec) (*Result, error) {
+	return s.RunGEMMOn(new(Bank), g)
+}
+
+// RunGEMMOn is RunGEMM on a caller-owned Bank (reset here), the
+// ArenaRunner entry point shard workers use to avoid per-share allocation.
+func (s *SIMDPIM) RunGEMMOn(b *Bank, g GEMMSpec) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if err := s.T.Validate(); err != nil {
 		return nil, err
 	}
-	b := NewBank(s.T)
+	b.reset(s.T)
 	const elemBytes = 2 // fp16 datapath
 	wBase := int64(0)
 	aBase := int64(g.M) * int64(g.K) * elemBytes
@@ -249,6 +259,12 @@ func (u *LUTPIM) ConfigureSlices(canonColBytes, reorderColBytes int64) error {
 // groups, slices stream into the unit SRAMs, then packed weight bursts are
 // looked up by all units in parallel.
 func (u *LUTPIM) RunGEMM(g GEMMSpec) (*Result, error) {
+	return u.RunGEMMOn(new(Bank), g)
+}
+
+// RunGEMMOn is RunGEMM on a caller-owned Bank (reset here), the
+// ArenaRunner entry point shard workers use to avoid per-share allocation.
+func (u *LUTPIM) RunGEMMOn(b *Bank, g GEMMSpec) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -258,7 +274,7 @@ func (u *LUTPIM) RunGEMM(g GEMMSpec) (*Result, error) {
 	if u.CanonColBytes <= 0 {
 		return nil, fmt.Errorf("banksim: slices not configured")
 	}
-	b := NewBank(u.T)
+	b.reset(u.T)
 	groups := (g.K + u.P - 1) / u.P
 	wBase := int64(0)
 	wBytes := int64(groups) * int64(g.M) * int64(u.WeightRowBytes)

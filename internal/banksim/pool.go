@@ -24,6 +24,22 @@ import (
 // calling goroutine that stops at the first failure; workers <= 0 uses
 // runtime.NumCPU().
 func ForEachShard(n, workers int, fn func(task int) error) error {
+	return ForEachShardArena(n, workers,
+		func() struct{} { return struct{}{} },
+		func(struct{}) {},
+		func(_ struct{}, task int) error { return fn(task) })
+}
+
+// ForEachShardArena is ForEachShard with a per-worker execution arena: each
+// worker acquires one context from get before its first task, threads it
+// through every task it owns, and returns it to put when its strided task
+// set is exhausted. Contexts hold reusable state (a simulated DPU, scratch
+// buffers, a Bank state machine) so a worker that executes thousands of
+// tasks allocates once; because the shard->task assignment and all outcome
+// slots are fixed, recycling cannot perturb results. get/put must be safe
+// for concurrent use; fn receives each context from exactly one goroutine
+// at a time.
+func ForEachShardArena[C any](n, workers int, get func() C, put func(C), fn func(ctx C, task int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -34,8 +50,10 @@ func ForEachShard(n, workers int, fn func(task int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		ctx := get()
+		defer put(ctx)
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -48,11 +66,13 @@ func ForEachShard(n, workers int, fn func(task int) error) error {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			ctx := get()
+			defer put(ctx)
 			for i := shard; i < n; i += workers {
 				if failed.Load() {
 					return
 				}
-				if errs[i] = fn(i); errs[i] != nil {
+				if errs[i] = fn(ctx, i); errs[i] != nil {
 					failed.Store(true)
 					return
 				}
@@ -73,6 +93,16 @@ func ForEachShard(n, workers int, fn func(task int) error) error {
 // each call builds its own Bank state machine.
 type Runner interface {
 	RunGEMM(GEMMSpec) (*Result, error)
+}
+
+// ArenaRunner is an optional Runner extension: RunGEMMOn executes on a
+// caller-owned Bank (reset by the callee before use), letting a shard
+// worker reuse one Bank state machine across every share it simulates
+// instead of allocating per call. Results are identical to RunGEMM.
+// Implementations must be safe for concurrent RunGEMMOn calls on distinct
+// Banks.
+type ArenaRunner interface {
+	RunGEMMOn(b *Bank, g GEMMSpec) (*Result, error)
 }
 
 // Grid aggregates a multi-bank run deterministically: banks execute
@@ -114,15 +144,25 @@ func RunShards(unit Runner, specs []GEMMSpec, parallelism int) (*Grid, error) {
 	}
 
 	results := make([]*Result, len(specs))
-	err := ForEachShard(len(distinct), parallelism, func(t int) error {
-		i := distinct[t]
-		r, err := unit.RunGEMM(specs[i])
-		if err != nil {
-			return fmt.Errorf("banksim: bank %d: %w", i, err)
-		}
-		results[i] = r
-		return nil
-	})
+	arena, pooled := unit.(ArenaRunner)
+	err := ForEachShardArena(len(distinct), parallelism,
+		func() *Bank { return new(Bank) },
+		func(*Bank) {},
+		func(b *Bank, t int) error {
+			i := distinct[t]
+			var r *Result
+			var err error
+			if pooled {
+				r, err = arena.RunGEMMOn(b, specs[i])
+			} else {
+				r, err = unit.RunGEMM(specs[i])
+			}
+			if err != nil {
+				return fmt.Errorf("banksim: bank %d: %w", i, err)
+			}
+			results[i] = r
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package banksim
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -88,5 +89,98 @@ func TestSplitGEMMCoversProblem(t *testing.T) {
 	}
 	if mTot != 1000 || nTot != 130 {
 		t.Fatalf("shares cover %dx%d, want 1000x130", mTot, nTot)
+	}
+}
+
+// TestForEachShardArenaContexts checks the per-worker context contract:
+// every task sees exactly one context, each context is owned by one worker
+// at a time, and all contexts are returned.
+func TestForEachShardArenaContexts(t *testing.T) {
+	const n, workers = 100, 7
+	type ctx struct {
+		id    int
+		tasks []int
+	}
+	var mu sync.Mutex
+	var made, returned int
+	seen := make([]*ctx, 0, workers)
+	err := ForEachShardArena(n, workers,
+		func() *ctx {
+			mu.Lock()
+			defer mu.Unlock()
+			c := &ctx{id: made}
+			made++
+			seen = append(seen, c)
+			return c
+		},
+		func(c *ctx) {
+			mu.Lock()
+			returned++
+			mu.Unlock()
+		},
+		func(c *ctx, task int) error {
+			c.tasks = append(c.tasks, task) // un-synchronized: -race guards ownership
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made != workers || returned != workers {
+		t.Fatalf("made %d contexts, returned %d, want %d each", made, returned, workers)
+	}
+	covered := make([]bool, n)
+	for _, c := range seen {
+		for _, task := range c.tasks {
+			if covered[task] {
+				t.Fatalf("task %d ran twice", task)
+			}
+			covered[task] = true
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+// TestRunGEMMOnMatchesRunGEMM pins the ArenaRunner contract for both unit
+// simulators: a recycled Bank produces bit-identical results to a fresh
+// one, including when shares of different shapes alternate through it.
+func TestRunGEMMOnMatchesRunGEMM(t *testing.T) {
+	lutUnit, err := NewLUTPIM(HBM2(), 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lutUnit.ConfigureSlices(256, 128); err != nil {
+		t.Fatal(err)
+	}
+	units := []struct {
+		name string
+		r    Runner
+	}{
+		{"SIMDPIM", NewSIMDPIM(HBM2())},
+		{"LUTPIM", lutUnit},
+	}
+	shapes := []GEMMSpec{{M: 16, K: 64, N: 8}, {M: 5, K: 33, N: 3}, {M: 16, K: 64, N: 8}}
+	for _, u := range units {
+		ar, ok := u.r.(ArenaRunner)
+		if !ok {
+			t.Fatalf("%s does not implement ArenaRunner", u.name)
+		}
+		b := new(Bank)
+		for i, g := range shapes {
+			want, err := u.r.RunGEMM(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ar.RunGEMMOn(b, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != *want {
+				t.Fatalf("%s share %d: pooled bank diverges:\npooled %+v\nfresh  %+v", u.name, i, got, want)
+			}
+		}
 	}
 }

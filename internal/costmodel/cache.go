@@ -1,10 +1,9 @@
 package costmodel
 
 import (
-	"sync"
-
 	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/stripemap"
 )
 
 // The §IV-D selection runs once per GEMM shape at initialization (§V-A), but
@@ -17,7 +16,10 @@ import (
 // the two LUT byte budgets, all of which are part of the key, so a cache can
 // be shared between engines with different machine configurations (and
 // between the shards of a parallel run — all methods are safe for concurrent
-// use).
+// use). The maps are lock-striped (internal/stripemap): high-parallelism
+// runs hit the cache on every worker's hot path, and striping keeps them off
+// a single mutex cacheline. Striping cannot perturb results — each entry is
+// a pure function of its key.
 
 // choiceKey identifies one Choose decision.
 type choiceKey struct {
@@ -37,21 +39,30 @@ type variantKey struct {
 	wram int64
 }
 
+func hashChoiceKey(key choiceKey) uint64 {
+	return uint64(key.m)*0x9E3779B185EBCA87 ^
+		uint64(key.k)*0xC2B2AE3D27D4EB4F ^
+		uint64(key.n)*0x165667B19E3779F9 ^
+		uint64(key.fmt.Weight.Bits)<<13 ^ uint64(key.fmt.Act.Bits)<<5
+}
+
+func hashVariantKey(key variantKey) uint64 {
+	return uint64(key.fmt.Weight.Bits)*31 ^ uint64(key.fmt.Act.Bits)*131 ^
+		uint64(key.kind)<<7 ^ uint64(key.wram)
+}
+
 // Cache memoizes cost-model decisions. The zero value is not ready; use
 // NewCache. All methods are safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	choices  map[choiceKey]Choice
-	variants map[variantKey]int
-	hits     int64
-	misses   int64
+	choices  *stripemap.Map[choiceKey, Choice]
+	variants *stripemap.Map[variantKey, int]
 }
 
 // NewCache returns an empty decision cache.
 func NewCache() *Cache {
 	return &Cache{
-		choices:  make(map[choiceKey]Choice),
-		variants: make(map[variantKey]int),
+		choices:  stripemap.New[choiceKey, Choice](hashChoiceKey),
+		variants: stripemap.New[variantKey, int](hashVariantKey),
 	}
 }
 
@@ -60,50 +71,35 @@ func NewCache() *Cache {
 func (c *Cache) Choose(m Model, f quant.Format, M, K, N int, cfg *pim.Config) (Choice, error) {
 	key := choiceKey{model: m, fmt: f, m: M, k: K, n: N,
 		wram: cfg.WRAMLUTBudget(), mram: cfg.MRAMLUTBudget()}
-	c.mu.Lock()
-	if ch, ok := c.choices[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if ch, ok := c.choices.Lookup(key); ok {
 		return ch, nil
 	}
-	c.misses++
-	c.mu.Unlock()
-
 	ch, err := Choose(m, f, M, K, N, cfg)
 	if err != nil {
 		return Choice{}, err
 	}
-	c.mu.Lock()
-	c.choices[key] = ch
-	c.mu.Unlock()
+	c.choices.Store(key, ch)
 	return ch, nil
 }
 
 // ChooseForVariant is a memoized ChooseForVariant.
 func (c *Cache) ChooseForVariant(f quant.Format, kind SizeKind, cfg *pim.Config) (int, error) {
 	key := variantKey{fmt: f, kind: kind, wram: cfg.WRAMLUTBudget()}
-	c.mu.Lock()
-	if p, ok := c.variants[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if p, ok := c.variants.Lookup(key); ok {
 		return p, nil
 	}
-	c.misses++
-	c.mu.Unlock()
-
 	p, err := ChooseForVariant(f, kind, cfg)
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	c.variants[key] = p
-	c.mu.Unlock()
+	c.variants.Store(key, p)
 	return p, nil
 }
 
-// Stats reports hit/miss counts (diagnostics and tests).
+// Stats reports hit/miss counts (diagnostics and tests) summed over both
+// decision kinds.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	h1, m1 := c.choices.Stats()
+	h2, m2 := c.variants.Stats()
+	return h1 + h2, m1 + m2
 }

@@ -37,8 +37,17 @@ func (r SweepRow) SameCost(o SweepRow) bool {
 // only the host wall-clock changes — which is exactly what localut-bench's
 // -compare mode checks, across modes as well.
 func GEMMSweep(m, k, n int, f quant.Format, parallelism int, mode kernels.Mode) ([]SweepRow, error) {
+	return GEMMSweepExec(m, k, n, f,
+		gemm.ExecOptions{Parallelism: parallelism, FullGrid: true, Mode: mode})
+}
+
+// GEMMSweepExec is GEMMSweep with full control of the execution options —
+// localut-bench's -compare uses it to pit the pooled engine against the
+// NoArena reference path on identical inputs.
+func GEMMSweepExec(m, k, n int, f quant.Format, exec gemm.ExecOptions) ([]SweepRow, error) {
+	exec.FullGrid = true
 	e := gemm.NewEngine()
-	e.Exec = gemm.ExecOptions{Parallelism: parallelism, FullGrid: true, Mode: mode}
+	e.Exec = exec
 	pair := workload.NewGEMMPair(m, k, n, f, 1)
 
 	rows := make([]SweepRow, 0, len(kernels.Variants))

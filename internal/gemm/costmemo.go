@@ -1,11 +1,10 @@
 package gemm
 
 import (
-	"sync"
-
 	"github.com/ais-snu/localut/internal/kernels"
 	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/stripemap"
 )
 
 // Cycles-only kernel runs are pure functions of (machine config, cost table,
@@ -39,45 +38,43 @@ type costRecord struct {
 	breakdown kernels.Breakdown
 }
 
-// CostMemo memoizes cycles-only bank cost records. The zero value is not
-// ready; use NewCostMemo. All methods are safe for concurrent use.
+// CostMemo memoizes cycles-only bank cost records in a lock-striped map
+// (internal/stripemap): every worker of a high -j serving or sweep run
+// consults the memo on its hot path, and striping by key hash keeps them
+// off one mutex cacheline. Striping is invisible to results — each record
+// is a pure function of its key. The zero value is not ready; use
+// NewCostMemo. All methods are safe for concurrent use.
 type CostMemo struct {
-	mu     sync.Mutex
-	recs   map[costKey]costRecord
-	hits   int64
-	misses int64
+	recs *stripemap.Map[costKey, costRecord]
 }
 
 // NewCostMemo returns an empty memo.
 func NewCostMemo() *CostMemo {
-	return &CostMemo{recs: make(map[costKey]costRecord)}
+	return &CostMemo{recs: stripemap.New[costKey, costRecord](hashCostKey)}
+}
+
+// hashCostKey mixes the key's shape and design fields — the ones that
+// differ between concurrent lookups.
+func hashCostKey(key costKey) uint64 {
+	return uint64(key.m)*0x9E3779B185EBCA87 ^
+		uint64(key.k)*0xC2B2AE3D27D4EB4F ^
+		uint64(key.n)*0x165667B19E3779F9 ^
+		uint64(key.variant)<<17 ^ uint64(key.p)<<9 ^ uint64(key.sliceK)<<3
 }
 
 // lookup returns the memoized record for the key.
 func (c *CostMemo) lookup(key costKey) (costRecord, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.recs[key]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
-	}
-	return rec, ok
+	return c.recs.Lookup(key)
 }
 
 // store records the outcome for the key.
 func (c *CostMemo) store(key costKey, rec costRecord) {
-	c.mu.Lock()
-	c.recs[key] = rec
-	c.mu.Unlock()
+	c.recs.Store(key, rec)
 }
 
 // Stats reports hit/miss counts (diagnostics and tests).
 func (c *CostMemo) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.recs.Stats()
 }
 
 // costKeyFor assembles the memo key for one bank tile of the current run.

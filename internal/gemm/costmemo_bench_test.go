@@ -1,0 +1,89 @@
+package gemm
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+)
+
+// Contention micro-benchmarks for the cost-record memo. The "before" shape
+// — one mutex guarding one map, exactly what CostMemo was prior to
+// lock-striping — is reimplemented here as the baseline so the two designs
+// stay comparable in one run:
+//
+//	go test -bench CostMemoContention -cpu 1,4,8 ./internal/gemm/
+//
+// Workers replay a small working set of hot keys (a serving trace replaying
+// a few layer shapes), which is the worst case for a global lock: every
+// lookup is a hit, so the critical section is all there is.
+
+// singleLockMemo is the pre-sharding CostMemo, kept as the benchmark
+// baseline.
+type singleLockMemo struct {
+	mu   sync.Mutex
+	recs map[costKey]costRecord
+}
+
+func (c *singleLockMemo) lookup(key costKey) (costRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.recs[key]
+	return rec, ok
+}
+
+func (c *singleLockMemo) store(key costKey, rec costRecord) {
+	c.mu.Lock()
+	c.recs[key] = rec
+	c.mu.Unlock()
+}
+
+// benchKeys builds a working set of distinct memo keys.
+func benchKeys(n int) []costKey {
+	keys := make([]costKey, n)
+	for i := range keys {
+		keys[i] = costKey{
+			variant: kernels.LoCaLUT, fmt: quant.W1A3,
+			p: 5, sliceK: 2, streaming: true,
+			m: 64 + i, k: 256, n: 1 + i%7,
+		}
+	}
+	return keys
+}
+
+func BenchmarkCostMemoContentionSingleLock(b *testing.B) {
+	memo := &singleLockMemo{recs: make(map[costKey]costRecord)}
+	keys := benchKeys(16)
+	for _, k := range keys {
+		memo.store(k, costRecord{cycles: int64(k.m)})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if rec, ok := memo.lookup(keys[i%len(keys)]); !ok || rec.cycles == 0 {
+				b.Fail()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkCostMemoContentionSharded(b *testing.B) {
+	memo := NewCostMemo()
+	keys := benchKeys(16)
+	for _, k := range keys {
+		memo.store(k, costRecord{cycles: int64(k.m)})
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if rec, ok := memo.lookup(keys[i%len(keys)]); !ok || rec.cycles == 0 {
+				b.Fail()
+			}
+			i++
+		}
+	})
+}

@@ -36,6 +36,12 @@ type ExecOptions struct {
 	// (Report.Verified is false) and identical-shape bank tiles share one
 	// memoized cost record (Engine.CostRecords).
 	Mode kernels.Mode
+	// NoArena disables the per-worker execution arenas and allocates a
+	// fresh DPU, tile and verification scratch for every bank tile, as the
+	// pre-pooling engine did. Reports are bit-identical either way; the
+	// flag exists as the reference path for equivalence tests and for
+	// before/after benchmarking of the pooled engine.
+	NoArena bool
 }
 
 // workers resolves the pool size (ForEachShard applies the same default;
@@ -142,7 +148,10 @@ func (e *Engine) simulateGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *R
 		if err := e.costGrid(pair, kn, rep, tasks, outcomes); err != nil {
 			return err
 		}
-	} else {
+	} else if e.Exec.NoArena {
+		// Reference path: fresh DPU, tile and verification scratch per bank
+		// tile (the pre-pooling engine). Kept for equivalence tests and
+		// before/after benchmarks.
 		err := banksim.ForEachShard(len(tasks), e.Exec.Parallelism, func(i int) error {
 			t := tasks[i]
 			tile, err := buildTileAt(pair, t)
@@ -164,6 +173,48 @@ func (e *Engine) simulateGrid(pair *workload.GEMMPair, kn kernels.Kernel, rep *R
 			}
 			return nil
 		})
+		if err != nil {
+			return err
+		}
+	} else {
+		// Pooled path: each shard worker owns one execution arena for its
+		// whole strided task set — the DPU's memories, the kernel
+		// workspace and the tile storage recycle across every bank tile,
+		// so the per-tile steady state allocates nothing. Verification
+		// compares each tile against its window of the memoized full
+		// reference product (one O(MKN) computation per pair, shared by
+		// every design run on it, bit-identical to a per-tile RefGEMM —
+		// tiles partition the output). Outputs are copied out of the arena
+		// only when the caller asked for the assembled product.
+		refs := e.refs
+		if refs == nil {
+			refs = &refCache{}
+		}
+		ref, err := refs.product(pair)
+		if err != nil {
+			return err
+		}
+		pool := e.pool()
+		err = banksim.ForEachShardArena(len(tasks), e.Exec.Parallelism,
+			func() *execArena { return pool.get(&e.Cfg) },
+			pool.put,
+			func(ar *execArena, i int) error {
+				t := tasks[i]
+				tile := ar.tileFor(pair, t)
+				res, err := kn.RunRequest(ar.request(tile))
+				if err != nil {
+					return err
+				}
+				if !verifyAgainst(ref, pair.N, t, tile.O) {
+					return fmt.Errorf("gemm: %s kernel output failed verification on bank tile (%d,%d)",
+						kn.Name(), t.m0/max(rep.TileM, 1), t.n0/max(rep.TileN, 1))
+				}
+				outcomes[i] = bankOutcome{cycles: res.Cycles, meter: ar.dpu.Meter, breakdown: res.Breakdown}
+				if wantOutput {
+					outcomes[i].out = append([]int32(nil), tile.O...)
+				}
+				return nil
+			})
 		if err != nil {
 			return err
 		}

@@ -33,6 +33,13 @@ type Engine struct {
 	// table, so sharing it across Clone'd engines is safe). Nil falls back
 	// to unmemoized cost runs.
 	CostRecords *CostMemo
+	// arenas recycles per-worker execution contexts (DPU, kernel workspace,
+	// tile storage) across runs, batch members and bank shards. Shared by
+	// Clone'd engines; arenas rebind to each engine's Cfg on acquisition.
+	arenas *arenaPool
+	// refs memoizes the full reference product used to verify functional
+	// full-grid runs, shared across the designs run on one pair.
+	refs *refCache
 }
 
 // NewEngine returns an engine with the paper's testbed defaults.
@@ -44,6 +51,8 @@ func NewEngine() *Engine {
 		HostOpsPerSec: 2e10,
 		Decisions:     costmodel.NewCache(),
 		CostRecords:   NewCostMemo(),
+		arenas:        newArenaPool(),
+		refs:          &refCache{},
 	}
 }
 
@@ -364,8 +373,8 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 		for i := range rep.Meter.Counts {
 			rep.Meter.Counts[i] *= int64(tiles)
 		}
-	} else {
-		// Representative tile: bank (0,0)'s share stands in for the grid.
+	} else if e.Exec.NoArena {
+		// Representative tile, reference path: fresh DPU and tile.
 		tile, err := e.buildTile(pair, tileM, tileN)
 		if err != nil {
 			return nil, err
@@ -380,18 +389,25 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 		if !reflect.DeepEqual(tile.O, kernels.RefGEMM(tile)) {
 			return nil, fmt.Errorf("gemm: %s kernel output failed verification on the representative tile", kn.Name())
 		}
-		rep.KernelSeconds = res.Seconds * float64(rounds)
-		rep.KernelCycles = res.Cycles * int64(rounds)
-		rep.Breakdown = res.Breakdown
-		rep.Verified = true
-		rep.BanksSimulated = 1
-
-		// Aggregate device events over all tiles for the energy model.
-		tiles := gridM * gridN
-		rep.Meter = dpu.Meter
-		for i := range rep.Meter.Counts {
-			rep.Meter.Counts[i] *= int64(tiles)
+		e.finishRepresentative(rep, res.Cycles, &dpu.Meter, &res.Breakdown, rounds, gridM*gridN)
+	} else {
+		// Representative tile: bank (0,0)'s share stands in for the grid,
+		// executed through a pooled arena so repeated runs (a serving
+		// trace replaying one layer shape) stop allocating.
+		pool := e.pool()
+		ar := pool.get(&e.Cfg)
+		defer pool.put(ar)
+		tile := ar.tileFor(pair, bankTask{m0: 0, n0: 0, tileM: tileM, tileN: tileN})
+		res, err := kn.RunRequest(ar.request(tile))
+		if err != nil {
+			return nil, err
 		}
+
+		// Continuous functionality check (Appendix F).
+		if !kernels.VerifyTile(ar.ws, tile) {
+			return nil, fmt.Errorf("gemm: %s kernel output failed verification on the representative tile", kn.Name())
+		}
+		e.finishRepresentative(rep, res.Cycles, &ar.dpu.Meter, &res.Breakdown, rounds, gridM*gridN)
 	}
 
 	e.chargeHost(rep, pair, p, opt.Variant)
@@ -408,6 +424,22 @@ func (e *Engine) Run(pair *workload.GEMMPair, opt Options) (*Report, error) {
 		rep.Output = kernels.RefGEMM(full)
 	}
 	return rep, nil
+}
+
+// finishRepresentative fills the report fields shared by both
+// representative-tile functional paths: extrapolated timing, breakdown,
+// and device events scaled to the full grid for the energy model.
+func (e *Engine) finishRepresentative(rep *Report, cycles int64, meter *pim.Meter,
+	b *kernels.Breakdown, rounds, tiles int) {
+	rep.KernelSeconds = e.Cfg.Seconds(cycles) * float64(rounds)
+	rep.KernelCycles = cycles * int64(rounds)
+	rep.Breakdown = *b
+	rep.Verified = true
+	rep.BanksSimulated = 1
+	rep.Meter = *meter
+	for i := range rep.Meter.Counts {
+		rep.Meter.Counts[i] *= int64(tiles)
+	}
 }
 
 // buildTile extracts bank (0,0)'s tile from the pair.

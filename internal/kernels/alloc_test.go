@@ -1,0 +1,275 @@
+package kernels
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/lut"
+	"github.com/ais-snu/localut/internal/pim"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// pooledKernels builds one instance of every design at a spec that fits the
+// default machine.
+func pooledKernels() []Kernel {
+	c := DefaultCosts()
+	return []Kernel{
+		NewNaiveKernel(c),
+		NewLTCKernel(c),
+		NewOPKernel(c, lut.MustSpec(quant.W1A3, 2)),
+		NewOPLCKernel(c, lut.MustSpec(quant.W1A3, 4)),
+		NewOPLCRCKernel(c, lut.MustSpec(quant.W1A3, 4)),
+		NewStreamKernel(c, lut.MustSpec(quant.W1A3, 6), 2),
+		NewOPDRAMKernel(c, lut.MustSpec(quant.W1A3, 4)),
+	}
+}
+
+// TestRunRequestMatchesRun pins the workspace contract: executing through a
+// shared, recycled Workspace (and a recycled DPU) produces bit-identical
+// results and outputs to the legacy per-call entry point, including when
+// differently shaped tiles alternate through one workspace — the pattern a
+// shard worker's arena sees on a ragged grid.
+func TestRunRequestMatchesRun(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	shapes := [][3]int{{24, 40, 8}, {7, 33, 5}, {24, 40, 8}, {16, 48, 1}}
+	for _, kn := range pooledKernels() {
+		ws := NewWorkspace()
+		pooledDPU := pim.NewDPU(&cfg)
+		for run, s := range shapes {
+			pair := workload.NewGEMMPair(s[0], s[1], s[2], quant.W1A3, int64(run))
+			fresh, err := NewTile(s[0], s[1], s[2], quant.W1A3, pair.W.Codes, pair.A.Codes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshDPU := pim.NewDPU(&cfg)
+			want, err := kn.Run(freshDPU, fresh)
+			if err != nil {
+				t.Fatalf("%s: %v", kn.Name(), err)
+			}
+
+			pooledTile, err := NewTile(s[0], s[1], s[2], quant.W1A3, pair.W.Codes, pair.A.Codes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := kn.RunRequest(&Request{DPU: pooledDPU, Tile: pooledTile, WS: ws})
+			if err != nil {
+				t.Fatalf("%s pooled: %v", kn.Name(), err)
+			}
+
+			if *got != *want {
+				t.Fatalf("%s run %d: pooled result diverges:\npooled %+v\nfresh  %+v",
+					kn.Name(), run, got, want)
+			}
+			if pooledDPU.Meter != freshDPU.Meter {
+				t.Fatalf("%s run %d: pooled meter diverges:\npooled %+v\nfresh  %+v",
+					kn.Name(), run, pooledDPU.Meter, freshDPU.Meter)
+			}
+			for i := range fresh.O {
+				if pooledTile.O[i] != fresh.O[i] {
+					t.Fatalf("%s run %d: pooled output diverges at %d", kn.Name(), run, i)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyTile checks the pooled verifier agrees with RefGEMM.
+func TestVerifyTile(t *testing.T) {
+	pair := workload.NewGEMMPair(9, 17, 5, quant.W2A2, 3)
+	tile, err := NewTile(9, 17, 5, quant.W2A2, pair.W.Codes, pair.A.Codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	copy(tile.O, RefGEMM(tile))
+	if !VerifyTile(ws, tile) {
+		t.Fatal("VerifyTile rejected the reference output")
+	}
+	tile.O[7]++
+	if VerifyTile(ws, tile) {
+		t.Fatal("VerifyTile accepted a corrupted output")
+	}
+}
+
+// TestSteadyStateAllocations pins the zero-allocation contract of the
+// per-tile hot path: once a worker's DPU + Workspace pair has executed a
+// tile shape once, re-running it allocates (almost) nothing — the Result
+// struct is the only steady-state allocation allowed, with one spare for
+// map-internals noise.
+func TestSteadyStateAllocations(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	const m, k, n = 32, 48, 4
+	pair := workload.NewGEMMPair(m, k, n, quant.W1A3, 1)
+	for _, kn := range pooledKernels() {
+		kn := kn
+		t.Run(kn.Name(), func(t *testing.T) {
+			tile, err := NewTile(m, k, n, quant.W1A3, pair.W.Codes, pair.A.Codes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := NewWorkspace()
+			d := pim.NewDPU(&cfg)
+			req := &Request{DPU: d, Tile: tile, WS: ws}
+			// Warm: grows scratch, builds shared LUTs, settles the memos.
+			for i := 0; i < 3; i++ {
+				if _, err := kn.RunRequest(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := kn.RunRequest(req); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("%s steady state allocates %.1f objects per tile, want <= 2", kn.Name(), allocs)
+			}
+		})
+	}
+}
+
+// TestGatherPrimitivesMatchScalar cross-checks the burst-wide inner-loop
+// primitives against the scalar ReadUint/ReadEntry walks they replaced, at
+// every supported width.
+func TestGatherPrimitivesMatchScalar(t *testing.T) {
+	for _, width := range []int{1, 2, 4} {
+		const count = 37
+		src := make([]byte, count*width)
+		for i := range src {
+			src[i] = byte(i*37 + 11)
+		}
+		dst := make([]uint32, count)
+		decodeCodes(dst, src, count, width)
+		for i := 0; i < count; i++ {
+			if want := lut.ReadUint(src, i, width); dst[i] != want {
+				t.Fatalf("decodeCodes width %d at %d: %d != %d", width, i, dst[i], want)
+			}
+		}
+
+		// translateCodes against per-element ReadUint.
+		table := make([]byte, 256*width)
+		for i := range table {
+			table[i] = byte(i * 13)
+		}
+		codes := make([]uint32, count)
+		want := make([]uint32, count)
+		for i := range codes {
+			codes[i] = uint32(i * 5 % 200)
+			want[i] = lut.ReadUint(table, int(codes[i]), width)
+		}
+		translateCodes(codes, table, width)
+		for i := range codes {
+			if codes[i] != want[i] {
+				t.Fatalf("translateCodes width %d at %d: %d != %d", width, i, codes[i], want[i])
+			}
+		}
+	}
+
+	// gatherAccum against per-element ReadEntry with stride and base.
+	for _, bo := range []int{1, 2, 4} {
+		table := make([]byte, 64*bo+3)
+		for i := range table {
+			table[i] = byte(i*29 + 7)
+		}
+		const base, n = 3, 16
+		codes := make([]uint32, n)
+		acc := make([]int32, n)
+		wantAcc := make([]int32, n)
+		for i := range codes {
+			codes[i] = uint32(i * 3)
+			acc[i] = int32(i) - 5
+			wantAcc[i] = acc[i] + lut.ReadEntry(table[base+int(codes[i])*bo:], 0, bo)
+		}
+		gatherAccum(acc, codes, table, bo, base, bo)
+		for i := range acc {
+			if acc[i] != wantAcc[i] {
+				t.Fatalf("gatherAccum width %d at %d: %d != %d", bo, i, acc[i], wantAcc[i])
+			}
+		}
+	}
+}
+
+// TestWorkspaceCanonicalizeMatchesDirect checks memo hits reproduce the
+// direct canonicalization bit-for-bit across every group content.
+func TestWorkspaceCanonicalizeMatchesDirect(t *testing.T) {
+	spec := lut.MustSpec(quant.W1A3, 3)
+	ws := NewWorkspace()
+	p := spec.P
+	sorted := make([]int, p)
+	sperm := make([]int, p)
+	wantSorted := make([]int, p)
+	wantPerm := make([]int, p)
+	levels := spec.Fmt.Act.Levels()
+	// Two passes: the first populates the memo, the second hits it.
+	for pass := 0; pass < 2; pass++ {
+		for x := 0; x < levels*levels*levels; x++ {
+			acts := []int{x % levels, (x / levels) % levels, (x / levels / levels) % levels}
+			wantCol, wantSigma, err := spec.CanonicalizeActsScratch(acts, wantSorted, wantPerm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col, sigma, err := ws.canonicalize(spec, acts, sorted, sperm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if col != wantCol || sigma != wantSigma {
+				t.Fatalf("pass %d acts %v: (%d,%d) != (%d,%d)", pass, acts, col, sigma, wantCol, wantSigma)
+			}
+			for i := range wantPerm {
+				if sperm[i] != wantPerm[i] {
+					t.Fatalf("pass %d acts %v: perm %v != %v", pass, acts, sperm[:p], wantPerm)
+				}
+			}
+		}
+	}
+}
+
+// TestRefGEMMIntoMatchesRefGEMM checks the pooled reference against the
+// allocating one on assorted shapes and formats.
+func TestRefGEMMIntoMatchesRefGEMM(t *testing.T) {
+	ws := NewWorkspace()
+	for i, f := range []quant.Format{quant.W1A3, quant.W2A2, quant.W4A4} {
+		for _, s := range [][3]int{{5, 9, 3}, {1, 16, 1}, {8, 4, 8}} {
+			pair := workload.NewGEMMPair(s[0], s[1], s[2], f, int64(i))
+			tile, err := NewTile(s[0], s[1], s[2], f, pair.W.Codes, pair.A.Codes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := RefGEMM(tile)
+			got := RefGEMMInto(ws, tile)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s %v: RefGEMMInto diverges at %d", f.Name(), s, j)
+				}
+			}
+		}
+	}
+}
+
+var benchSink *Result
+
+// BenchmarkPooledStreamKernel measures the arena-style hot path (recycled
+// DPU + Workspace) for the full LoCaLUT design — the benchmem companion to
+// TestSteadyStateAllocations.
+func BenchmarkPooledStreamKernel(b *testing.B) {
+	cfg := pim.DefaultConfig()
+	pair := workload.NewGEMMPair(benchM, benchK, benchN, quant.W1A3, 1)
+	tile, err := NewTile(benchM, benchK, benchN, quant.W1A3, pair.W.Codes, pair.A.Codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kn := NewStreamKernel(DefaultCosts(), lut.MustSpec(quant.W1A3, 6), 2)
+	req := &Request{DPU: pim.NewDPU(&cfg), Tile: tile, WS: NewWorkspace()}
+	if _, err := kn.RunRequest(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := kn.RunRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = res
+	}
+}

@@ -1,0 +1,90 @@
+package kernels
+
+import "fmt"
+
+// Burst-wide inner-loop primitives. The functional data programs used to
+// walk one element at a time, re-deriving byte offsets and paying a
+// ReadUint/ReadEntry call (switch + bounds checks) per lookup — on the host
+// that overhead, not the modeled hardware, dominated full-grid wall-clock.
+// These helpers process a whole DMA burst (one weight chunk) per call: the
+// packed codes are decoded once into a uint32 vector, translated through
+// the reordering slice in one pass, and gathered from the canonical slice
+// straight into the int32 accumulator, with the entry width resolved once
+// per burst instead of once per element. They move exactly the bytes the
+// per-element loops moved, so outputs are bit-identical.
+
+// decodeCodes reads count packed little-endian codes of the given byte
+// width from the head of src into dst (len(dst) >= count).
+func decodeCodes(dst []uint32, src []byte, count, width int) {
+	switch width {
+	case 1:
+		src = src[:count]
+		for i, b := range src {
+			dst[i] = uint32(b)
+		}
+	case 2:
+		src = src[:2*count]
+		for i := 0; i < count; i++ {
+			dst[i] = uint32(src[2*i]) | uint32(src[2*i+1])<<8
+		}
+	case 4:
+		src = src[:4*count]
+		for i := 0; i < count; i++ {
+			dst[i] = uint32(src[4*i]) | uint32(src[4*i+1])<<8 |
+				uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
+		}
+	default:
+		panic(fmt.Sprintf("kernels: unsupported code width %d", width))
+	}
+}
+
+// translateCodes maps every code through a reordering table of unsigned
+// entries of the given width: codes[i] = table[codes[i]], in place. table
+// is the slice base (entry 0 at offset 0).
+func translateCodes(codes []uint32, table []byte, width int) {
+	switch width {
+	case 1:
+		for i, c := range codes {
+			codes[i] = uint32(table[c])
+		}
+	case 2:
+		for i, c := range codes {
+			off := 2 * c
+			codes[i] = uint32(table[off]) | uint32(table[off+1])<<8
+		}
+	case 4:
+		for i, c := range codes {
+			off := 4 * c
+			codes[i] = uint32(table[off]) | uint32(table[off+1])<<8 |
+				uint32(table[off+2])<<16 | uint32(table[off+3])<<24
+		}
+	default:
+		panic(fmt.Sprintf("kernels: unsupported reorder width %d", width))
+	}
+}
+
+// gatherAccum adds the signed table entry addressed by each code to the
+// matching accumulator slot: acc[i] += entry at byte offset
+// base + codes[i]*stride, entries little-endian of the given width.
+// len(acc) == len(codes).
+func gatherAccum(acc []int32, codes []uint32, table []byte, stride, base, width int) {
+	switch width {
+	case 1:
+		for i, c := range codes {
+			acc[i] += int32(int8(table[base+int(c)*stride]))
+		}
+	case 2:
+		for i, c := range codes {
+			off := base + int(c)*stride
+			acc[i] += int32(int16(uint16(table[off]) | uint16(table[off+1])<<8))
+		}
+	case 4:
+		for i, c := range codes {
+			off := base + int(c)*stride
+			acc[i] += int32(uint32(table[off]) | uint32(table[off+1])<<8 |
+				uint32(table[off+2])<<16 | uint32(table[off+3])<<24)
+		}
+	default:
+		panic(fmt.Sprintf("kernels: unsupported entry width %d", width))
+	}
+}

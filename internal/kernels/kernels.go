@@ -187,20 +187,7 @@ func RefGEMM(t *Tile) []int32 {
 	for i, c := range t.A {
 		av[i] = t.Fmt.Act.Decode(uint32(c))
 	}
-	for m := 0; m < t.M; m++ {
-		wrow := wv[m*t.K : (m+1)*t.K]
-		orow := out[m*t.N : (m+1)*t.N]
-		for k := 0; k < t.K; k++ {
-			w := wrow[k]
-			if w == 0 {
-				continue
-			}
-			arow := av[k*t.N : (k+1)*t.N]
-			for n := 0; n < t.N; n++ {
-				orow[n] += w * arow[n]
-			}
-		}
-	}
+	refGEMM(t, wv, av, out)
 	return out
 }
 
@@ -237,7 +224,13 @@ type Kernel interface {
 	Name() string
 	Variant() Variant
 	// Run executes the tile on the DPU, filling t.O, and returns timing.
+	// It is the convenience entry point; each call uses private scratch.
 	Run(d *pim.DPU, t *Tile) (*Result, error)
+	// RunRequest is Run with an optional reusable Workspace (Request.WS).
+	// A worker that executes many tiles through one DPU + Workspace pair
+	// reaches an allocation-free steady state; results are bit-identical
+	// to Run whatever scratch is recycled.
+	RunRequest(req *Request) (*Result, error)
 }
 
 // bk tracks a phase-attributed cycle meter on top of the DPU meter.

@@ -66,6 +66,11 @@ func planeBits(c quant.Codec, code uint8) uint8 {
 
 // Run executes the tile. The DPU must be freshly reset.
 func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *LTCKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	bw := t.Fmt.Weight.Bits
@@ -89,6 +94,13 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
 	if !cost {
+		// planeBits is a pure function of the code byte; tabulating it once
+		// per run turns the per-element call (with its codec-mode branch)
+		// into a load.
+		pt := grow(&ws.planeT, 256)
+		for i := range pt {
+			pt[i] = planeBits(t.Fmt.Weight, uint8(i))
+		}
 		for m := 0; m < t.M; m++ {
 			for b := 0; b < bw; b++ {
 				base := (m*bw + b) * planeRowBytes
@@ -99,7 +111,7 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 						if kk >= t.K {
 							break
 						}
-						bit := (planeBits(t.Fmt.Weight, t.W[m*t.K+kk]) >> uint(b)) & 1
+						bit := (pt[t.W[m*t.K+kk]] >> uint(b)) & 1
 						nib |= bit << uint(i)
 					}
 					if g%2 == 0 {
@@ -110,11 +122,13 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				}
 			}
 		}
+		at := decodeTable(&ws.adecT, t.Fmt.Act)
+		aMask := t.Fmt.Act.Mask()
 		for n := 0; n < t.N; n++ {
 			base := n * colRec
 			var colSum int32
 			for kk := 0; kk < t.K; kk++ {
-				v := t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))
+				v := at[uint32(t.A[kk*t.N+n])&aMask]
 				aSeg.Data[base+4+kk] = byte(int8(v))
 				colSum += v
 			}
@@ -141,13 +155,13 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("ltc: %w (tile M too large for WRAM column accumulator)", err)
 	}
 
-	x := newBK(d)
-	coefs := make([]int32, bw)
+	x := ws.newBK(d)
+	coefs := grow(&ws.coefs, bw)
 	var corr int32
 	for b := 0; b < bw; b++ {
 		coefs[b], corr = weightPlaneCoef(t, b)
 	}
-	accs := make([]int32, bw)
+	accs := grow(&ws.planeAcc, bw)
 
 	for n := 0; n < t.N; n++ {
 		if err := dmaIn(d, aSeg, int64(n*colRec), aBuf, colRec); err != nil {
@@ -158,20 +172,30 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		if !cost {
 			colSum = lut.ReadEntry(aBuf.Data, 0, 4)
 
-			// Runtime table build: gray-code subset sums per activation group.
+			// Runtime table build: gray-code subset sums per activation
+			// group, with the fixed 2-byte entry loads/stores inlined
+			// (bit-identical to ReadEntry/WriteEntry at width 2).
+			tbl := tblBuf.Data
 			for g := 0; g < g4; g++ {
 				tbase := g * 16
-				lut.WriteEntry(tblBuf.Data, tbase, 2, 0)
+				tbl[tbase*2], tbl[tbase*2+1] = 0, 0
 				for idx := 1; idx < 16; idx++ {
 					low := idx & -idx
-					prev := lut.ReadEntry(tblBuf.Data, tbase+(idx^low), 2)
+					poff := (tbase + (idx ^ low)) * 2
+					prev := int32(int16(uint16(tbl[poff]) | uint16(tbl[poff+1])<<8))
 					bitPos := trailingZeros4(low)
 					kk := g*ltcGroup + bitPos
 					var av int32
 					if kk < t.K {
 						av = int32(int8(aBuf.Data[4+kk]))
 					}
-					lut.WriteEntry(tblBuf.Data, tbase+idx, 2, prev+av)
+					v := prev + av
+					if v < -32768 || v > 32767 {
+						panic(fmt.Sprintf("ltc: subset sum %d overflows 2 bytes", v))
+					}
+					woff := (tbase + idx) * 2
+					tbl[woff] = byte(v)
+					tbl[woff+1] = byte(v >> 8)
 				}
 			}
 		}
@@ -200,6 +224,11 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				}
 				x.charge(&x.b.Transfer)
 
+				// The subset-sum tables are fixed 2-byte entries; walking
+				// them with the load inlined (two nibbles per plane byte)
+				// keeps the per-group cost at two shifts and one 16-bit
+				// load instead of a per-element ReadEntry call.
+				tbl := tblBuf.Data
 				for b := 0; b < bw; b++ {
 					var acc int32
 					prow := wBuf.Data[b*planeRowBytes : (b+1)*planeRowBytes]
@@ -208,7 +237,8 @@ func (k *LTCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 						if g%2 == 1 {
 							nib >>= 4
 						}
-						acc += lut.ReadEntry(tblBuf.Data, g*16+int(nib&0xF), 2)
+						off := (g*16 + int(nib&0xF)) * 2
+						acc += int32(int16(uint16(tbl[off]) | uint16(tbl[off+1])<<8))
 					}
 					accs[b] = acc
 				}

@@ -24,6 +24,11 @@ func (k *NaiveKernel) Variant() Variant { return Naive }
 
 // Run executes the tile. The DPU must be freshly reset.
 func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *NaiveKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 
@@ -42,15 +47,20 @@ func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("naive: %w", err)
 	}
 	if !cost {
-		for m := 0; m < t.M; m++ {
-			for kk := 0; kk < t.K; kk++ {
-				wSeg.Data[m*t.K+kk] = byte(int8(t.Fmt.Weight.Decode(uint32(t.W[m*t.K+kk]))))
-			}
+		// Decode through workspace tables: one load per element instead of
+		// a per-element Decode call (bit-identical, Decode masks its input).
+		wt := decodeTable(&ws.wdecT, t.Fmt.Weight)
+		wMask := t.Fmt.Weight.Mask()
+		for i, c := range t.W {
+			wSeg.Data[i] = byte(int8(wt[uint32(c)&wMask]))
 		}
 		// A column-major so device column DMAs are contiguous.
+		at := decodeTable(&ws.adecT, t.Fmt.Act)
+		aMask := t.Fmt.Act.Mask()
 		for kk := 0; kk < t.K; kk++ {
-			for n := 0; n < t.N; n++ {
-				aSeg.Data[n*t.K+kk] = byte(int8(t.Fmt.Act.Decode(uint32(t.A[kk*t.N+n]))))
+			arow := t.A[kk*t.N : (kk+1)*t.N]
+			for n, c := range arow {
+				aSeg.Data[n*t.K+kk] = byte(int8(at[uint32(c)&aMask]))
 			}
 		}
 	}
@@ -77,7 +87,7 @@ func (k *NaiveKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("naive: %w", err)
 	}
 
-	x := newBK(d)
+	x := ws.newBK(d)
 	for n0 := 0; n0 < t.N; n0 += nc {
 		ncols := nc
 		if n0+ncols > t.N {

@@ -27,6 +27,11 @@ func (k *OPDRAMKernel) Name() string     { return "OP(DRAM)" }
 func (k *OPDRAMKernel) Variant() Variant { return OP }
 
 func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *OPDRAMKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	spec := k.Spec
@@ -39,8 +44,8 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 
 	recBytes := byteWidthFor(spec.OpCols() * int64(bo))
 	aBits := spec.Fmt.Act.Bits
-	codes := make([]uint32, spec.P)
-	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+	codes := grow(&ws.codes, spec.P)
+	st, err := stageCommon(d, t, spec, recBytes, ws, func(rec []byte, actCodes []int) error {
 		for i, c := range actCodes {
 			codes[i] = uint32(c)
 		}
@@ -77,13 +82,15 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP(DRAM): %w (tile M too large)", err)
 	}
 	var acc []int32
+	var wcodes []uint32
 	if !cost {
-		acc = make([]int32, t.M)
+		acc = grow(&ws.acc, t.M)
+		wcodes = grow(&ws.wcodes, wChunk)
 	}
 
 	rowStride := int64(spec.OpCols()) * int64(bo)
-	entry := make([]byte, bo)
-	x := newBK(d)
+	entry := grow(&ws.entry, bo)
+	x := ws.newBK(d)
 	for n := 0; n < t.N; n++ {
 		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
@@ -120,8 +127,13 @@ func (k *OPDRAMKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 						return nil, err
 					}
 				} else {
-					for m := 0; m < mc; m++ {
-						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
+					// The chunk's packed codes are decoded burst-wide; the
+					// per-element DMARead stays — it is this design's
+					// defining cost and each transfer must charge the meter
+					// individually sized.
+					wc := wcodes[:mc]
+					decodeCodes(wc, wBuf.Data, mc, st.rowBytes)
+					for m, w := range wc {
 						if err := d.DMARead(lutSeg, int64(w)*rowStride+aOff, entry); err != nil {
 							return nil, err
 						}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/ais-snu/localut/internal/lut"
-	"github.com/ais-snu/localut/internal/perm"
 	"github.com/ais-snu/localut/internal/pim"
 	"github.com/ais-snu/localut/internal/quant"
 )
@@ -43,14 +42,16 @@ func padActCode(c quant.Codec) (uint32, error) {
 // record for group g of column n given the group's activation codes; it is
 // never invoked on an accounting DPU, whose segments have the same sizes but
 // no bytes. Staging is host work and charges nothing, so skipping the fills
-// cannot perturb the meter.
-func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
+// cannot perturb the meter. The returned descriptor and all staging scratch
+// live in ws and are recycled across runs.
+func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int, ws *Workspace,
 	buildMeta func(rec []byte, actCodes []int) error) (*stagedLUT, error) {
 
 	p := spec.P
 	g := groupsOf(t.K, p)
 	rb := spec.WeightRowBytes()
-	st := &stagedLUT{spec: spec, groups: g, rowBytes: rb, recBytes: recBytes}
+	st := &ws.st
+	*st = stagedLUT{spec: spec, groups: g, rowBytes: rb, recBytes: recBytes}
 
 	var err error
 	if st.wSeg, err = d.MRAM.Alloc("Wg", int64(g*t.M*rb)); err != nil {
@@ -73,26 +74,36 @@ func stageCommon(d *pim.DPU, t *Tile, spec lut.Spec, recBytes int,
 		return st, nil
 	}
 
-	// Pack weights group-major: [g][m].
-	wb := spec.Fmt.Weight.Bits
-	codes := make([]uint32, p)
-	for gi := 0; gi < g; gi++ {
-		for m := 0; m < t.M; m++ {
-			for i := 0; i < p; i++ {
-				kk := gi*p + i
-				if kk < t.K {
-					codes[i] = uint32(t.W[m*t.K+kk])
-				} else {
-					codes[i] = 0 // pad weight; the matching pad activation is 0
-				}
+	// Pack weights group-major: [g][m], with the PackVector shift-or fused
+	// into the walk (identical bits), the weight row sliced once per m, and
+	// padding confined to the one possibly-partial trailing group. Pad
+	// weights are 0, contributing no bits — the matching pad activation
+	// decodes to 0.
+	uwb := uint(spec.Fmt.Weight.Bits)
+	wMask := uint32(1<<uwb) - 1
+	wImg := st.wSeg.Data
+	for m := 0; m < t.M; m++ {
+		row := t.W[m*t.K : m*t.K+t.K]
+		for gi := 0; gi < g; gi++ {
+			base := gi * p
+			end := base + p
+			if end > t.K {
+				end = t.K // the one possibly-partial trailing group
 			}
-			packed := quant.PackVector(codes, wb)
-			lut.WriteUint(st.wSeg.Data[(gi*t.M+m)*rb:], 0, rb, packed)
+			var packed uint32
+			for kk := base; kk < end; kk++ {
+				packed |= (uint32(row[kk]) & wMask) << (uint(kk-base) * uwb)
+			}
+			if rb == 1 {
+				wImg[gi*t.M+m] = byte(packed)
+			} else {
+				lut.WriteUint(wImg[(gi*t.M+m)*rb:], 0, rb, packed)
+			}
 		}
 	}
 
 	// Metadata per (n, g).
-	actCodes := make([]int, p)
+	actCodes := grow(&ws.actCodes, p)
 	for n := 0; n < t.N; n++ {
 		for gi := 0; gi < g; gi++ {
 			for i := 0; i < p; i++ {
@@ -140,6 +151,11 @@ func (k *OPKernel) Name() string     { return OP.String() }
 func (k *OPKernel) Variant() Variant { return OP }
 
 func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *OPKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	spec := k.Spec
@@ -153,8 +169,8 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	// Meta record: byte offset of the packed activation within a LUT row.
 	aBits := spec.Fmt.Act.Bits
 	recBytes := MetaRecordBytes(OP, spec)
-	codes := make([]uint32, spec.P)
-	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
+	codes := grow(&ws.codes, spec.P)
+	st, err := stageCommon(d, t, spec, recBytes, ws, func(rec []byte, actCodes []int) error {
 		for i, c := range actCodes {
 			codes[i] = uint32(c)
 		}
@@ -185,7 +201,7 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP: %w", err)
 	}
-	x := newBK(d)
+	x := ws.newBK(d)
 	if err := dmaIn(d, lutSeg, 0, lutBuf, int(lutBytes)); err != nil {
 		return nil, err
 	}
@@ -206,8 +222,10 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP: %w (tile M too large)", err)
 	}
 	var acc []int32
+	var wcodes []uint32
 	if !cost {
-		acc = make([]int32, t.M)
+		acc = grow(&ws.acc, t.M)
+		wcodes = grow(&ws.wcodes, wChunk)
 	}
 
 	for n := 0; n < t.N; n++ {
@@ -238,10 +256,12 @@ func (k *OPKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				x.charge(&x.b.Transfer)
 
 				if !cost {
-					for m := 0; m < mc; m++ {
-						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-						acc[m0+m] += lut.ReadEntry(lutBuf.Data[int(w)*rowStride+aOff:], 0, bo)
-					}
+					// Burst-wide lookup: decode the chunk's packed weight
+					// codes once, then gather with the row base resolved per
+					// burst instead of per element.
+					wc := wcodes[:mc]
+					decodeCodes(wc, wBuf.Data, mc, st.rowBytes)
+					gatherAccum(acc[m0:m0+mc], wc, lutBuf.Data, rowStride, aOff, bo)
 				}
 				d.Exec(pim.EvInstr, int64(mc)*k.Costs.OPGroupInstr)
 				d.Note(pim.EvWRAMAccess, int64(mc)*4)
@@ -278,6 +298,11 @@ func (k *OPLCKernel) Name() string     { return OPLC.String() }
 func (k *OPLCKernel) Variant() Variant { return OPLC }
 
 func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *OPLCKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	spec := k.Spec
@@ -294,14 +319,17 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	recBytes := MetaRecordBytes(OPLC, spec)
 	colB := recBytes - p
 	rows := int(spec.Rows())
-	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
-		col, sigma, err := spec.CanonicalizeActs(actCodes)
+	sorted := grow(&ws.sorted, p)
+	sperm := grow(&ws.sperm, p)
+	st, err := stageCommon(d, t, spec, recBytes, ws, func(rec []byte, actCodes []int) error {
+		col, _, err := ws.canonicalize(spec, actCodes, sorted, sperm)
 		if err != nil {
 			return err
 		}
 		lut.WriteUint(rec, 0, colB, uint32(col)*uint32(rows*bo))
-		sp := permBytes(sigma, p)
-		copy(rec[colB:], sp)
+		for i, v := range sperm {
+			rec[colB+i] = byte(v)
+		}
 		return nil
 	})
 	if err != nil {
@@ -322,7 +350,7 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC: %w", err)
 	}
-	x := newBK(d)
+	x := ws.newBK(d)
 	if err := dmaIn(d, lutSeg, 0, lutBuf, int(lutBytes)); err != nil {
 		return nil, err
 	}
@@ -342,13 +370,13 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC: %w (tile M too large)", err)
 	}
 	var acc []int32
+	var wcodes []uint32
 	if !cost {
-		acc = make([]int32, t.M)
+		acc = grow(&ws.acc, t.M)
+		wcodes = grow(&ws.wcodes, wChunk)
 	}
 
 	wb := spec.Fmt.Weight.Bits
-	unpacked := make([]uint32, p)
-	permuted := make([]uint32, p)
 	for n := 0; n < t.N; n++ {
 		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
@@ -380,16 +408,24 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				x.charge(&x.b.Transfer)
 
 				if !cost {
-					for m := 0; m < mc; m++ {
-						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-						// Software reorder: unpack, permute, repack.
-						quant.UnpackInto(unpacked, w, wb)
+					// Burst-wide: decode the chunk's packed codes once,
+					// software-reorder each into its canonical code — the
+					// unpack/permute/repack fused into one shift-or walk,
+					// bit-identical to the three-step sequence — then
+					// gather-accumulate with the column base resolved once
+					// per burst.
+					wc := wcodes[:mc]
+					decodeCodes(wc, wBuf.Data, mc, st.rowBytes)
+					uwb := uint(wb)
+					wMask := uint32(1<<uwb) - 1
+					for m, w := range wc {
+						var wCanon uint32
 						for i := 0; i < p; i++ {
-							permuted[i] = unpacked[sigma[i]]
+							wCanon |= ((w >> (uint(sigma[i]) * uwb)) & wMask) << (uint(i) * uwb)
 						}
-						wCanon := quant.PackVector(permuted, wb)
-						acc[m0+m] += lut.ReadEntry(lutBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
+						wc[m] = wCanon
 					}
+					gatherAccum(acc[m0:m0+mc], wc, lutBuf.Data, bo, colOff, bo)
 				}
 				d.Exec(pim.EvInstr, int64(mc)*(k.Costs.LCSWPerElement*int64(p)+k.Costs.LCSWGroupInstr))
 				d.Note(pim.EvWRAMAccess, int64(mc)*int64(4+p))
@@ -410,16 +446,6 @@ func (k *OPLCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	return x.result(OPLC, spec, p, 0), nil
 }
 
-// permBytes expands a Lehmer rank back to permutation index bytes.
-func permBytes(sigma int64, p int) []byte {
-	idx := perm.Unrank(sigma, p)
-	out := make([]byte, p)
-	for i, v := range idx {
-		out[i] = byte(v)
-	}
-	return out
-}
-
 // OPLCRCKernel is the buffer-resident OP+LC+RC design: both the canonical
 // and the reordering LUT live in WRAM, and each group costs the 12
 // instructions of §VI-I.
@@ -437,6 +463,11 @@ func (k *OPLCRCKernel) Name() string     { return OPLCRC.String() }
 func (k *OPLCRCKernel) Variant() Variant { return OPLCRC }
 
 func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *OPLCRCKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	spec := k.Spec
@@ -452,8 +483,10 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	colB := byteWidthFor(spec.CanonicalBytes())
 	sigB := byteWidthFor(spec.ReorderBytes())
 	recBytes := colB + sigB
-	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
-		col, sigma, err := spec.CanonicalizeActs(actCodes)
+	sorted := grow(&ws.sorted, spec.P)
+	sperm := grow(&ws.sperm, spec.P)
+	st, err := stageCommon(d, t, spec, recBytes, ws, func(rec []byte, actCodes []int) error {
+		col, sigma, err := ws.canonicalize(spec, actCodes, sorted, sperm)
 		if err != nil {
 			return err
 		}
@@ -494,7 +527,7 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w", err)
 	}
-	x := newBK(d)
+	x := ws.newBK(d)
 	if err := dmaIn(d, canonSeg, 0, canonBuf, int(spec.CanonicalBytes())); err != nil {
 		return nil, err
 	}
@@ -517,8 +550,10 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: OP+LC+RC: %w (tile M too large)", err)
 	}
 	var acc []int32
+	var wcodes []uint32
 	if !cost {
-		acc = make([]int32, t.M)
+		acc = grow(&ws.acc, t.M)
+		wcodes = grow(&ws.wcodes, wChunk)
 	}
 
 	for n := 0; n < t.N; n++ {
@@ -550,11 +585,14 @@ func (k *OPLCRCKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				x.charge(&x.b.Transfer)
 
 				if !cost {
-					for m := 0; m < mc; m++ {
-						w := lut.ReadUint(wBuf.Data, m, st.rowBytes)
-						wCanon := lut.ReadUint(reorderBuf.Data[sigmaOff+int(w)*rb:], 0, rb)
-						acc[m0+m] += lut.ReadEntry(canonBuf.Data[colOff+int(wCanon)*bo:], 0, bo)
-					}
+					// Burst-wide: decode the chunk's packed codes once,
+					// translate them through the group's reordering column in
+					// one pass, then gather-accumulate from the canonical
+					// column — both slice bases resolved once per burst.
+					wc := wcodes[:mc]
+					decodeCodes(wc, wBuf.Data, mc, st.rowBytes)
+					translateCodes(wc, reorderBuf.Data[sigmaOff:], rb)
+					gatherAccum(acc[m0:m0+mc], wc, canonBuf.Data, bo, colOff, bo)
 				}
 				mc64 := int64(mc)
 				d.Exec(pim.EvInstr, mc64*k.Costs.RCIdxCalcInstr)

@@ -30,6 +30,11 @@ func (k *StreamKernel) Name() string     { return LoCaLUT.String() }
 func (k *StreamKernel) Variant() Variant { return LoCaLUT }
 
 func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
+	return k.RunRequest(&Request{DPU: d, Tile: t})
+}
+
+func (k *StreamKernel) RunRequest(req *Request) (*Result, error) {
+	d, t, ws := req.DPU, req.Tile, req.WS.ensure()
 	d.Reset()
 	cost := d.CostOnly()
 	if k.SliceK < 1 {
@@ -55,8 +60,10 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 	colB := byteWidthFor(spec.CanonicalBytes())
 	sigB := byteWidthFor(spec.ReorderBytes())
 	recBytes := colB + sigB
-	st, err := stageCommon(d, t, spec, recBytes, func(rec []byte, actCodes []int) error {
-		col, sigma, err := spec.CanonicalizeActs(actCodes)
+	sorted := grow(&ws.sorted, spec.P)
+	sperm := grow(&ws.sperm, spec.P)
+	st, err := stageCommon(d, t, spec, recBytes, ws, func(rec []byte, actCodes []int) error {
+		col, sigma, err := ws.canonicalize(spec, actCodes, sorted, sperm)
 		if err != nil {
 			return err
 		}
@@ -114,11 +121,13 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 		return nil, fmt.Errorf("kernels: LoCaLUT: %w (tile M too large)", err)
 	}
 	var acc []int32
+	var wcodes []uint32
 	if !cost {
-		acc = make([]int32, t.M)
+		acc = grow(&ws.acc, t.M)
+		wcodes = grow(&ws.wcodes, wChunk)
 	}
 
-	x := newBK(d)
+	x := ws.newBK(d)
 	for n := 0; n < t.N; n++ {
 		if err := dmaIn(d, st.metaSeg, int64(n*g*recBytes), metaBuf, g*recBytes); err != nil {
 			return nil, err
@@ -189,15 +198,20 @@ func (k *StreamKernel) Run(d *pim.DPU, t *Tile) (*Result, error) {
 				// only one WRAM output update closes the row. This
 				// register-level output reuse is what makes larger k pay
 				// off (§VI-D, Fig. 13).
+				//
+				// The host walks the same lookups slice-by-slice: per
+				// resident slice pair the burst's packed codes are decoded
+				// once, translated through the reordering column in one
+				// pass, and gathered from the canonical column straight
+				// into the int32 accumulator. int32 addition commutes, so
+				// the slice-major order produces bit-identical outputs to
+				// the device's row-major register walk.
 				if !cost {
-					for m := 0; m < mc; m++ {
-						var reg int32
-						for j := 0; j < kk; j++ {
-							w := lut.ReadUint(wBuf.Data[j*wChunk*rb:], m, rb)
-							wCanon := lut.ReadUint(reorderSlices.Data[j*rows*rb:], int(w), rb)
-							reg += lut.ReadEntry(canonSlices.Data[j*rows*bo:], int(wCanon), bo)
-						}
-						acc[m0+m] += reg
+					wc := wcodes[:mc]
+					for j := 0; j < kk; j++ {
+						decodeCodes(wc, wBuf.Data[j*wChunk*rb:], mc, rb)
+						translateCodes(wc, reorderSlices.Data[j*rows*rb:], rb)
+						gatherAccum(acc[m0:m0+mc], wc, canonSlices.Data[j*rows*bo:], bo, 0, bo)
 					}
 				}
 				mk := int64(mc) * int64(kk)

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"math"
 	"math/big"
-	"sort"
 )
 
 // MaxFactorialN is the largest n for which Factorial does not overflow int64.
@@ -39,6 +38,33 @@ func Factorial(n int) int64 {
 	return f
 }
 
+// binomTableN/binomTableK bound the precomputed Pascal triangle that makes
+// small Binomial calls a table load. MultisetRank calls Binomial once per
+// element of every canonicalized activation group — the innermost host-side
+// loop of packed-LUT staging — with n < levels+p (<= 264 for 8-bit codecs)
+// and k <= p+1, all well inside the table.
+// The K bound keeps every table entry exact: C(299, 10) ~ 1.4e18 fits
+// int64, C(299, 11) would not.
+const (
+	binomTableN = 300
+	binomTableK = 11
+)
+
+var binomTable = func() *[binomTableN][binomTableK]int64 {
+	var t [binomTableN][binomTableK]int64
+	for n := 0; n < binomTableN; n++ {
+		t[n][0] = 1
+		for k := 1; k < binomTableK && k <= n; k++ {
+			if k == n {
+				t[n][k] = 1
+			} else {
+				t[n][k] = t[n-1][k-1] + t[n-1][k] // exact: bounds chosen to fit int64
+			}
+		}
+	}
+	return &t
+}()
+
 // Binomial returns C(n, k) computed exactly in int64, saturating at
 // math.MaxInt64 on overflow. Saturation (rather than panic) lets capacity
 // planning reason about absurdly large LUTs (e.g. W1A16 at p > 1) without
@@ -49,6 +75,9 @@ func Binomial(n, k int) int64 {
 	}
 	if k > n-k {
 		k = n - k
+	}
+	if n < binomTableN && k < binomTableK {
+		return binomTable[n][k]
 	}
 	var c int64 = 1
 	for i := 0; i < k; i++ {
@@ -97,7 +126,7 @@ func Rank(p []int) (int64, error) {
 	if n > MaxFactorialN {
 		return 0, fmt.Errorf("perm: Rank: length %d exceeds %d", n, MaxFactorialN)
 	}
-	seen := make([]bool, n)
+	var seen [MaxFactorialN]bool
 	for _, v := range p {
 		if v < 0 || v >= n || seen[v] {
 			return 0, fmt.Errorf("perm: Rank: %v is not a permutation of [0,%d)", p, n)
@@ -154,16 +183,40 @@ func Unrank(r int64, n int) []int {
 // reordering LUT be precomputed: every occurrence of the same activation
 // vector selects the same column.
 func SortPerm(v []int) (sorted []int, p []int) {
+	sorted = make([]int, len(v))
 	p = make([]int, len(v))
+	SortPermInto(v, sorted, p)
+	return sorted, p
+}
+
+// SortPermInto is SortPerm with caller-provided destinations: sorted and p
+// must each have length len(v). It allocates nothing, which is what lets
+// per-group canonicalization run inside an allocation-free staging loop.
+// The stable insertion sort produces the same unique stable permutation as
+// any other stable sort (vectors here are p <= ~8 elements long, where
+// insertion sort is also the fastest option).
+func SortPermInto(v, sorted, p []int) {
+	n := len(v)
+	if len(sorted) != n || len(p) != n {
+		panic(fmt.Sprintf("perm: SortPermInto: destination lengths %d/%d != %d",
+			len(sorted), len(p), n))
+	}
 	for i := range p {
 		p[i] = i
 	}
-	sort.SliceStable(p, func(a, b int) bool { return v[p[a]] < v[p[b]] })
-	sorted = make([]int, len(v))
+	for i := 1; i < n; i++ {
+		pi := p[i]
+		vi := v[pi]
+		j := i - 1
+		for j >= 0 && v[p[j]] > vi {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = pi
+	}
 	for i, idx := range p {
 		sorted[i] = v[idx]
 	}
-	return sorted, p
 }
 
 // Apply permutes v by p: out[i] = v[p[i]]. It panics if lengths differ.

@@ -323,3 +323,32 @@ func BenchmarkRank(b *testing.B) {
 		MustRank(p)
 	}
 }
+
+// TestSortPermIntoMatchesSortPerm cross-checks the allocation-free stable
+// insertion sort against the allocating entry point on exhaustive small
+// vectors and random larger ones, including heavy ties (where stability is
+// the observable contract).
+func TestSortPermIntoMatchesSortPerm(t *testing.T) {
+	check := func(v []int) {
+		t.Helper()
+		wantSorted, wantP := SortPerm(v)
+		sorted := make([]int, len(v))
+		p := make([]int, len(v))
+		SortPermInto(v, sorted, p)
+		for i := range v {
+			if sorted[i] != wantSorted[i] || p[i] != wantP[i] {
+				t.Fatalf("SortPermInto(%v) = %v/%v, want %v/%v", v, sorted, p, wantSorted, wantP)
+			}
+		}
+	}
+	// Exhaustive over all length-4 vectors on a 3-letter alphabet: every tie
+	// pattern appears.
+	for x := 0; x < 81; x++ {
+		v := []int{x % 3, (x / 3) % 3, (x / 9) % 3, (x / 27) % 3}
+		check(v)
+	}
+	check([]int{})
+	check([]int{7})
+	check([]int{5, 5, 5, 5, 5, 5, 5, 5})
+	check([]int{8, 7, 6, 5, 4, 3, 2, 1})
+}

@@ -215,21 +215,61 @@ type Segment struct {
 // MRAM (NewAccountingDPU) allocates no host memory at all: segments keep
 // their sizes and offsets for capacity and bounds checking, but carry no
 // bytes.
+//
+// Reset retires every live segment into a name-keyed recycle pool instead
+// of dropping it: a kernel rerun on the same DPU allocates the same segment
+// names, so steady-state execution reuses the retired backing arrays
+// (zeroed, exactly as a fresh make would return them) and allocates
+// nothing. Mapped (read-only) segments never donate their shared bytes to
+// the pool.
 type MRAM struct {
 	capacity int64
 	used     int64
 	costOnly bool
 	segs     map[string]*Segment
+	retired  map[string]*Segment
 }
 
 // NewMRAM returns an empty bank of the given capacity.
 func NewMRAM(capacity int64) *MRAM {
-	return &MRAM{capacity: capacity, segs: make(map[string]*Segment)}
+	return newMRAM(capacity, false)
 }
 
 // newMRAM returns a bank, segment-less when costOnly.
 func newMRAM(capacity int64, costOnly bool) *MRAM {
-	return &MRAM{capacity: capacity, costOnly: costOnly, segs: make(map[string]*Segment)}
+	return &MRAM{
+		capacity: capacity,
+		costOnly: costOnly,
+		segs:     make(map[string]*Segment),
+		retired:  make(map[string]*Segment),
+	}
+}
+
+// take pops a retired segment for reuse under name, or returns a fresh one.
+// The returned segment carries whatever Data array it retired with (never a
+// shared read-only mapping — Reset strips those).
+func (m *MRAM) take(name string) *Segment {
+	if seg, ok := m.retired[name]; ok {
+		delete(m.retired, name)
+		return seg
+	}
+	return &Segment{}
+}
+
+// Reset retires every segment and empties the bank. Owned backing arrays
+// stay with their retired segments for reuse by the next same-named Alloc;
+// shared read-only mappings are detached so recycled storage can never
+// alias a cached table.
+func (m *MRAM) Reset() {
+	for name, seg := range m.segs {
+		if seg.ro {
+			seg.Data = nil
+			seg.ro = false
+		}
+		m.retired[name] = seg
+		delete(m.segs, name)
+	}
+	m.used = 0
 }
 
 // Alloc reserves size bytes under name. It fails when the bank is full —
@@ -245,9 +285,17 @@ func (m *MRAM) Alloc(name string, size int64) (*Segment, error) {
 		return nil, fmt.Errorf("pim: MRAM alloc %q: %d bytes requested, %d of %d free",
 			name, size, m.capacity-m.used, m.capacity)
 	}
-	seg := &Segment{Name: name, Off: m.used, Size: size}
+	seg := m.take(name)
+	*seg = Segment{Name: name, Off: m.used, Size: size, Data: seg.Data}
 	if !m.costOnly {
-		seg.Data = make([]byte, size)
+		if int64(cap(seg.Data)) >= size {
+			seg.Data = seg.Data[:size]
+			clear(seg.Data)
+		} else {
+			seg.Data = make([]byte, size)
+		}
+	} else {
+		seg.Data = nil
 	}
 	m.used += size
 	m.segs[name] = seg
@@ -272,7 +320,8 @@ func (m *MRAM) Reserve(name string, size int64) (*Segment, error) {
 		return nil, fmt.Errorf("pim: MRAM reserve %q: %d bytes requested, %d of %d free",
 			name, size, m.capacity-m.used, m.capacity)
 	}
-	seg := &Segment{Name: name, Off: m.used, Size: size, ro: true}
+	seg := m.take(name)
+	*seg = Segment{Name: name, Off: m.used, Size: size, ro: true}
 	m.used += size
 	m.segs[name] = seg
 	return seg, nil
@@ -296,13 +345,14 @@ func (m *MRAM) Map(name string, data []byte) (*Segment, error) {
 		return nil, fmt.Errorf("pim: MRAM map %q: %d bytes requested, %d of %d free",
 			name, size, m.capacity-m.used, m.capacity)
 	}
-	seg := &Segment{Name: name, Off: m.used, Size: size, Data: data, ro: true}
+	seg := m.take(name)
+	*seg = Segment{Name: name, Off: m.used, Size: size, Data: data, ro: true}
 	m.used += size
 	m.segs[name] = seg
 	return seg, nil
 }
 
-// Free releases a segment.
+// Free releases a segment into the recycle pool.
 func (m *MRAM) Free(name string) error {
 	seg, ok := m.segs[name]
 	if !ok {
@@ -310,6 +360,11 @@ func (m *MRAM) Free(name string) error {
 	}
 	delete(m.segs, name)
 	m.used -= seg.Size
+	if seg.ro {
+		seg.Data = nil
+		seg.ro = false
+	}
+	m.retired[name] = seg
 	return nil
 }
 
@@ -327,12 +382,14 @@ func (m *MRAM) Segment(name string) (*Segment, bool) {
 
 // WRAM is the per-DPU scratchpad with the same named bump allocation. A
 // cost-only WRAM tracks sizes without allocating bytes, like a cost-only
-// MRAM.
+// MRAM. Like MRAM, released buffers are retired into a name-keyed recycle
+// pool so repeated kernel runs on one DPU stop allocating.
 type WRAM struct {
 	capacity int
 	used     int
 	costOnly bool
 	bufs     map[string]*Buffer
+	retired  map[string]*Buffer
 }
 
 // Buffer is a named WRAM allocation. Size is always the allocated byte
@@ -345,12 +402,17 @@ type Buffer struct {
 
 // NewWRAM returns an empty scratchpad.
 func NewWRAM(capacity int) *WRAM {
-	return &WRAM{capacity: capacity, bufs: make(map[string]*Buffer)}
+	return newWRAM(capacity, false)
 }
 
 // newWRAM returns a scratchpad, byte-less when costOnly.
 func newWRAM(capacity int, costOnly bool) *WRAM {
-	return &WRAM{capacity: capacity, costOnly: costOnly, bufs: make(map[string]*Buffer)}
+	return &WRAM{
+		capacity: capacity,
+		costOnly: costOnly,
+		bufs:     make(map[string]*Buffer),
+		retired:  make(map[string]*Buffer),
+	}
 }
 
 // Alloc reserves size bytes under name, failing when WRAM is exhausted —
@@ -366,29 +428,47 @@ func (w *WRAM) Alloc(name string, size int) (*Buffer, error) {
 		return nil, fmt.Errorf("pim: WRAM alloc %q: %d bytes requested, %d of %d free",
 			name, size, w.capacity-w.used, w.capacity)
 	}
-	buf := &Buffer{Name: name, Size: size}
+	buf, ok := w.retired[name]
+	if ok {
+		delete(w.retired, name)
+	} else {
+		buf = &Buffer{}
+	}
+	*buf = Buffer{Name: name, Size: size, Data: buf.Data}
 	if !w.costOnly {
-		buf.Data = make([]byte, size)
+		if cap(buf.Data) >= size {
+			buf.Data = buf.Data[:size]
+			clear(buf.Data)
+		} else {
+			buf.Data = make([]byte, size)
+		}
+	} else {
+		buf.Data = nil
 	}
 	w.used += size
 	w.bufs[name] = buf
 	return buf, nil
 }
 
-// Free releases a buffer.
+// Free releases a buffer into the recycle pool.
 func (w *WRAM) Free(name string) error {
 	buf, ok := w.bufs[name]
 	if !ok {
 		return fmt.Errorf("pim: WRAM free %q: no such buffer", name)
 	}
 	delete(w.bufs, name)
+	w.retired[name] = buf
 	w.used -= buf.Size
 	return nil
 }
 
-// FreeAll releases every buffer (kernel teardown).
+// FreeAll releases every buffer (kernel teardown), retiring the backing
+// arrays for reuse by the next same-named Alloc.
 func (w *WRAM) FreeAll() {
-	w.bufs = make(map[string]*Buffer)
+	for name, buf := range w.bufs {
+		w.retired[name] = buf
+		delete(w.bufs, name)
+	}
 	w.used = 0
 }
 
@@ -583,11 +663,14 @@ func (d *DPU) ChargeDMAWrite(seg *Segment, off, n int64) error {
 func (d *DPU) Seconds() float64 { return d.Cfg.Seconds(d.Meter.Cycles) }
 
 // Reset clears meter, WRAM and MRAM allocations for kernel reuse,
-// preserving the DPU's mode.
+// preserving the DPU's mode. The memories are recycled, not reallocated:
+// retired segment and buffer backing arrays are reused (zeroed) by the next
+// same-named allocation, so a DPU that reruns kernels of one shape settles
+// into an allocation-free steady state.
 func (d *DPU) Reset() {
 	d.Meter.Reset()
 	d.WRAM.FreeAll()
-	d.MRAM = newMRAM(d.Cfg.MRAMBytes, d.costOnly)
+	d.MRAM.Reset()
 }
 
 // System models the whole PIM server: a host connected to NumDPUs banks.

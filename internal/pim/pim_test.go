@@ -298,3 +298,101 @@ func TestEventClassString(t *testing.T) {
 		t.Error("unknown event name")
 	}
 }
+
+// TestResetRecyclesSegments pins the pooling contract of DPU.Reset: a
+// same-named re-allocation after Reset reuses the retired backing array,
+// returns it zeroed (exactly like a fresh make), and a re-allocation at a
+// larger size falls back to a fresh array.
+func TestResetRecyclesSegments(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+
+	seg, err := d.MRAM.Alloc("W", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg.Data {
+		seg.Data[i] = 0xAB
+	}
+	first := &seg.Data[0]
+	buf, err := d.WRAM.Alloc("scratch", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Data[0] = 0xCD
+
+	d.Reset()
+
+	seg2, err := d.MRAM.Alloc("W", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &seg2.Data[0] != first {
+		t.Error("MRAM re-alloc did not reuse the retired backing array")
+	}
+	for i, b := range seg2.Data {
+		if b != 0 {
+			t.Fatalf("recycled segment not zeroed at byte %d: %#x", i, b)
+		}
+	}
+	buf2, err := d.WRAM.Alloc("scratch", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Data[0] != 0 {
+		t.Error("recycled WRAM buffer not zeroed")
+	}
+
+	d.Reset()
+	seg3, err := d.MRAM.Alloc("W", 128) // grows past the retired capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg3.Data) != 128 {
+		t.Fatalf("grown segment has %d bytes, want 128", len(seg3.Data))
+	}
+}
+
+// TestResetNeverRecyclesMappedBytes guards the shared-LUT safety property:
+// bytes mapped read-only over host memory must not enter the recycle pool,
+// or a later owned allocation could scribble over a process-wide table.
+func TestResetNeverRecyclesMappedBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDPU(&cfg)
+	shared := []byte{1, 2, 3, 4}
+	if _, err := d.MRAM.Map("LUT", shared); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	seg, err := d.MRAM.Alloc("LUT", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &seg.Data[0] == &shared[0] {
+		t.Fatal("owned allocation aliases previously mapped shared bytes")
+	}
+	seg.Data[0] = 99
+	if shared[0] != 1 {
+		t.Fatal("write through recycled segment corrupted the shared table")
+	}
+}
+
+// TestAccountingDPUResetReuse checks cost-only memories recycle their
+// segment records without ever growing Data.
+func TestAccountingDPUResetReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewAccountingDPU(&cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := d.MRAM.Reserve("T", 100); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := d.MRAM.Alloc("W", 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.Data != nil {
+			t.Fatal("accounting segment grew data")
+		}
+		d.Reset()
+	}
+}

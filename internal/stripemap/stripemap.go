@@ -1,0 +1,80 @@
+// Package stripemap provides the lock-striped hash map behind the
+// simulator's concurrent memo caches (gemm.CostMemo, costmodel.Cache).
+// High -j runs consult those memos on every worker's hot path; striping by
+// key hash keeps workers off a single mutex cacheline, and the hit/miss
+// counters live inside the shards — updated under the lock already held —
+// so diagnostics add no shared atomic cacheline either.
+package stripemap
+
+import "sync"
+
+// numShards is the striping factor: enough to spread any plausible host
+// core count, at a few hundred bytes of fixed overhead per map.
+const numShards = 64
+
+type shard[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]V
+	hits   int64
+	misses int64
+}
+
+// Map is a lock-striped map for concurrent memoization. Values must be
+// pure functions of their keys: whichever caller stores a key first, every
+// later reader gets equivalent data, so striping can never perturb
+// results. The zero value is not ready; use New.
+type Map[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards [numShards]shard[K, V]
+}
+
+// New returns an empty map striped by the given key hash. The hash only
+// picks stripes — it needs to spread the keys that occur together in one
+// run, not be collision-free.
+func New[K comparable, V any](hash func(K) uint64) *Map[K, V] {
+	sm := &Map[K, V]{hash: hash}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[K]V)
+	}
+	return sm
+}
+
+func (sm *Map[K, V]) shardFor(k K) *shard[K, V] {
+	h := sm.hash(k)
+	h ^= h >> 29
+	return &sm.shards[h%numShards]
+}
+
+// Lookup returns the memoized value for the key, counting a hit or miss.
+func (sm *Map[K, V]) Lookup(k K) (V, bool) {
+	s := sm.shardFor(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Store records the value for the key.
+func (sm *Map[K, V]) Store(k K, v V) {
+	s := sm.shardFor(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Stats sums the per-shard hit/miss counters.
+func (sm *Map[K, V]) Stats() (hits, misses int64) {
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
