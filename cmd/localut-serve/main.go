@@ -3,12 +3,15 @@
 // It offers a seeded arrival stream (open-loop Poisson by default, or a
 // closed client loop) to a multi-rank LoCaLUT appliance, batches requests
 // with the chosen scheduler, prices every forward pass through the gemm
-// planners, and reports latency percentiles, throughput, utilization and
-// energy per request — bit-identical for a given seed at any -j.
+// planners — autoregressive decode at token granularity with continuous
+// batching — and reports latency percentiles, TTFT/TPOT, token
+// throughput, utilization and energy per request — bit-identical for a
+// given seed at any -j.
 //
 // Usage:
 //
 //	localut-serve -model bert-base -rate 100 -duration 60s -seed 1
+//	localut-serve -model opt-125m -rate 50 -out-tokens-mean 32 -out-tokens-max 128
 //	localut-serve -model opt-125m -design OP+LC+RC -scheduler fcfs -clients 32 -think 200ms
 //	localut-serve -model bert-base -sweep 25,50,100,200,400 [-designs "OP+LC+RC,LoCaLUT"]
 //	localut-serve -bench-json BENCH_serve.json
@@ -55,7 +58,9 @@ func main() {
 	minTok := flag.Int("min-tokens", 16, "minimum request length")
 	maxTok := flag.Int("max-tokens", 256, "maximum request length")
 	meanTok := flag.Float64("mean-tokens", 0, "mean request length (0 = model sequence length)")
-	outTok := flag.Int("out-tokens", 0, "decode tokens per request (decoder models)")
+	outTok := flag.Int("out-tokens", 0, "fixed decode tokens per request (decoder models)")
+	outTokMean := flag.Float64("out-tokens-mean", 0, "mean sampled decode tokens per request (overrides -out-tokens)")
+	outTokMax := flag.Int("out-tokens-max", 0, "cap on sampled decode tokens (0 = 4x the mean)")
 	par := flag.Int("j", 0, "host worker-pool size (0 = NumCPU); results are identical at any -j")
 	sweepFlag := flag.String("sweep", "", "comma-separated arrival rates for a saturation sweep")
 	designsFlag := flag.String("designs", "", "comma-separated designs for -sweep (default: -design)")
@@ -95,7 +100,7 @@ func main() {
 	if *sweepFlag != "" {
 		err := runSweep(w, *sweepFlag, *designsFlag, *model, *fmtName, *design,
 			*replicas, *ranks, *duration, *seed, *maxBatch, *sched, *quantum,
-			*minTok, *maxTok, *meanTok, *outTok, *csvOut)
+			*minTok, *maxTok, *meanTok, *outTok, *outTokMean, *outTokMax, *csvOut)
 		if err != nil {
 			fatal(err)
 		}
@@ -140,6 +145,8 @@ func main() {
 		MeanTokens:      *meanTok,
 		TokenQuantum:    *quantum,
 		OutTokens:       *outTok,
+		OutTokensMean:   *outTokMean,
+		OutTokensMax:    *outTokMax,
 	})
 	if err != nil {
 		fatal(err)
@@ -191,9 +198,17 @@ func reportTable(r *localut.ServeReport) *trace.Table {
 	t.Add("service p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g", r.Service.P50, r.Service.P95, r.Service.P99))
 	t.Add("latency p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g", r.Latency.P50, r.Latency.P95, r.Latency.P99))
 	t.Add("latency mean/max (s)", fmt.Sprintf("%.4g / %.4g", r.Latency.Mean, r.Latency.Max))
+	if r.DecodeSteps > 0 {
+		t.Add("ttft p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g", r.TTFT.P50, r.TTFT.P95, r.TTFT.P99))
+		t.Add("tpot p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g", r.TPOT.P50, r.TPOT.P95, r.TPOT.P99))
+		t.Add("decode steps", r.DecodeSteps)
+		t.Add("kv peak/capacity (bytes)", fmt.Sprintf("%d / %d (%.4g)",
+			r.KVPeakBytes, r.KVCapacityBytes, r.KVPeakUtilization))
+	}
 	t.Add("rank utilization", r.RankUtilization)
 	t.Add("pim share of busy time", r.PIMUtilization)
-	t.Add("tokens in/padded", fmt.Sprintf("%d / %d", r.TokensIn, r.TokensPadded))
+	t.Add("tokens in/padded/out", fmt.Sprintf("%d / %d / %d", r.TokensIn, r.TokensPadded, r.TokensOut))
+	t.Add("tokens/s", r.TokensPerSec)
 	t.Add("energy/request (J)", r.EnergyPerRequestJ)
 	t.Add("distinct forward sims", r.DistinctForwardSims)
 	return t
@@ -203,7 +218,7 @@ func reportTable(r *localut.ServeReport) *trace.Table {
 func runSweep(w io.Writer, rates, designsCSV, model, fmtName, design string,
 	replicas, ranks int, duration time.Duration, seed int64, maxBatch int,
 	sched string, quantum, minTok, maxTok int, meanTok float64, outTok int,
-	csvOut bool) error {
+	outTokMean float64, outTokMax int, csvOut bool) error {
 
 	rateVals, err := parseRates(rates)
 	if err != nil {
@@ -245,6 +260,8 @@ func runSweep(w io.Writer, rates, designsCSV, model, fmtName, design string,
 		MeanTokens:      meanTok,
 		TokenQuantum:    quantum,
 		OutTokens:       outTok,
+		OutTokensMean:   outTokMean,
+		OutTokensMax:    outTokMax,
 	}
 	if ranks > 0 {
 		eng := gemm.NewEngine()
@@ -272,42 +289,47 @@ func runSweep(w io.Writer, rates, designsCSV, model, fmtName, design string,
 	return nil
 }
 
-// benchReport is the simulator self-benchmark: how fast the serving
-// simulator itself runs, tracked across PRs alongside BENCH_kernels.json.
-type benchReport struct {
+// benchScenario is one timed self-benchmark workload: how fast the
+// serving simulator itself runs, tracked across PRs alongside
+// BENCH_kernels.json.
+type benchScenario struct {
 	Model            string  `json:"model"`
 	RatePerSec       float64 `json:"rate_per_sec"`
 	DurationSeconds  float64 `json:"duration_s"`
 	Requests         int     `json:"requests"`
 	Batches          int     `json:"batches"`
+	DecodeSteps      int     `json:"decode_steps"`
+	TokensOut        int64   `json:"tokens_out"`
 	DistinctSims     int     `json:"distinct_forward_sims"`
 	WallSeconds      float64 `json:"wall_seconds"`
 	RequestsPerSec   float64 `json:"requests_per_sec"`
 	SimSecondsPerSec float64 `json:"simulated_seconds_per_wall_second"`
 }
 
-// runBenchJSON times the acceptance workload: a 60-second window at 2000
-// req/s (>= 100k requests) on BERT-base.
-func runBenchJSON(path string) error {
+// benchReport pairs the prefill-only acceptance workload with a
+// decode-heavy one, so step-level decode performance is tracked too.
+type benchReport struct {
+	Prefill benchScenario `json:"prefill"`
+	Decode  benchScenario `json:"decode"`
+}
+
+// benchRun times one scenario.
+func benchRun(cfg localut.ServeConfig) (benchScenario, error) {
 	sys := localut.NewSystem(localut.WithSeed(1))
-	cfg := localut.ServeConfig{
-		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
-		RatePerSec:      2000,
-		DurationSeconds: 60,
-		Scheduler:       localut.SchedulePacked, // the CLI's default workload
-	}
 	start := time.Now()
 	rep, err := sys.Serve(cfg)
 	if err != nil {
-		return err
+		return benchScenario{}, err
 	}
 	wall := time.Since(start).Seconds()
-	out := benchReport{
+	out := benchScenario{
 		Model:           rep.Model,
 		RatePerSec:      cfg.RatePerSec,
 		DurationSeconds: cfg.DurationSeconds,
 		Requests:        rep.Requests,
 		Batches:         rep.Batches,
+		DecodeSteps:     rep.DecodeSteps,
+		TokensOut:       rep.TokensOut,
 		DistinctSims:    rep.DistinctForwardSims,
 		WallSeconds:     wall,
 	}
@@ -315,6 +337,34 @@ func runBenchJSON(path string) error {
 		out.RequestsPerSec = float64(rep.Requests) / wall
 		out.SimSecondsPerSec = rep.MakespanSeconds / wall
 	}
+	return out, nil
+}
+
+// runBenchJSON times the acceptance workloads: a 60-second window at 2000
+// req/s (>= 100k requests) on BERT-base, and a decode-heavy OPT-125M run
+// whose cost is dominated by token-level decode steps.
+func runBenchJSON(path string) error {
+	prefill, err := benchRun(localut.ServeConfig{
+		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		RatePerSec:      2000,
+		DurationSeconds: 60,
+		Scheduler:       localut.SchedulePacked, // the CLI's default workload
+	})
+	if err != nil {
+		return err
+	}
+	decode, err := benchRun(localut.ServeConfig{
+		Model: localut.OPT125M, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		RatePerSec:      200,
+		DurationSeconds: 60,
+		Scheduler:       localut.SchedulePacked,
+		OutTokensMean:   32,
+		OutTokensMax:    128,
+	})
+	if err != nil {
+		return err
+	}
+	out := benchReport{Prefill: prefill, Decode: decode}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
@@ -322,8 +372,9 @@ func runBenchJSON(path string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d requests in %.2fs, %.0f req/s)\n",
-		path, out.Requests, out.WallSeconds, out.RequestsPerSec)
+	fmt.Fprintf(os.Stderr, "wrote %s (prefill: %d requests in %.2fs, %.0f req/s; decode: %d steps in %.2fs)\n",
+		path, prefill.Requests, prefill.WallSeconds, prefill.RequestsPerSec,
+		decode.DecodeSteps, decode.WallSeconds)
 	return nil
 }
 

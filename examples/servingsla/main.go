@@ -1,9 +1,10 @@
 // servingsla finds, for each kernel design, the highest open-loop arrival
-// rate a LoCaLUT appliance can sustain while meeting a p99 latency SLO —
-// the capacity-planning question the request-level serving simulator
-// exists to answer. Each probe is a full discrete-event simulation priced
-// through the cycles-only backend, so the binary search over rates runs in
-// well under a second.
+// rate a LoCaLUT appliance can sustain while meeting the two latency SLOs
+// decode-dominated LLM serving is judged by: p99 time-to-first-token
+// (prompt responsiveness) and p99 time-per-output-token (generation
+// smoothness). Each probe is a full discrete-event simulation with
+// token-level continuous-batching decode priced through the cycles-only
+// backend, so the binary search over rates runs in well under a second.
 package main
 
 import (
@@ -14,9 +15,12 @@ import (
 )
 
 const (
-	sloP99Seconds = 0.5 // the service-level objective on p99 latency
-	windowSeconds = 10  // arrival window per probe
-	maxRate       = 512 // search ceiling (requests/sec)
+	sloTTFTP99Seconds = 0.5   // p99 time-to-first-token objective
+	sloTPOTP99Seconds = 0.080 // p99 time-per-output-token objective
+	windowSeconds     = 10    // arrival window per probe
+	maxRate           = 512   // search ceiling (requests/sec)
+	outTokensMean     = 16    // sampled output length distribution
+	outTokensMax      = 64
 )
 
 func main() {
@@ -24,21 +28,32 @@ func main() {
 
 	probe := func(d localut.Design, rate float64) (*localut.ServeReport, error) {
 		return sys.Serve(localut.ServeConfig{
-			Model:           localut.BERTBase,
+			Model:           localut.OPT125M,
 			Format:          localut.W1A3,
 			Design:          d,
 			RatePerSec:      rate,
 			DurationSeconds: windowSeconds,
+			OutTokensMean:   outTokensMean,
+			OutTokensMax:    outTokensMax,
 		})
 	}
 
-	fmt.Printf("max sustainable rate meeting p99 <= %.0f ms (BERT-base W1A3, 10s windows):\n\n",
-		sloP99Seconds*1e3)
-	fmt.Printf("%-10s %12s %14s %10s %10s\n", "design", "max rate/s", "throughput/s", "p99 (ms)", "util")
+	meetsSLO := func(rep *localut.ServeReport) bool {
+		return rep.Completed > 0 &&
+			rep.TTFT.P99 <= sloTTFTP99Seconds &&
+			rep.TPOT.P99 <= sloTPOTP99Seconds
+	}
+
+	fmt.Printf("max sustainable rate meeting ttft p99 <= %.0f ms AND tpot p99 <= %.0f ms\n",
+		sloTTFTP99Seconds*1e3, sloTPOTP99Seconds*1e3)
+	fmt.Printf("(OPT-125M W1A3, ~%d output tokens/request, %ds windows):\n\n",
+		outTokensMean, windowSeconds)
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
+		"design", "max rate/s", "tokens/s", "ttft p99", "tpot p99", "util")
 
 	for _, d := range localut.Designs {
-		// Binary search the largest integer rate whose p99 meets the SLO.
-		// The simulator is deterministic, so the search is reproducible.
+		// Binary search the largest integer rate meeting both SLOs. The
+		// simulator is deterministic, so the search is reproducible.
 		lo, hi := 0, maxRate // lo: known-feasible, hi: known-infeasible
 		for lo+1 < hi {
 			mid := (lo + hi) / 2
@@ -46,7 +61,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if rep.Latency.P99 <= sloP99Seconds && rep.Completed > 0 {
+			if meetsSLO(rep) {
 				lo = mid
 			} else {
 				hi = mid
@@ -60,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10s %12d %14.1f %10.1f %10.2f\n",
-			d, lo, rep.ThroughputPerSec, rep.Latency.P99*1e3, rep.RankUtilization)
+		fmt.Printf("%-10s %12d %12.0f %9.1f ms %9.1f ms %10.2f\n",
+			d, lo, rep.TokensPerSec, rep.TTFT.P99*1e3, rep.TPOT.P99*1e3, rep.RankUtilization)
 	}
 }

@@ -68,12 +68,15 @@ type HostModel struct {
 func DefaultHost() HostModel { return HostModel{FlopsPerSec: 2e11} }
 
 // attnFlops estimates per-layer attention flops on the host for `tokens`
-// query positions attending over a context of ctx keys.
-func (m ModelConfig) attnFlops(tokens, ctx int) float64 {
+// query positions attending over a context of ctx keys. ctx is a float so
+// closed forms can price a phase at the exact (possibly fractional) mean
+// context of its steps: every term is linear in ctx, so pricing at the
+// mean equals the mean of per-step prices.
+func (m ModelConfig) attnFlops(tokens int, ctx float64) float64 {
 	dHead := m.Hidden / m.Heads
-	qk := 2.0 * float64(tokens) * float64(ctx) * float64(dHead) * float64(m.Heads)
+	qk := 2.0 * float64(tokens) * ctx * float64(dHead) * float64(m.Heads)
 	pv := qk
-	softmax := 5.0 * float64(tokens) * float64(ctx) * float64(m.Heads)
+	softmax := 5.0 * float64(tokens) * ctx * float64(m.Heads)
 	return qk + pv + softmax
 }
 
@@ -167,7 +170,9 @@ func (r *Runner) runGEMM(sh GEMMShape, tokens int, seed int64) (*gemm.Report, fl
 
 // runPhase executes all layer GEMMs once at the token count and scales by
 // the layer count (layers share shapes; per-layer timings are identical).
-func (r *Runner) runPhase(phase string, tokens, ctx int) (*PhaseReport, error) {
+// ctx may be fractional: it only feeds the host attention estimate, which
+// is linear in it.
+func (r *Runner) runPhase(phase string, tokens int, ctx float64) (*PhaseReport, error) {
 	if tokens <= 0 {
 		return nil, fmt.Errorf("dnn: phase %q with %d tokens", phase, tokens)
 	}
@@ -200,7 +205,7 @@ func (r *Runner) runPhase(phase string, tokens, ctx int) (*PhaseReport, error) {
 // is not a (batch x SeqLen) multiple. The report covers all transformer
 // layers.
 func (r *Runner) ForwardTokens(tokens, ctx int) (*PhaseReport, error) {
-	return r.runPhase("forward", tokens, ctx)
+	return r.runPhase("forward", tokens, float64(ctx))
 }
 
 // Prefill runs the prompt phase for a batch of sequences.
@@ -209,20 +214,45 @@ func (r *Runner) Prefill(batch int) (*PhaseReport, error) {
 		return nil, fmt.Errorf("dnn: batch %d", batch)
 	}
 	tokens := batch * r.Model.SeqLen
-	return r.runPhase("prefill", tokens, r.Model.SeqLen)
+	return r.runPhase("prefill", tokens, float64(r.Model.SeqLen))
 }
 
-// Decode runs outTokens autoregressive steps for a batch (decoder models
-// only). Each step projects batch tokens and attends over the growing
-// context; the context is approximated by its mean length.
-func (r *Runner) Decode(batch, outTokens int) (*PhaseReport, error) {
+// DecodeStep prices exactly one autoregressive decode step: batch
+// single-token queries, each attending over a ctx-token context (prompt
+// plus everything generated so far). This is the serving simulator's
+// per-step entry point; summing DecodeStep over a generation's growing
+// contexts is the exact decode price that Decode reproduces in closed
+// form.
+func (r *Runner) DecodeStep(batch, ctx int) (*PhaseReport, error) {
 	if !r.Model.Decoder {
 		return nil, fmt.Errorf("dnn: %s is not a decoder model", r.Model.Name)
 	}
-	if batch <= 0 || outTokens <= 0 {
-		return nil, fmt.Errorf("dnn: batch %d outTokens %d", batch, outTokens)
+	if batch <= 0 || ctx <= 0 {
+		return nil, fmt.Errorf("dnn: batch %d ctx %d", batch, ctx)
 	}
-	ctx := r.Model.SeqLen + outTokens/2
+	return r.runPhase("decode", batch, float64(ctx))
+}
+
+// Decode runs outTokens autoregressive steps for a batch (decoder models
+// only) from the model's configured prompt length.
+func (r *Runner) Decode(batch, outTokens int) (*PhaseReport, error) {
+	return r.DecodeFrom(batch, r.Model.SeqLen, outTokens)
+}
+
+// DecodeFrom prices outTokens autoregressive steps for a batch whose
+// prompts are prompt tokens long. Step i (0-based) attends prompt+i keys;
+// every per-step cost is either ctx-independent (the projections see only
+// batch columns) or linear in ctx (host attention), so one step priced at
+// the exact mean context prompt + (outTokens-1)/2 equals the sum over
+// steps — validated against the step-summed DecodeStep price in tests.
+func (r *Runner) DecodeFrom(batch, prompt, outTokens int) (*PhaseReport, error) {
+	if !r.Model.Decoder {
+		return nil, fmt.Errorf("dnn: %s is not a decoder model", r.Model.Name)
+	}
+	if batch <= 0 || prompt <= 0 || outTokens <= 0 {
+		return nil, fmt.Errorf("dnn: batch %d prompt %d outTokens %d", batch, prompt, outTokens)
+	}
+	ctx := float64(prompt) + float64(outTokens-1)/2
 	step, err := r.runPhase("decode", batch, ctx)
 	if err != nil {
 		return nil, err

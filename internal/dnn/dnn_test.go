@@ -1,6 +1,7 @@
 package dnn
 
 import (
+	"math"
 	"testing"
 
 	"github.com/ais-snu/localut/internal/kernels"
@@ -84,6 +85,77 @@ func TestDecodeScalesWithOutTokens(t *testing.T) {
 	}
 	if !(d8.Total > d4.Total*1.5) {
 		t.Errorf("decode did not scale: 4 tokens %g, 8 tokens %g", d4.Total, d8.Total)
+	}
+}
+
+// TestDecodeMatchesStepSum is the regression test for the closed-form
+// decode price: it must equal the exact step-summed DecodeStep price,
+// where step i attends prompt+i keys, to float tolerance — the old
+// SeqLen + outTokens/2 context approximation fails this for any prompt
+// that differs from the closed form's exact mean.
+func TestDecodeMatchesStepSum(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	const batch, prompt = 2, 24
+	for _, out := range []int{6, 7} { // even out: fractional mean context
+		closed, err := r.DecodeFrom(batch, prompt, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total, gemmPIM, host float64
+		for i := 0; i < out; i++ {
+			step, err := r.DecodeStep(batch, prompt+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += step.Total
+			gemmPIM += step.GEMMPIM
+			host += step.HostOther
+		}
+		relClose := func(name string, got, want float64) {
+			if d := math.Abs(got - want); d > 1e-9*math.Abs(want) {
+				t.Errorf("out=%d: closed-form %s %g != step sum %g", out, name, got, want)
+			}
+		}
+		relClose("Total", closed.Total, total)
+		relClose("GEMMPIM", closed.GEMMPIM, gemmPIM)
+		relClose("HostOther", closed.HostOther, host)
+	}
+}
+
+// TestDecodeFromSeesPromptLength pins the bug the serving layer tripped
+// over: decode cost must depend on the real prompt length, not only on
+// the model's configured SeqLen.
+func TestDecodeFromSeesPromptLength(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	short, err := r.DecodeFrom(2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := r.DecodeFrom(2, 512, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Total <= short.Total {
+		t.Errorf("64x longer prompt did not raise decode cost: %g vs %g", long.Total, short.Total)
+	}
+	if long.GEMMPIM != short.GEMMPIM {
+		t.Errorf("projections must not depend on prompt length: %g vs %g", long.GEMMPIM, short.GEMMPIM)
+	}
+}
+
+func TestDecodeStepValidation(t *testing.T) {
+	r := NewRunner(smallModel(), quant.W1A3, kernels.LoCaLUT)
+	if _, err := r.DecodeStep(0, 16); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := r.DecodeStep(1, 0); err == nil {
+		t.Error("ctx 0 accepted")
+	}
+	m := smallModel()
+	m.Decoder = false
+	enc := NewRunner(m, quant.W1A3, kernels.LoCaLUT)
+	if _, err := enc.DecodeStep(1, 16); err == nil {
+		t.Error("decode step on encoder model accepted")
 	}
 }
 

@@ -13,12 +13,16 @@ type ServingPoint struct {
 	RatePerSec       float64
 	OfferedPerSec    float64
 	ThroughputPerSec float64
+	TokensPerSec     float64
 	LatencyP50       float64
 	LatencyP95       float64
 	LatencyP99       float64
-	Utilization      float64
-	MeanBatchSize    float64
-	Requests         int
+	// TTFTP99/TPOTP99 are zero for prefill-only configurations.
+	TTFTP99       float64
+	TPOTP99       float64
+	Utilization   float64
+	MeanBatchSize float64
+	Requests      int
 }
 
 // ServingCurve sweeps the open-loop arrival rate for each design and
@@ -45,9 +49,12 @@ func ServingCurve(base serve.Config, designs []kernels.Variant, rates []float64)
 				RatePerSec:       r,
 				OfferedPerSec:    rep.OfferedPerSec,
 				ThroughputPerSec: rep.ThroughputPerSec,
+				TokensPerSec:     rep.TokensPerSec,
 				LatencyP50:       rep.Latency.P50,
 				LatencyP95:       rep.Latency.P95,
 				LatencyP99:       rep.Latency.P99,
+				TTFTP99:          rep.TTFT.P99,
+				TPOTP99:          rep.TPOT.P99,
 				Utilization:      rep.RankUtilization,
 				MeanBatchSize:    rep.MeanBatchSize,
 				Requests:         rep.Requests,
@@ -60,12 +67,13 @@ func ServingCurve(base serve.Config, designs []kernels.Variant, rates []float64)
 // ServingTable renders a curve as a trace table (markdown or CSV ready).
 func ServingTable(title string, points []ServingPoint) *trace.Table {
 	t := trace.NewTable(title,
-		"design", "rate/s", "offered/s", "throughput/s",
-		"p50 (s)", "p95 (s)", "p99 (s)", "util", "batch", "requests")
+		"design", "rate/s", "offered/s", "throughput/s", "tokens/s",
+		"p50 (s)", "p95 (s)", "p99 (s)", "ttft p99 (s)", "tpot p99 (s)",
+		"util", "batch", "requests")
 	for _, p := range points {
 		t.Add(p.Design, p.RatePerSec, p.OfferedPerSec, p.ThroughputPerSec,
-			p.LatencyP50, p.LatencyP95, p.LatencyP99, p.Utilization,
-			p.MeanBatchSize, p.Requests)
+			p.TokensPerSec, p.LatencyP50, p.LatencyP95, p.LatencyP99,
+			p.TTFTP99, p.TPOTP99, p.Utilization, p.MeanBatchSize, p.Requests)
 	}
 	return t
 }

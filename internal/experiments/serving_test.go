@@ -60,6 +60,29 @@ func TestServingCurvePerDesign(t *testing.T) {
 	}
 }
 
+// TestServingCurveDecodeColumns pins that a decode-enabled curve carries
+// the token-level metrics (TTFT/TPOT p99, token throughput).
+func TestServingCurveDecodeColumns(t *testing.T) {
+	base := servingBase()
+	base.Model = dnn.OPT125M()
+	base.OutTokensMean = 8
+	base.OutTokensMax = 32
+	points, err := ServingCurve(base, []kernels.Variant{kernels.LoCaLUT}, []float64{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.TTFTP99 <= 0 || p.TPOTP99 <= 0 {
+		t.Errorf("decode curve missing TTFT/TPOT: %+v", p)
+	}
+	if p.TokensPerSec <= 0 {
+		t.Errorf("decode curve missing token throughput: %+v", p)
+	}
+	if p.TTFTP99 >= p.LatencyP99 {
+		t.Errorf("TTFT p99 %g not below total-latency p99 %g", p.TTFTP99, p.LatencyP99)
+	}
+}
+
 func TestServingCurveDeterministic(t *testing.T) {
 	run := func() []ServingPoint {
 		p, err := ServingCurve(servingBase(), []kernels.Variant{kernels.LoCaLUT}, []float64{50, 100})

@@ -2,38 +2,52 @@
 // multi-rank LoCaLUT appliance: the layer that turns the repo's per-GEMM
 // and per-forward-pass oracles into answers about *requests over time* —
 // queueing delay under a Poisson arrival stream, p99 latency at a given
-// offered rate, the saturation throughput of a design point, energy per
-// request.
+// offered rate, time-to-first-token and time-per-output-token under
+// autoregressive decode, the saturation throughput of a design point,
+// energy per request.
 //
 // The simulation is a single-threaded event loop over a (time, sequence)
-// ordered heap. Three processes feed it:
+// ordered heap with three event kinds: arrival (a request joins the
+// queue), prefill-done (a replica finishes a prompt pass; members record
+// TTFT and join the replica's live decode batch), and step-done (a
+// replica finishes one token-level decode step; every live request
+// advances a token, and those whose sampled output length completes
+// leave the batch). Three processes feed arrivals:
 //
 //   - open-loop arrivals: exponential inter-arrival gaps at a fixed rate
 //     (workload.ArrivalSampler), each request with a sampled bounded
-//     sequence length (workload.LengthSampler);
+//     prompt length (workload.LengthSampler) and, on decoder models, a
+//     sampled or fixed output length;
 //   - closed-loop arrivals: a fixed client population, each client issuing
 //     its next request an exponential think time after its previous one
-//     completes;
+//     completes — completions happen at decode-step boundaries;
 //   - trace replay: caller-provided arrival timestamps.
 //
 // Requests wait in an admission queue until a replica — an equal share of
-// the appliance's ranks — is free. A pluggable scheduler forms the batch:
-// FCFS takes the head of the line; the packing scheduler scans a bounded
-// window for requests in the same padded-length bucket, so batches are
-// uniform GEMM shape groups (less padding waste, fewer distinct shapes).
+// the appliance's ranks — has room. A pluggable scheduler forms the
+// batch: FCFS takes the head of the line; the packing scheduler scans a
+// bounded window for requests in the same padded-length bucket, so
+// batches are uniform GEMM shape groups. Decode is continuous batching
+// at token granularity: completed requests leave and newly prefilled
+// ones join the live batch at step boundaries.
 //
-// Service time comes from the cost oracle: one dnn forward pass over the
-// batch's padded token count, priced through the gemm planners in
-// cycles-only mode on an engine scaled to the replica's rank share. The
-// price of a (tokens, ctx) shape is memoized, and cycles-only pricing is
-// itself memoized per bank shape (gemm.CostMemo), so a million-request run
-// executes only a handful of distinct simulations — this is what makes
-// request-level simulation of a cycle-approximate machine tractable.
+// Service time comes from the cost oracle: prompt passes price one dnn
+// forward pass over the batch's padded token count, decode steps price
+// dnn.DecodeStep at the live batch's true mean context (prompt + tokens
+// generated so far), bucketed to the token quantum. Both are memoized —
+// prefill per (tokens, ctx), steps per (batch, ctx bucket) — and
+// cycles-only pricing is itself memoized per bank shape (gemm.CostMemo),
+// so a million-request run executes only a handful of distinct
+// simulations — this is what makes request-level simulation of a
+// cycle-approximate machine tractable. Each step also gauges the
+// replica's KV-cache footprint against its DRAM capacity net of the LUT
+// budget: the paper's capacity axis, contended by LUTs and KV state.
 //
 // Determinism: every random draw comes from a seeded sampler consumed in
 // event order, the event heap breaks time ties by insertion sequence, and
-// all aggregation (latency vectors, energy, token counts) happens in
-// completion order with the quantile helpers of internal/trace. Same seed
-// and config => bit-identical Report, at any host parallelism level —
-// cycles-only GEMM reports are parallelism-independent by construction.
+// all aggregation (latency vectors, TTFT/TPOT samples, energy, token
+// counts) happens in completion order with the quantile helpers of
+// internal/trace. Same seed and config => bit-identical Report, at any
+// host parallelism level — cycles-only GEMM reports are
+// parallelism-independent by construction.
 package serve

@@ -24,12 +24,11 @@ type costKey struct {
 // count divided by the replica count, so each replica's forward pass sees
 // only its share of banks.
 type oracle struct {
-	runner    *dnn.Runner
-	energy    energy.Model
-	outTokens int
+	runner *dnn.Runner
+	energy energy.Model
 
 	prefill map[costKey]batchCost
-	decode  map[costKey]batchCost // key: (batch size, ctx)
+	step    map[costKey]batchCost // key: (live batch size, ctx bucket)
 }
 
 // newOracle builds the pricing path for one serving run.
@@ -47,11 +46,10 @@ func newOracle(cfg *Config) *oracle {
 	r.Engine = eng
 	r.Seed = cfg.Seed
 	return &oracle{
-		runner:    r,
-		energy:    cfg.Energy,
-		outTokens: cfg.OutTokens,
-		prefill:   make(map[costKey]batchCost),
-		decode:    make(map[costKey]batchCost),
+		runner:  r,
+		energy:  cfg.Energy,
+		prefill: make(map[costKey]batchCost),
+		step:    make(map[costKey]batchCost),
 	}
 }
 
@@ -61,10 +59,9 @@ func (o *oracle) price(p *dnn.PhaseReport) batchCost {
 	return batchCost{seconds: p.Total, pimSec: p.GEMMPIM, energyJ: e.TotalJ}
 }
 
-// batch prices one batch: `tokens` padded prompt tokens attending over a
-// ctx-token context, plus OutTokens decode steps for n sequences on
-// decoder models. Misses run the planners; hits are map lookups.
-func (o *oracle) batch(tokens, ctx, n int) (batchCost, error) {
+// batch prices one prefill pass: `tokens` padded prompt tokens attending
+// over a ctx-token context. Misses run the planners; hits are map lookups.
+func (o *oracle) batch(tokens, ctx int) (batchCost, error) {
 	key := costKey{tokens, ctx}
 	cost, ok := o.prefill[key]
 	if !ok {
@@ -75,26 +72,27 @@ func (o *oracle) batch(tokens, ctx, n int) (batchCost, error) {
 		cost = o.price(rep)
 		o.prefill[key] = cost
 	}
-	if o.outTokens > 0 && o.runner.Model.Decoder {
-		// Decode derives its own context (SeqLen + outTokens/2), so its
-		// cost depends only on the batch size — keying on ctx would rerun
-		// identical simulations and overcount DistinctForwardSims.
-		dkey := costKey{n, 0}
-		dcost, ok := o.decode[dkey]
-		if !ok {
-			rep, err := o.runner.Decode(n, o.outTokens)
-			if err != nil {
-				return batchCost{}, err
-			}
-			dcost = o.price(rep)
-			o.decode[dkey] = dcost
+	return cost, nil
+}
+
+// decodeStep prices one token-level decode step: n single-token queries
+// attending over a ctx-token context. Callers bucket ctx (round up to the
+// token quantum) before keying, so the step map — and with it
+// DistinctForwardSims — stays bounded by batch-size x context-bucket
+// combinations however long the generations run.
+func (o *oracle) decodeStep(n, ctx int) (batchCost, error) {
+	key := costKey{n, ctx}
+	cost, ok := o.step[key]
+	if !ok {
+		rep, err := o.runner.DecodeStep(n, ctx)
+		if err != nil {
+			return batchCost{}, err
 		}
-		cost.seconds += dcost.seconds
-		cost.pimSec += dcost.pimSec
-		cost.energyJ += dcost.energyJ
+		cost = o.price(rep)
+		o.step[key] = cost
 	}
 	return cost, nil
 }
 
 // distinctSims counts the planner executions the whole run needed.
-func (o *oracle) distinctSims() int { return len(o.prefill) + len(o.decode) }
+func (o *oracle) distinctSims() int { return len(o.prefill) + len(o.step) }

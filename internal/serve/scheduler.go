@@ -6,10 +6,13 @@ import "fmt"
 type request struct {
 	id     int
 	client int // closed-loop client index, -1 for open-loop/trace arrivals
-	tokens int // sampled sequence length
-	padded int // tokens rounded up to the token quantum
+	tokens int // sampled prompt length
+	padded int // prompt tokens rounded up to the token quantum
 
-	arrive, start, finish float64 // simulated seconds
+	outLen    int // sampled output tokens (0 = prefill-only serving)
+	generated int // decode tokens produced so far (beyond the prefill token)
+
+	arrive, start, firstTok, finish float64 // simulated seconds
 }
 
 // queue is the FIFO admission queue. Head pops are O(1); the packing

@@ -14,6 +14,10 @@ import (
 	"github.com/ais-snu/localut/internal/workload"
 )
 
+// kvBytesPerElem is the assumed KV-cache element width (fp16): each cached
+// token holds a key and a value vector per layer.
+const kvBytesPerElem = 2
+
 // Config describes one serving simulation. Zero fields take the defaults
 // documented on each; exactly one arrival source is active: ArrivalTimes
 // if set, else a closed loop when Clients > 0, else open-loop Poisson at
@@ -53,7 +57,8 @@ type Config struct {
 	// Seed drives every sampler (default 1).
 	Seed int64
 
-	// MaxBatch bounds requests per batch (default 8).
+	// MaxBatch bounds requests per batch — for prefill passes and for the
+	// live decode batch of a replica alike (default 8).
 	MaxBatch int
 	// Scheduler picks FCFS (the zero value) or Packed.
 	Scheduler Policy
@@ -65,14 +70,20 @@ type Config struct {
 	// distribution (defaults 16 / 256 / the model's SeqLen, clamped).
 	MinTokens, MaxTokens int
 	MeanTokens           float64
-	// TokenQuantum is the shape-padding bucket: request lengths and batch
-	// token totals round up to it, bounding the distinct forward-pass
-	// shapes the oracle must simulate (default 64).
+	// TokenQuantum is the shape-padding bucket: request lengths, batch
+	// token totals and decode-step contexts round up to it, bounding the
+	// distinct forward-pass shapes the oracle must simulate (default 64).
 	TokenQuantum int
 
-	// OutTokens adds autoregressive decode steps per request on decoder
-	// models (default 0: prefill-only serving).
+	// OutTokens fixes the output length of every request on decoder models
+	// (default 0: prefill-only serving). Ignored when OutTokensMean is set.
 	OutTokens int
+	// OutTokensMean switches to sampled output lengths: each request draws
+	// its output length from a bounded shifted-exponential distribution
+	// over [1, OutTokensMax] with this mean (decoder models only).
+	OutTokensMean float64
+	// OutTokensMax caps sampled output lengths (default 4*OutTokensMean).
+	OutTokensMax int
 }
 
 // withDefaults fills unset fields and validates the result.
@@ -130,6 +141,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ThinkSeconds == 0 {
 		c.ThinkSeconds = 0.1
 	}
+	if c.OutTokensMean > 0 {
+		if c.OutTokensMean < 1 {
+			// A sub-token mean would otherwise clamp to a zero max and
+			// silently disable decode the caller asked for.
+			return c, fmt.Errorf("serve: output-length mean %g must be at least 1 token (or 0 to disable)",
+				c.OutTokensMean)
+		}
+		if c.OutTokensMax == 0 {
+			c.OutTokensMax = int(4 * c.OutTokensMean)
+		}
+		if c.OutTokensMean > float64(c.OutTokensMax) {
+			c.OutTokensMean = float64(c.OutTokensMax)
+		}
+	}
 
 	switch {
 	case c.Replicas < 0 || c.MaxBatch < 0 || c.TokenQuantum < 0 || c.PackWindow < 0:
@@ -145,7 +170,10 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("serve: %d clients", c.Clients)
 	case c.OutTokens < 0:
 		return c, fmt.Errorf("serve: %d decode tokens", c.OutTokens)
-	case c.OutTokens > 0 && !c.Model.Decoder:
+	case c.OutTokensMean < 0 || c.OutTokensMax < 0:
+		return c, fmt.Errorf("serve: negative output-length distribution (mean %g, max %d)",
+			c.OutTokensMean, c.OutTokensMax)
+	case (c.OutTokens > 0 || c.OutTokensMean > 0) && !c.Model.Decoder:
 		return c, fmt.Errorf("serve: %s is not a decoder model (OutTokens must be 0)", c.Model.Name)
 	}
 	return c, nil
@@ -187,17 +215,29 @@ type Report struct {
 
 	Requests  int // admitted during the arrival window
 	Completed int // all admitted requests are drained
-	Batches   int
+	Batches   int // prefill passes
+	// DecodeSteps counts token-level decode forward passes across replicas.
+	DecodeSteps int
 
 	MeanBatchSize    float64
 	DurationSeconds  float64 // arrival window
 	MakespanSeconds  float64 // last completion time
 	OfferedPerSec    float64 // Requests / DurationSeconds
 	ThroughputPerSec float64 // Completed / MakespanSeconds
+	// TokensPerSec is the total token throughput over the makespan,
+	// prompt and generated tokens both counted.
+	TokensPerSec float64
 
 	Queue   Stats // admission to batch start
 	Service Stats // batch start to completion
 	Latency Stats // admission to completion
+	// TTFT is time-to-first-token: admission to prefill completion
+	// (decode-enabled runs only; empty otherwise).
+	TTFT Stats
+	// TPOT is time-per-output-token: each request's post-first-token
+	// generation time divided by its remaining tokens (requests with at
+	// least two output tokens).
+	TPOT Stats
 
 	// RankUtilization is the mean busy fraction of the replicas over the
 	// makespan; ReplicaUtilization itemizes it.
@@ -207,11 +247,21 @@ type Report struct {
 	// is host quant/pack work and transfers.
 	PIMUtilization float64
 
-	TokensIn     int64 // sampled request tokens
-	TokensPadded int64 // tokens actually priced after shape padding
+	TokensIn     int64 // sampled prompt tokens
+	TokensPadded int64 // prompt tokens actually priced after shape padding
+	TokensOut    int64 // generated tokens (decode-enabled runs)
 
 	EnergyJ           float64
 	EnergyPerRequestJ float64
+
+	// KVPeakBytes is the largest KV-cache footprint any replica held
+	// during a decode step (fp16 K+V per layer per cached token);
+	// KVCapacityBytes is one replica's DRAM-bank capacity left after the
+	// LUT budget — the paper's capacity axis, contended here by LUTs and
+	// KV state. KVPeakUtilization is their ratio.
+	KVPeakBytes       int64
+	KVCapacityBytes   int64
+	KVPeakUtilization float64
 
 	// DistinctForwardSims counts the planner executions behind the whole
 	// run — the memoization that makes million-request simulation cheap.
@@ -225,7 +275,8 @@ type Report struct {
 // event kinds.
 const (
 	evArrival = iota
-	evComplete
+	evPrefillDone
+	evStepDone
 )
 
 // event is one heap entry; seq breaks time ties in insertion order so the
@@ -236,8 +287,8 @@ type event struct {
 	kind int
 
 	req     *request   // evArrival
-	replica int        // evComplete
-	batch   []*request // evComplete
+	replica int        // evPrefillDone, evStepDone
+	batch   []*request // evPrefillDone
 }
 
 type eventHeap []*event
@@ -272,21 +323,28 @@ type sim struct {
 
 	arrivals *workload.ArrivalSampler // open loop
 	lengths  *workload.LengthSampler
+	outLens  *workload.LengthSampler  // nil = fixed OutTokens per request
 	think    *workload.ArrivalSampler // closed loop
 
 	replicaBusy []bool
-	busy        []float64 // accumulated service seconds per replica
-	pimBusy     float64   // accumulated PIM-kernel seconds across replicas
+	live        [][]*request // per-replica decode batch
+	busy        []float64    // accumulated service seconds per replica
+	pimBusy     float64      // accumulated PIM-kernel seconds across replicas
+
+	kvPerToken int64 // KV bytes one cached token occupies
+	kvPeak     int64 // largest per-replica KV footprint seen
 
 	nextID    int
 	requests  int
 	batches   int
 	batchReqs int
+	steps     int
 
-	tokensIn, tokensPadded int64
-	energyJ                float64
+	tokensIn, tokensPadded, tokensOut int64
+	energyJ                           float64
 
 	qLat, sLat, tLat []float64
+	ttft, tpot       []float64
 	makespan         float64
 }
 
@@ -297,11 +355,15 @@ func (s *sim) pushEvent(e *event) {
 }
 
 // newRequest admits a request arriving at t for the given closed-loop
-// client (-1 for open-loop/trace), sampling its length.
+// client (-1 for open-loop/trace), sampling its prompt and output lengths.
 func (s *sim) newRequest(t float64, client int) *request {
 	tok := s.lengths.Next()
 	pad := roundUp(tok, s.cfg.TokenQuantum)
-	r := &request{id: s.nextID, client: client, tokens: tok, padded: pad, arrive: t}
+	out := s.cfg.OutTokens
+	if s.outLens != nil {
+		out = s.outLens.Next()
+	}
+	r := &request{id: s.nextID, client: client, tokens: tok, padded: pad, outLen: out, arrive: t}
 	s.nextID++
 	return r
 }
@@ -310,25 +372,26 @@ func roundUp(v, quantum int) int {
 	return (v + quantum - 1) / quantum * quantum
 }
 
-// freeReplica returns the lowest-index idle replica, or -1.
-func (s *sim) freeReplica() int {
-	for i, b := range s.replicaBusy {
-		if !b {
-			return i
+// dispatch starts work on every idle replica: a prefill pass when
+// requests wait and the replica's decode batch has room (prefill priority
+// keeps TTFT low and is how newly queued requests join the decode batch
+// at step boundaries), else one decode step over the live batch.
+func (s *sim) dispatch(now float64) error {
+	for rep := range s.replicaBusy {
+		if s.replicaBusy[rep] {
+			continue
+		}
+		if err := s.startWork(rep, now); err != nil {
+			return err
 		}
 	}
-	return -1
+	return nil
 }
 
-// dispatch forms and launches batches while a replica is idle and requests
-// wait.
-func (s *sim) dispatch(now float64) error {
-	for s.q.len() > 0 {
-		rep := s.freeReplica()
-		if rep < 0 {
-			return nil
-		}
-		batch := s.sched.pick(&s.q, s.cfg.MaxBatch)
+// startWork launches the idle replica's next forward pass, if any.
+func (s *sim) startWork(rep int, now float64) error {
+	if room := s.cfg.MaxBatch - len(s.live[rep]); room > 0 && s.q.len() > 0 {
+		batch := s.sched.pick(&s.q, room)
 		// Members are already quantum-padded, so their sum is the batch's
 		// padded shape; ctx is the longest member (attention span).
 		padTokens, maxPad := 0, 0
@@ -340,7 +403,7 @@ func (s *sim) dispatch(now float64) error {
 				maxPad = r.padded
 			}
 		}
-		cost, err := s.oracle.batch(padTokens, maxPad, len(batch))
+		cost, err := s.oracle.batch(padTokens, maxPad)
 		if err != nil {
 			return err
 		}
@@ -351,9 +414,63 @@ func (s *sim) dispatch(now float64) error {
 		s.batches++
 		s.batchReqs += len(batch)
 		s.replicaBusy[rep] = true
-		s.pushEvent(&event{at: now + cost.seconds, kind: evComplete, replica: rep, batch: batch})
+		s.pushEvent(&event{at: now + cost.seconds, kind: evPrefillDone, replica: rep, batch: batch})
+		return nil
+	}
+	if live := s.live[rep]; len(live) > 0 {
+		// One decode step: each live request's next token attends its
+		// prompt plus everything generated so far. Attention cost is
+		// linear in the context, so pricing the batch at its mean context
+		// is exact; the mean is then bucketed to the token quantum so the
+		// oracle's step memo stays bounded.
+		// ctxSum prices attention over the padded (shape-bucketed) prompt;
+		// kvTokens gauges physical KV state, so it counts the real prompt
+		// lengths — padding is a pricing artifact, not cached memory.
+		ctxSum, kvTokens := 0, 0
+		for _, r := range live {
+			ctxSum += r.padded + r.generated + 1
+			kvTokens += r.tokens + r.generated + 1
+		}
+		n := len(live)
+		ctx := roundUp((ctxSum+n-1)/n, s.cfg.TokenQuantum)
+		cost, err := s.oracle.decodeStep(n, ctx)
+		if err != nil {
+			return err
+		}
+		s.energyJ += cost.energyJ
+		s.busy[rep] += cost.seconds
+		s.pimBusy += cost.pimSec
+		s.steps++
+		s.replicaBusy[rep] = true
+		s.pushEvent(&event{at: now + cost.seconds, kind: evStepDone, replica: rep})
+		// KV gauge: during the step the replica holds every live context
+		// plus the newly written token per sequence.
+		if kv := int64(kvTokens+n) * s.kvPerToken; kv > s.kvPeak {
+			s.kvPeak = kv
+		}
 	}
 	return nil
+}
+
+// finish retires a completed request: latency samples, token accounting,
+// and the closed-loop client's next think timer.
+func (s *sim) finish(r *request, now float64) {
+	r.finish = now
+	s.qLat = append(s.qLat, r.start-r.arrive)
+	s.sLat = append(s.sLat, r.finish-r.start)
+	s.tLat = append(s.tLat, r.finish-r.arrive)
+	s.tokensOut += int64(r.outLen)
+	if r.outLen > 1 {
+		s.tpot = append(s.tpot, (r.finish-r.firstTok)/float64(r.outLen-1))
+	}
+	if now > s.makespan {
+		s.makespan = now
+	}
+	if s.think != nil && r.client >= 0 {
+		if t := now + s.think.Next(); t <= s.cfg.DurationSeconds {
+			s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: r.client}})
+		}
+	}
 }
 
 // Run executes the simulation to completion: arrivals stop at the duration
@@ -370,8 +487,15 @@ func Run(cfg Config) (*Report, error) {
 	if s.lengths, err = workload.NewLengthSampler(cfg.MinTokens, cfg.MaxTokens, cfg.MeanTokens, cfg.Seed+1); err != nil {
 		return nil, err
 	}
+	if cfg.OutTokensMean > 0 {
+		if s.outLens, err = workload.NewLengthSampler(1, cfg.OutTokensMax, cfg.OutTokensMean, cfg.Seed+3); err != nil {
+			return nil, err
+		}
+	}
 	s.replicaBusy = make([]bool, cfg.Replicas)
 	s.busy = make([]float64, cfg.Replicas)
+	s.live = make([][]*request, cfg.Replicas)
+	s.kvPerToken = 2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem
 
 	// Seed the arrival process.
 	switch {
@@ -424,28 +548,40 @@ func Run(cfg Config) (*Report, error) {
 					s.pushEvent(&event{at: t, kind: evArrival})
 				}
 			}
-			if err := s.dispatch(now); err != nil {
-				return nil, err
-			}
-		case evComplete:
+		case evPrefillDone:
 			s.replicaBusy[ev.replica] = false
-			if now > s.makespan {
-				s.makespan = now
-			}
 			for _, r := range ev.batch {
-				r.finish = now
-				s.qLat = append(s.qLat, r.start-r.arrive)
-				s.sLat = append(s.sLat, r.finish-r.start)
-				s.tLat = append(s.tLat, r.finish-r.arrive)
-				if s.think != nil && r.client >= 0 {
-					if t := now + s.think.Next(); t <= cfg.DurationSeconds {
-						s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: r.client}})
-					}
+				r.firstTok = now
+				if r.outLen > 0 {
+					s.ttft = append(s.ttft, now-r.arrive)
+				}
+				if r.outLen > 1 {
+					// The prefill pass emitted the first output token; the
+					// remaining outLen-1 decode at token granularity.
+					s.live[ev.replica] = append(s.live[ev.replica], r)
+				} else {
+					s.finish(r, now)
 				}
 			}
-			if err := s.dispatch(now); err != nil {
-				return nil, err
+		case evStepDone:
+			s.replicaBusy[ev.replica] = false
+			live := s.live[ev.replica]
+			surv := live[:0]
+			for _, r := range live {
+				r.generated++
+				if r.generated >= r.outLen-1 {
+					s.finish(r, now)
+				} else {
+					surv = append(surv, r)
+				}
 			}
+			for i := len(surv); i < len(live); i++ {
+				live[i] = nil
+			}
+			s.live[ev.replica] = surv
+		}
+		if err := s.dispatch(now); err != nil {
+			return nil, err
 		}
 	}
 	return s.report(), nil
@@ -464,18 +600,35 @@ func (s *sim) report() *Report {
 		Requests:        s.requests,
 		Completed:       len(s.tLat),
 		Batches:         s.batches,
+		DecodeSteps:     s.steps,
 		DurationSeconds: cfg.DurationSeconds,
 		MakespanSeconds: s.makespan,
 
 		Queue:   statsOf(s.qLat),
 		Service: statsOf(s.sLat),
 		Latency: statsOf(s.tLat),
+		TTFT:    statsOf(s.ttft),
+		TPOT:    statsOf(s.tpot),
 
 		TokensIn:     s.tokensIn,
 		TokensPadded: s.tokensPadded,
+		TokensOut:    s.tokensOut,
 		EnergyJ:      s.energyJ,
 
+		KVPeakBytes: s.kvPeak,
+
 		DistinctForwardSims: s.oracle.distinctSims(),
+	}
+	// One replica's DRAM capacity net of the LUT budget: the part of the
+	// paper's capacity axis KV state competes for.
+	pcfg := &cfg.Engine.Cfg
+	rankShare := pcfg.Ranks / cfg.Replicas
+	if rankShare < 1 {
+		rankShare = 1
+	}
+	r.KVCapacityBytes = int64(rankShare*pcfg.BanksPerRank) * (pcfg.MRAMBytes - pcfg.MRAMLUTBudget())
+	if r.KVCapacityBytes > 0 {
+		r.KVPeakUtilization = float64(r.KVPeakBytes) / float64(r.KVCapacityBytes)
 	}
 	r.OfferedPerSec = float64(r.Requests) / cfg.DurationSeconds
 	if s.batches > 0 {
@@ -483,6 +636,7 @@ func (s *sim) report() *Report {
 	}
 	if s.makespan > 0 {
 		r.ThroughputPerSec = float64(r.Completed) / s.makespan
+		r.TokensPerSec = float64(s.tokensIn+s.tokensOut) / s.makespan
 		r.ReplicaUtilization = make([]float64, cfg.Replicas)
 		var totalBusy float64
 		for i, b := range s.busy {

@@ -225,10 +225,10 @@ func TestServeDecoderDecode(t *testing.T) {
 	}
 }
 
-// TestOracleDecodeMemoIgnoresCtx pins that decode pricing is keyed by
-// batch size only: dnn.Decode derives its own context, so two batches
-// differing only in ctx must share one decode simulation.
-func TestOracleDecodeMemoIgnoresCtx(t *testing.T) {
+// TestOracleStepMemoKeysOnCtxBucket pins the context-aware decode memo:
+// two steps in the same (batch, ctx-bucket) cell share one simulation,
+// while a new bucket prices a new one.
+func TestOracleStepMemoKeysOnCtxBucket(t *testing.T) {
 	cfg := testConfig()
 	cfg.Model = dnn.OPT125M()
 	cfg.OutTokens = 4
@@ -237,17 +237,223 @@ func TestOracleDecodeMemoIgnoresCtx(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := newOracle(&cfg)
-	if _, err := o.batch(256, 64, 4); err != nil {
+	a, err := o.decodeStep(4, 128)
+	if err != nil {
 		t.Fatal(err)
 	}
 	after := o.distinctSims()
-	if _, err := o.batch(256, 128, 4); err != nil {
+	b, err := o.decodeStep(4, 128)
+	if err != nil {
 		t.Fatal(err)
 	}
-	// The second call reuses the decode record (same batch size) and only
-	// adds one prefill shape for the new ctx.
+	if got := o.distinctSims(); got != after || a != b {
+		t.Errorf("same (n, ctx) cell re-simulated: sims %d -> %d", after, got)
+	}
+	c, err := o.decodeStep(4, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := o.distinctSims(); got != after+1 {
-		t.Errorf("distinct sims went %d -> %d; decode memo must not key on ctx", after, got)
+		t.Errorf("new ctx bucket did not price a new sim: %d -> %d", after, got)
+	}
+	if c.seconds <= a.seconds {
+		t.Errorf("longer context did not cost more: %g <= %g", c.seconds, a.seconds)
+	}
+}
+
+// TestStepBucketingPriceBound pins the cost of context bucketing: rounding
+// the mean context up to the token quantum may only overprice a step, and
+// by no more than the attention cost of quantum-1 extra keys — within 25%
+// for the serving configuration's defaults.
+func TestStepBucketingPriceBound(t *testing.T) {
+	cfg := testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.OutTokens = 4
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOracle(&cfg)
+	for _, exact := range []int{65, 130, 200, 255} {
+		bucketed := roundUp(exact, cfg.TokenQuantum)
+		e, err := o.decodeStep(4, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := o.decodeStep(4, bucketed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.seconds < e.seconds {
+			t.Errorf("ctx %d: bucketing underpriced the step: %g < %g", exact, b.seconds, e.seconds)
+		}
+		if b.seconds > e.seconds*1.25 {
+			t.Errorf("ctx %d: bucketed price %g exceeds exact %g by more than 25%%", exact, b.seconds, e.seconds)
+		}
+	}
+}
+
+// decodeConfig is a small decode-heavy run with sampled output lengths.
+func decodeConfig() Config {
+	cfg := testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.RatePerSec = 20
+	cfg.DurationSeconds = 3
+	cfg.OutTokensMean = 16
+	cfg.OutTokensMax = 64
+	return cfg
+}
+
+// TestServeDecodeTokenLevel pins the tentpole surface: a decode-enabled
+// run reports TTFT, TPOT, generated-token throughput, step counts and the
+// KV-footprint gauge.
+func TestServeDecodeTokenLevel(t *testing.T) {
+	rep, err := Run(decodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Requests || rep.Requests == 0 {
+		t.Fatalf("served %d of %d", rep.Completed, rep.Requests)
+	}
+	if rep.TTFT.Mean <= 0 || rep.TTFT.P99 < rep.TTFT.P50 {
+		t.Errorf("TTFT not measured: %+v", rep.TTFT)
+	}
+	if rep.TPOT.Mean <= 0 || rep.TPOT.P99 < rep.TPOT.P50 {
+		t.Errorf("TPOT not measured: %+v", rep.TPOT)
+	}
+	if rep.TTFT.Mean >= rep.Latency.Mean {
+		t.Errorf("TTFT mean %g not below total latency mean %g", rep.TTFT.Mean, rep.Latency.Mean)
+	}
+	if rep.TokensOut == 0 {
+		t.Error("no generated tokens counted")
+	}
+	if rep.DecodeSteps == 0 {
+		t.Error("no decode steps ran")
+	}
+	if want := float64(rep.TokensIn+rep.TokensOut) / rep.MakespanSeconds; rep.TokensPerSec != want {
+		t.Errorf("TokensPerSec %g != (in+out)/makespan %g", rep.TokensPerSec, want)
+	}
+	if rep.KVPeakBytes <= 0 || rep.KVCapacityBytes <= 0 {
+		t.Errorf("KV gauge empty: peak %d capacity %d", rep.KVPeakBytes, rep.KVCapacityBytes)
+	}
+	if got := float64(rep.KVPeakBytes) / float64(rep.KVCapacityBytes); rep.KVPeakUtilization != got {
+		t.Errorf("KV utilization %g != peak/capacity %g", rep.KVPeakUtilization, got)
+	}
+}
+
+// TestServePrefillOnlyHasNoDecodeMetrics pins that encoder-style serving
+// leaves the decode metrics empty.
+func TestServePrefillOnlyHasNoDecodeMetrics(t *testing.T) {
+	rep, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TTFT != (Stats{}) || rep.TPOT != (Stats{}) {
+		t.Errorf("prefill-only run has decode latency stats: %+v %+v", rep.TTFT, rep.TPOT)
+	}
+	if rep.TokensOut != 0 || rep.DecodeSteps != 0 {
+		t.Errorf("prefill-only run generated tokens: out=%d steps=%d", rep.TokensOut, rep.DecodeSteps)
+	}
+}
+
+// TestDecodePricesRealPromptContext is the acceptance demonstration that
+// per-step pricing differs measurably from the old lump model: the lump
+// priced decode at a context derived only from the model's SeqLen, so
+// per-output-token time was independent of the actual prompt lengths.
+// With token-level decode, long-prompt requests must decode measurably
+// slower than short-prompt ones.
+func TestDecodePricesRealPromptContext(t *testing.T) {
+	run := func(promptLen int) *Report {
+		cfg := testConfig()
+		cfg.Model = dnn.OPT125M()
+		cfg.RatePerSec = 0
+		cfg.ArrivalTimes = []float64{0, 0, 0, 0}
+		cfg.DurationSeconds = 1
+		cfg.MinTokens, cfg.MaxTokens = promptLen, promptLen
+		cfg.MeanTokens = float64(promptLen)
+		cfg.OutTokens = 16
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	short, long := run(32), run(2048)
+	if long.TPOT.Mean <= short.TPOT.Mean*1.05 {
+		t.Errorf("64x longer prompts did not slow decode by even 5%%: TPOT %g vs %g — "+
+			"pricing is ignoring the real per-step context", long.TPOT.Mean, short.TPOT.Mean)
+	}
+}
+
+// TestServeClosedLoopDecodeRearrival pins closed-loop client re-arrival
+// after completion with token-level decode: completions now happen at
+// step boundaries, and each must re-arm its client's think timer.
+func TestServeClosedLoopDecodeRearrival(t *testing.T) {
+	cfg := decodeConfig()
+	cfg.RatePerSec = 0
+	cfg.Clients = 3
+	cfg.ThinkSeconds = 0.02
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests <= cfg.Clients {
+		t.Fatalf("clients never re-arrived after completion: %d requests from %d clients",
+			rep.Requests, cfg.Clients)
+	}
+	if rep.Completed != rep.Requests {
+		t.Errorf("completed %d of %d", rep.Completed, rep.Requests)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Error("closed-loop decode run is not deterministic")
+	}
+}
+
+// TestServeDecodeDeterministic extends the determinism invariant to the
+// token-level decode engine: bit-identical reports across runs and every
+// engine parallelism level.
+func TestServeDecodeDeterministic(t *testing.T) {
+	base, err := Run(decodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 8} {
+		cfg := decodeConfig()
+		cfg.Engine = gemm.NewEngine()
+		cfg.Engine.Exec.Parallelism = par
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("parallelism %d diverged:\n%+v\n%+v", par, base, rep)
+		}
+	}
+}
+
+// TestServeDecodeMemoBounded pins that context bucketing keeps the
+// planner-sim count bounded while thousands of decode steps run.
+func TestServeDecodeMemoBounded(t *testing.T) {
+	cfg := decodeConfig()
+	cfg.RatePerSec = 200
+	cfg.DurationSeconds = 5
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecodeSteps < 1000 {
+		t.Fatalf("expected thousands of decode steps, got %d", rep.DecodeSteps)
+	}
+	// Step shapes: batch size in [1, MaxBatch], ctx bucketed to the token
+	// quantum and bounded by maxPrompt + maxOut + quantum. Prefill shapes
+	// are bounded as before; the sum must stay far below the step count.
+	if rep.DistinctForwardSims > 256 {
+		t.Errorf("%d distinct sims for %d decode steps — context bucketing is not bounding the memo",
+			rep.DistinctForwardSims, rep.DecodeSteps)
 	}
 }
 
@@ -283,6 +489,23 @@ func TestServeConfigValidation(t *testing.T) {
 	cfg.OutTokens = 4 // BERT is not a decoder
 	if _, err := Run(cfg); err == nil {
 		t.Error("decode on an encoder model accepted")
+	}
+	cfg = testConfig()
+	cfg.OutTokensMean = 8 // sampled decode lengths need a decoder too
+	if _, err := Run(cfg); err == nil {
+		t.Error("sampled decode lengths on an encoder model accepted")
+	}
+	cfg = testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.OutTokensMean = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative output-length mean accepted")
+	}
+	cfg = testConfig()
+	cfg.Model = dnn.OPT125M()
+	cfg.OutTokensMean = 0.2 // would clamp to a zero max and silently disable decode
+	if _, err := Run(cfg); err == nil {
+		t.Error("sub-token output-length mean accepted")
 	}
 	cfg = testConfig()
 	cfg.Scheduler = Packed

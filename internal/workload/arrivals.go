@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/ais-snu/localut/internal/quant"
@@ -56,12 +57,15 @@ func NewLengthSampler(min, max int, mean float64, seed int64) (*LengthSampler, e
 	return &LengthSampler{rng: rand.New(rand.NewSource(seed)), min: min, max: max, mean: mean}, nil
 }
 
-// Next returns one sampled sequence length.
+// Next returns one sampled sequence length. The exponential draw rounds
+// to the nearest integer: floor-truncating it biases every sample down by
+// half a token on average, which drags the realized mean measurably below
+// the requested one when the mean-min scale is small.
 func (l *LengthSampler) Next() int {
 	if l.min == l.max {
 		return l.min
 	}
-	n := l.min + int(l.rng.ExpFloat64()*(l.mean-float64(l.min)))
+	n := l.min + int(math.Round(l.rng.ExpFloat64()*(l.mean-float64(l.min))))
 	if n > l.max {
 		n = l.max
 	}

@@ -97,6 +97,27 @@ func TestLengthBounded(t *testing.T) {
 	}
 }
 
+// TestLengthRealizedMean pins the rounding fix: over 10k samples with a
+// small mean-min scale and a far-away max (so clipping is negligible),
+// the realized mean must sit within 2.5% of the requested mean. The old
+// floor truncation biased every sample down ~half a token, landing the
+// realized mean around 5.55 here — more than 7% low.
+func TestLengthRealizedMean(t *testing.T) {
+	const min, max, mean, n = 4, 1024, 6.0, 10000
+	s, err := NewLengthSampler(min, max, mean, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Next())
+	}
+	realized := sum / n
+	if math.Abs(realized-mean) > 0.025*mean {
+		t.Errorf("realized mean %g drifted from requested %g (bound 2.5%%)", realized, mean)
+	}
+}
+
 func TestLengthDegenerate(t *testing.T) {
 	s, err := NewLengthSampler(64, 64, 64, 1)
 	if err != nil {

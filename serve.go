@@ -96,9 +96,16 @@ type ServeConfig struct {
 	// only a handful of distinct forward-pass shapes.
 	TokenQuantum int
 
-	// OutTokens adds autoregressive decode steps per request (decoder
-	// models only).
+	// OutTokens fixes the output length of every request (decoder models
+	// only; 0 = prefill-only serving). Decode runs at token granularity:
+	// each step is priced at the live batch's true context and requests
+	// leave the batch when their output completes.
 	OutTokens int
+	// OutTokensMean switches to sampled output lengths (bounded
+	// shifted-exponential over [1, OutTokensMax] with this mean).
+	OutTokensMean float64
+	// OutTokensMax caps sampled output lengths (default 4*OutTokensMean).
+	OutTokensMax int
 }
 
 // LatencyStats summarizes a latency population in seconds.
@@ -123,6 +130,8 @@ type ServeReport struct {
 	Requests  int `json:"requests"`
 	Completed int `json:"completed"`
 	Batches   int `json:"batches"`
+	// DecodeSteps counts token-level decode forward passes.
+	DecodeSteps int `json:"decode_steps"`
 
 	MeanBatchSize    float64 `json:"mean_batch_size"`
 	DurationSeconds  float64 `json:"duration_s"`
@@ -133,6 +142,11 @@ type ServeReport struct {
 	Queue   LatencyStats `json:"queue"`
 	Service LatencyStats `json:"service"`
 	Latency LatencyStats `json:"latency"`
+	// TTFT is time-to-first-token (admission to prefill completion);
+	// TPOT is time-per-output-token after the first. Both are zero for
+	// prefill-only runs.
+	TTFT LatencyStats `json:"ttft"`
+	TPOT LatencyStats `json:"tpot"`
 
 	RankUtilization    float64   `json:"rank_utilization"`
 	ReplicaUtilization []float64 `json:"replica_utilization"`
@@ -140,6 +154,17 @@ type ServeReport struct {
 
 	TokensIn     int64 `json:"tokens_in"`
 	TokensPadded int64 `json:"tokens_padded"`
+	TokensOut    int64 `json:"tokens_out"`
+	// TokensPerSec is total token throughput (prompt + generated) over
+	// the makespan.
+	TokensPerSec float64 `json:"tokens_per_s"`
+
+	// KVPeakBytes is the largest KV-cache footprint any replica held
+	// during decode; KVCapacityBytes is one replica's DRAM capacity net
+	// of the LUT budget; KVPeakUtilization is their ratio.
+	KVPeakBytes       int64   `json:"kv_peak_bytes"`
+	KVCapacityBytes   int64   `json:"kv_capacity_bytes"`
+	KVPeakUtilization float64 `json:"kv_peak_utilization"`
 
 	EnergyJ           float64 `json:"energy_j"`
 	EnergyPerRequestJ float64 `json:"energy_per_request_j"`
@@ -190,7 +215,9 @@ func (s *System) Serve(cfg ServeConfig) (*ServeReport, error) {
 		MeanTokens:   cfg.MeanTokens,
 		TokenQuantum: cfg.TokenQuantum,
 
-		OutTokens: cfg.OutTokens,
+		OutTokens:     cfg.OutTokens,
+		OutTokensMean: cfg.OutTokensMean,
+		OutTokensMax:  cfg.OutTokensMax,
 	})
 	if err != nil {
 		return nil, err
@@ -210,9 +237,10 @@ func serveReport(r *serve.Report) *ServeReport {
 		Scheduler: r.Scheduler,
 		Replicas:  r.Replicas,
 
-		Requests:  r.Requests,
-		Completed: r.Completed,
-		Batches:   r.Batches,
+		Requests:    r.Requests,
+		Completed:   r.Completed,
+		Batches:     r.Batches,
+		DecodeSteps: r.DecodeSteps,
 
 		MeanBatchSize:    r.MeanBatchSize,
 		DurationSeconds:  r.DurationSeconds,
@@ -223,6 +251,8 @@ func serveReport(r *serve.Report) *ServeReport {
 		Queue:   stats(r.Queue),
 		Service: stats(r.Service),
 		Latency: stats(r.Latency),
+		TTFT:    stats(r.TTFT),
+		TPOT:    stats(r.TPOT),
 
 		RankUtilization:    r.RankUtilization,
 		ReplicaUtilization: r.ReplicaUtilization,
@@ -230,6 +260,12 @@ func serveReport(r *serve.Report) *ServeReport {
 
 		TokensIn:     r.TokensIn,
 		TokensPadded: r.TokensPadded,
+		TokensOut:    r.TokensOut,
+		TokensPerSec: r.TokensPerSec,
+
+		KVPeakBytes:       r.KVPeakBytes,
+		KVCapacityBytes:   r.KVCapacityBytes,
+		KVPeakUtilization: r.KVPeakUtilization,
 
 		EnergyJ:           r.EnergyJ,
 		EnergyPerRequestJ: r.EnergyPerRequestJ,

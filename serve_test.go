@@ -54,6 +54,44 @@ func TestServeParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestSystemServeDecode pins the public decode surface: TTFT/TPOT stats,
+// generated-token throughput and the KV gauge, bit-identical across
+// WithParallelism levels.
+func TestSystemServeDecode(t *testing.T) {
+	cfg := ServeConfig{
+		Model:           OPT125M,
+		Format:          W1A3,
+		Design:          DesignLoCaLUT,
+		RatePerSec:      20,
+		DurationSeconds: 3,
+		OutTokensMean:   16,
+		OutTokensMax:    64,
+	}
+	base, err := NewSystem(WithSeed(1)).Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TTFT.Mean <= 0 || base.TPOT.Mean <= 0 {
+		t.Errorf("decode latency stats empty: TTFT %+v TPOT %+v", base.TTFT, base.TPOT)
+	}
+	if base.TokensOut == 0 || base.TokensPerSec <= 0 || base.DecodeSteps == 0 {
+		t.Errorf("token accounting empty: out=%d tok/s=%g steps=%d",
+			base.TokensOut, base.TokensPerSec, base.DecodeSteps)
+	}
+	if base.KVPeakBytes <= 0 || base.KVPeakUtilization <= 0 {
+		t.Errorf("KV gauge empty: %d bytes, %g utilization", base.KVPeakBytes, base.KVPeakUtilization)
+	}
+	for _, par := range []int{1, 2} {
+		rep, err := NewSystem(WithSeed(1), WithParallelism(par)).Serve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("parallelism %d changed the decode report", par)
+		}
+	}
+}
+
 func TestServeSeedOverride(t *testing.T) {
 	sys := NewSystem(WithSeed(1))
 	a, err := sys.Serve(serveTestConfig())
