@@ -1,0 +1,434 @@
+package localut
+
+import (
+	"strings"
+
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+// RouterPolicy selects how a cluster spreads requests over its fleet.
+type RouterPolicy int
+
+const (
+	// RouteRoundRobin cycles through the routable instances.
+	RouteRoundRobin RouterPolicy = iota
+	// RouteLeastOutstanding picks the instance with the fewest
+	// admitted-but-unfinished requests.
+	RouteLeastOutstanding
+	// RouteWeightedFreeKV picks the instance with the most free KV-cache
+	// capacity — the capacity-axis-aware router for decode-heavy fleets.
+	RouteWeightedFreeKV
+	// RouteShapeAffinity hashes the padded request shape over the fleet,
+	// concentrating same-shape requests for uniform batches.
+	RouteShapeAffinity
+)
+
+// String names the policy ("round-robin", "least-outstanding",
+// "weighted-kv", "shape-affinity").
+func (p RouterPolicy) String() string { return cluster.RouterPolicy(p).String() }
+
+// ParseRouterPolicy parses a router-policy name, case-insensitively.
+func ParseRouterPolicy(s string) (RouterPolicy, error) {
+	p, err := cluster.ParseRouterPolicy(strings.ToLower(s))
+	return RouterPolicy(p), err
+}
+
+// AdmissionPolicy selects the cluster's admission controller.
+type AdmissionPolicy int
+
+const (
+	// AdmitAll admits every arrival.
+	AdmitAll AdmissionPolicy = iota
+	// AdmitTokenBucket rate-limits each SLO class with its own token
+	// bucket (sustained rate + burst depth).
+	AdmitTokenBucket
+)
+
+// String names the policy ("admit-all", "token-bucket").
+func (p AdmissionPolicy) String() string { return cluster.AdmissionPolicy(p).String() }
+
+// ParseAdmissionPolicy parses an admission-policy name, case-insensitively.
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	p, err := cluster.ParseAdmissionPolicy(strings.ToLower(s))
+	return AdmissionPolicy(p), err
+}
+
+// ClusterClass is one SLO class of cluster traffic: an independent
+// open-loop Poisson population with its own rate, length distributions,
+// admission budget and latency objectives. Zero length/decode fields
+// inherit the cluster-level defaults.
+type ClusterClass struct {
+	Name       string
+	RatePerSec float64
+
+	// AdmitRatePerSec/AdmitBurst parameterize the class's token bucket
+	// under AdmitTokenBucket (defaults: the class rate, and one second of
+	// it, at least 1).
+	AdmitRatePerSec float64
+	AdmitBurst      float64
+
+	MinTokens, MaxTokens int
+	MeanTokens           float64
+
+	OutTokens     int
+	OutTokensMean float64
+	OutTokensMax  int
+
+	// p99 SLO targets in seconds (0 = not tracked).
+	TTFTp99SLO    float64
+	LatencyP99SLO float64
+	TPOTp99SLO    float64
+}
+
+// ClusterAutoscaler parameterizes the reactive autoscaler: every
+// IntervalSeconds it compares the window's response-start p99 against
+// SLOSeconds, launching an instance (routable after WarmupSeconds) when
+// above, and draining one (stop routing, finish work, retire after
+// DrainSeconds) when far below or idle.
+type ClusterAutoscaler struct {
+	Enabled                    bool
+	MinInstances, MaxInstances int
+	IntervalSeconds            float64
+	SLOSeconds                 float64
+	ScaleDownFactor            float64
+	WarmupSeconds              float64
+	DrainSeconds               float64
+}
+
+// ClusterConfig describes one cluster-scale serving simulation: a fleet
+// of appliances — each a full request-level serving instance — behind a
+// router, admission control and an optional autoscaler.
+type ClusterConfig struct {
+	Model  Model
+	Format Format
+	Design Design
+	// Designs optionally makes the fleet heterogeneous: instance i runs
+	// Designs[i mod len], covering autoscaled instances too. Empty =
+	// every instance runs Design.
+	Designs []Design
+
+	// Instances is the initial fleet size (default 2).
+	Instances int
+	// Replicas splits each appliance's ranks into independent serving
+	// groups (default 4).
+	Replicas int
+
+	Router    RouterPolicy
+	Admission AdmissionPolicy
+
+	// Classes lists the traffic populations; empty Classes with a
+	// positive RatePerSec is shorthand for one "default" class.
+	Classes    []ClusterClass
+	RatePerSec float64
+
+	DurationSeconds float64
+	// Seed overrides the system seed for this run (0 = system seed).
+	Seed int64
+
+	MaxBatch  int
+	Scheduler SchedulerPolicy
+
+	MinTokens, MaxTokens int
+	MeanTokens           float64
+	TokenQuantum         int
+
+	OutTokens     int
+	OutTokensMean float64
+	OutTokensMax  int
+
+	Autoscaler ClusterAutoscaler
+}
+
+// ClusterInstanceReport summarizes one fleet member.
+type ClusterInstanceReport struct {
+	ID       int    `json:"id"`
+	Design   string `json:"design"`
+	Replicas int    `json:"replicas"`
+
+	UpSeconds     float64 `json:"up_s"`
+	ActiveSeconds float64 `json:"active_s"`
+	DrainSeconds  float64 `json:"drain_s,omitempty"`
+	DownSeconds   float64 `json:"down_s,omitempty"`
+
+	Requests    int `json:"requests"`
+	Completed   int `json:"completed"`
+	Batches     int `json:"batches"`
+	DecodeSteps int `json:"decode_steps"`
+
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	Utilization   float64 `json:"utilization"`
+	PIMShare      float64 `json:"pim_share"`
+
+	TokensIn     int64 `json:"tokens_in"`
+	TokensPadded int64 `json:"tokens_padded"`
+	TokensOut    int64 `json:"tokens_out"`
+
+	EnergyJ         float64 `json:"energy_j"`
+	KVPeakBytes     int64   `json:"kv_peak_bytes"`
+	KVCapacityBytes int64   `json:"kv_capacity_bytes"`
+}
+
+// ClusterClassReport summarizes one SLO class.
+type ClusterClassReport struct {
+	Name       string  `json:"name"`
+	RatePerSec float64 `json:"rate_per_s"`
+
+	Offered   int `json:"offered"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+
+	Latency LatencyStats `json:"latency"`
+	TTFT    LatencyStats `json:"ttft"`
+	TPOT    LatencyStats `json:"tpot"`
+
+	TTFTp99SLO    float64 `json:"ttft_p99_slo_s,omitempty"`
+	LatencyP99SLO float64 `json:"latency_p99_slo_s,omitempty"`
+	TPOTp99SLO    float64 `json:"tpot_p99_slo_s,omitempty"`
+	SLOMet        bool    `json:"slo_met"`
+}
+
+// ClusterScaleEvent is one autoscaler timeline entry.
+type ClusterScaleEvent struct {
+	Seconds  float64 `json:"t_s"`
+	Action   string  `json:"action"`
+	Instance int     `json:"instance"`
+	Active   int     `json:"active"`
+	P99      float64 `json:"p99_s,omitempty"`
+	Samples  int     `json:"samples,omitempty"`
+}
+
+// ClusterReport is the outcome of one cluster simulation. Like
+// ServeReport it is bit-reproducible: the same seed, config and
+// parallelism-agnostic engine yield a byte-identical JSON encoding on
+// every run, including mid-run scale-up/scale-down.
+type ClusterReport struct {
+	Model     string `json:"model"`
+	Format    string `json:"format"`
+	Router    string `json:"router"`
+	Admission string `json:"admission"`
+
+	InstancesInitial int `json:"instances_initial"`
+	InstancesPeak    int `json:"instances_peak"`
+	InstancesFinal   int `json:"instances_final"`
+
+	Offered   int `json:"offered"`
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+
+	DurationSeconds float64 `json:"duration_s"`
+	MakespanSeconds float64 `json:"makespan_s"`
+
+	OfferedPerSec    float64 `json:"offered_per_s"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	TokensPerSec     float64 `json:"tokens_per_s"`
+
+	Queue   LatencyStats `json:"queue"`
+	Service LatencyStats `json:"service"`
+	Latency LatencyStats `json:"latency"`
+	TTFT    LatencyStats `json:"ttft"`
+	TPOT    LatencyStats `json:"tpot"`
+
+	TokensIn     int64 `json:"tokens_in"`
+	TokensPadded int64 `json:"tokens_padded"`
+	TokensOut    int64 `json:"tokens_out"`
+
+	EnergyJ           float64 `json:"energy_j"`
+	EnergyPerRequestJ float64 `json:"energy_per_request_j"`
+
+	KVPeakBytes     int64 `json:"kv_peak_bytes"`
+	KVCapacityBytes int64 `json:"kv_capacity_bytes"`
+
+	DistinctForwardSims int `json:"distinct_forward_sims"`
+
+	Instances []ClusterInstanceReport `json:"instances"`
+	Classes   []ClusterClassReport    `json:"classes"`
+	Scaling   []ClusterScaleEvent     `json:"scaling,omitempty"`
+}
+
+// ServeCluster runs a cluster-scale serving simulation: a routed,
+// admission-controlled, optionally autoscaled fleet of appliances sharing
+// one discrete-event clock. Fleet members with the same design share a
+// memoized pricing oracle, so a million-request fleet prices each distinct
+// forward-pass shape once.
+func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = s.seed
+	}
+	ccfg := cluster.Config{
+		Base: serve.Config{
+			Model:   cfg.Model.config(),
+			Fmt:     cfg.Format.inner,
+			Variant: cfg.Design.variant(),
+
+			Engine: s.engine,
+			Energy: s.energy,
+
+			Replicas: cfg.Replicas,
+
+			MaxBatch:  cfg.MaxBatch,
+			Scheduler: serve.Policy(cfg.Scheduler),
+
+			MinTokens:    cfg.MinTokens,
+			MaxTokens:    cfg.MaxTokens,
+			MeanTokens:   cfg.MeanTokens,
+			TokenQuantum: cfg.TokenQuantum,
+
+			OutTokens:     cfg.OutTokens,
+			OutTokensMean: cfg.OutTokensMean,
+			OutTokensMax:  cfg.OutTokensMax,
+		},
+		Instances: cfg.Instances,
+		Router:    cluster.RouterPolicy(cfg.Router),
+		Admission: cluster.AdmissionPolicy(cfg.Admission),
+
+		RatePerSec:      cfg.RatePerSec,
+		DurationSeconds: cfg.DurationSeconds,
+		Seed:            seed,
+
+		Autoscaler: cluster.AutoscalerConfig{
+			Enabled:         cfg.Autoscaler.Enabled,
+			MinInstances:    cfg.Autoscaler.MinInstances,
+			MaxInstances:    cfg.Autoscaler.MaxInstances,
+			IntervalSeconds: cfg.Autoscaler.IntervalSeconds,
+			SLOSeconds:      cfg.Autoscaler.SLOSeconds,
+			ScaleDownFactor: cfg.Autoscaler.ScaleDownFactor,
+			WarmupSeconds:   cfg.Autoscaler.WarmupSeconds,
+			DrainSeconds:    cfg.Autoscaler.DrainSeconds,
+		},
+	}
+	for _, d := range cfg.Designs {
+		ccfg.Designs = append(ccfg.Designs, d.variant())
+	}
+	for _, c := range cfg.Classes {
+		ccfg.Classes = append(ccfg.Classes, cluster.ClassConfig{
+			Name:            c.Name,
+			RatePerSec:      c.RatePerSec,
+			AdmitRatePerSec: c.AdmitRatePerSec,
+			AdmitBurst:      c.AdmitBurst,
+			MinTokens:       c.MinTokens,
+			MaxTokens:       c.MaxTokens,
+			MeanTokens:      c.MeanTokens,
+			OutTokens:       c.OutTokens,
+			OutTokensMean:   c.OutTokensMean,
+			OutTokensMax:    c.OutTokensMax,
+			TTFTp99SLO:      c.TTFTp99SLO,
+			LatencyP99SLO:   c.LatencyP99SLO,
+			TPOTp99SLO:      c.TPOTp99SLO,
+		})
+	}
+	rep, err := cluster.Run(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return clusterReport(cfg, rep), nil
+}
+
+// clusterReport converts the internal report to the public shape.
+func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
+	stats := func(s serve.Stats) LatencyStats {
+		return LatencyStats{P50: s.P50, P95: s.P95, P99: s.P99, Mean: s.Mean, Max: s.Max}
+	}
+	out := &ClusterReport{
+		Model:     cfg.Model.String(),
+		Format:    cfg.Format.Name(),
+		Router:    r.Router,
+		Admission: r.Admission,
+
+		InstancesInitial: r.InstancesInitial,
+		InstancesPeak:    r.InstancesPeak,
+		InstancesFinal:   r.InstancesFinal,
+
+		Offered:   r.Offered,
+		Admitted:  r.Admitted,
+		Rejected:  r.Rejected,
+		Completed: r.Completed,
+
+		DurationSeconds: r.DurationSeconds,
+		MakespanSeconds: r.MakespanSeconds,
+
+		OfferedPerSec:    r.OfferedPerSec,
+		ThroughputPerSec: r.ThroughputPerSec,
+		TokensPerSec:     r.TokensPerSec,
+
+		Queue:   stats(r.Queue),
+		Service: stats(r.Service),
+		Latency: stats(r.Latency),
+		TTFT:    stats(r.TTFT),
+		TPOT:    stats(r.TPOT),
+
+		TokensIn:     r.TokensIn,
+		TokensPadded: r.TokensPadded,
+		TokensOut:    r.TokensOut,
+
+		EnergyJ:           r.EnergyJ,
+		EnergyPerRequestJ: r.EnergyPerRequestJ,
+
+		KVPeakBytes:     r.KVPeakBytes,
+		KVCapacityBytes: r.KVCapacityBytes,
+
+		DistinctForwardSims: r.DistinctForwardSims,
+	}
+	for _, ir := range r.Instances {
+		out.Instances = append(out.Instances, ClusterInstanceReport{
+			ID:              ir.ID,
+			Design:          ir.Design,
+			Replicas:        ir.Replicas,
+			UpSeconds:       ir.UpAt,
+			ActiveSeconds:   ir.ActiveAt,
+			DrainSeconds:    ir.DrainAt,
+			DownSeconds:     ir.DownAt,
+			Requests:        ir.Requests,
+			Completed:       ir.Completed,
+			Batches:         ir.Batches,
+			DecodeSteps:     ir.DecodeSteps,
+			MeanBatchSize:   ir.MeanBatchSize,
+			Utilization:     ir.Utilization,
+			PIMShare:        ir.PIMShare,
+			TokensIn:        ir.TokensIn,
+			TokensPadded:    ir.TokensPadded,
+			TokensOut:       ir.TokensOut,
+			EnergyJ:         ir.EnergyJ,
+			KVPeakBytes:     ir.KVPeakBytes,
+			KVCapacityBytes: ir.KVCapacityBytes,
+		})
+	}
+	for _, cr := range r.Classes {
+		out.Classes = append(out.Classes, ClusterClassReport{
+			Name:          cr.Name,
+			RatePerSec:    cr.RatePerSec,
+			Offered:       cr.Offered,
+			Admitted:      cr.Admitted,
+			Rejected:      cr.Rejected,
+			Completed:     cr.Completed,
+			Latency:       stats(cr.Latency),
+			TTFT:          stats(cr.TTFT),
+			TPOT:          stats(cr.TPOT),
+			TTFTp99SLO:    cr.TTFTp99SLO,
+			LatencyP99SLO: cr.LatencyP99SLO,
+			TPOTp99SLO:    cr.TPOTp99SLO,
+			SLOMet:        cr.SLOMet,
+		})
+	}
+	for _, ev := range r.Scaling {
+		out.Scaling = append(out.Scaling, ClusterScaleEvent{
+			Seconds: ev.T, Action: ev.Action, Instance: ev.Instance,
+			Active: ev.Active, P99: ev.P99, Samples: ev.Samples,
+		})
+	}
+	return out
+}
+
+// designVariants converts a public design list (used by experiment
+// helpers and the CLIs).
+func designVariants(ds []Design) []kernels.Variant {
+	vs := make([]kernels.Variant, len(ds))
+	for i, d := range ds {
+		vs[i] = d.variant()
+	}
+	return vs
+}

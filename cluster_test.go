@@ -1,0 +1,143 @@
+package localut
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func clusterTestConfig() ClusterConfig {
+	return ClusterConfig{
+		Model: BERTBase, Format: W1A3, Design: DesignLoCaLUT,
+		Instances:       2,
+		RatePerSec:      100,
+		DurationSeconds: 5,
+	}
+}
+
+func TestSystemServeCluster(t *testing.T) {
+	sys := NewSystem(WithSeed(1))
+	rep, err := sys.ServeCluster(clusterTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != BERTBase.String() || rep.Format != "W1A3" {
+		t.Errorf("report identity %s/%s", rep.Model, rep.Format)
+	}
+	if rep.Router != "round-robin" || rep.Admission != "admit-all" {
+		t.Errorf("report policies %s/%s", rep.Router, rep.Admission)
+	}
+	if rep.Admitted == 0 || rep.Completed != rep.Admitted {
+		t.Errorf("admitted %d, completed %d", rep.Admitted, rep.Completed)
+	}
+	if len(rep.Instances) != 2 || len(rep.Classes) != 1 {
+		t.Fatalf("%d instances, %d classes", len(rep.Instances), len(rep.Classes))
+	}
+	for _, ir := range rep.Instances {
+		if ir.Requests == 0 || ir.Design != "LoCaLUT" {
+			t.Errorf("instance %d: %d requests, design %q", ir.ID, ir.Requests, ir.Design)
+		}
+	}
+	if rep.EnergyPerRequestJ <= 0 || rep.DistinctForwardSims == 0 {
+		t.Errorf("energy %g, sims %d", rep.EnergyPerRequestJ, rep.DistinctForwardSims)
+	}
+}
+
+// TestServeClusterParallelismInvariant pins the public determinism bar:
+// byte-identical ClusterReport JSON at every parallelism level, with the
+// autoscaler scaling mid-run.
+func TestServeClusterParallelismInvariant(t *testing.T) {
+	run := func(par int) []byte {
+		cfg := ClusterConfig{
+			Model: OPT125M, Format: W1A3, Design: DesignLoCaLUT,
+			Instances:       1,
+			RatePerSec:      50,
+			DurationSeconds: 8,
+			OutTokens:       4,
+			Autoscaler: ClusterAutoscaler{
+				Enabled: true, MaxInstances: 3, IntervalSeconds: 1,
+				SLOSeconds: 1, ScaleDownFactor: 0.1,
+				WarmupSeconds: 0.5, DrainSeconds: 0.5,
+			},
+		}
+		rep, err := NewSystem(WithSeed(7), WithParallelism(par)).ServeCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := run(1)
+	for _, par := range []int{2, 8} {
+		if got := run(par); string(got) != string(base) {
+			t.Fatalf("parallelism %d changed the cluster report", par)
+		}
+	}
+	// The scenario must actually scale, or the invariant is vacuous.
+	var rep ClusterReport
+	if err := json.Unmarshal(base, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.InstancesPeak <= 1 || len(rep.Scaling) == 0 {
+		t.Fatalf("scenario never scaled (peak %d, %d events)", rep.InstancesPeak, len(rep.Scaling))
+	}
+}
+
+func TestParseClusterPolicies(t *testing.T) {
+	routers := map[string]RouterPolicy{
+		"round-robin": RouteRoundRobin, "Least-Outstanding": RouteLeastOutstanding,
+		"WEIGHTED-KV": RouteWeightedFreeKV, "shape-affinity": RouteShapeAffinity,
+	}
+	for name, want := range routers {
+		got, err := ParseRouterPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseRouterPolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	admissions := map[string]AdmissionPolicy{
+		"admit-all": AdmitAll, "Token-Bucket": AdmitTokenBucket,
+	}
+	for name, want := range admissions {
+		got, err := ParseAdmissionPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAdmissionPolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseRouterPolicy("bogus"); err == nil {
+		t.Error("bogus router accepted")
+	}
+	if _, err := ParseAdmissionPolicy("bogus"); err == nil {
+		t.Error("bogus admission accepted")
+	}
+	if RouteWeightedFreeKV.String() != "weighted-kv" || AdmitTokenBucket.String() != "token-bucket" {
+		t.Error("policy String() names drifted from the parsers")
+	}
+}
+
+func TestServeClusterClasses(t *testing.T) {
+	cfg := clusterTestConfig()
+	cfg.Admission = AdmitTokenBucket
+	cfg.Classes = []ClusterClass{
+		{Name: "hot", RatePerSec: 80, AdmitRatePerSec: 30, LatencyP99SLO: 100},
+		{Name: "cool", RatePerSec: 20, LatencyP99SLO: 100},
+	}
+	rep, err := NewSystem(WithSeed(1)).ServeCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("%d class reports", len(rep.Classes))
+	}
+	hot, cool := rep.Classes[0], rep.Classes[1]
+	if hot.Name != "hot" || cool.Name != "cool" {
+		t.Fatalf("class names %q, %q", hot.Name, cool.Name)
+	}
+	if hot.Rejected == 0 || cool.Rejected != 0 {
+		t.Errorf("rejections hot=%d cool=%d", hot.Rejected, cool.Rejected)
+	}
+	if !hot.SLOMet || !cool.SLOMet {
+		t.Errorf("generous SLOs unmet: hot=%v cool=%v", hot.SLOMet, cool.SLOMet)
+	}
+}

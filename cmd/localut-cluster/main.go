@@ -1,0 +1,555 @@
+// Command localut-cluster runs the cluster-scale serving simulator: a
+// routed fleet of LoCaLUT appliances — each a full request-level serving
+// instance — behind pluggable admission control and a reactive
+// autoscaler, driven by one shared discrete-event clock. Reports are
+// byte-identical for a given seed at any -j, including mid-run
+// scale-up/scale-down.
+//
+// Usage:
+//
+//	localut-cluster -model bert-base -instances 8 -rate 2000 -duration 60s
+//	localut-cluster -model opt-125m -out-tokens 8 -router weighted-kv -instances 4
+//	localut-cluster -classes "interactive:300:200,batch:100" -admission token-bucket
+//	localut-cluster -autoscale -slo 0.5 -instances 1 -max-instances 8 -rate 400
+//	localut-cluster -designs "OP+LC+RC,LoCaLUT" -router shape-affinity
+//	localut-cluster -sweep 500,1000,2000 -fleets 2,4,8
+//	localut-cluster -bench-json BENCH_cluster.json
+//
+// Output is a summary table plus per-instance and per-class sections;
+// -json and -csv switch formats, -o writes to a file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ais-snu/localut"
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/experiments"
+	"github.com/ais-snu/localut/internal/gemm"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/prof"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/serve"
+	"github.com/ais-snu/localut/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "bert-base", "model: bert-base, opt-125m or vit-base")
+	fmtName := flag.String("fmt", "W1A3", "quantization format (WxAy)")
+	design := flag.String("design", "LoCaLUT", "kernel design point")
+	designsFlag := flag.String("designs", "", "comma-separated designs cycled over instance IDs (heterogeneous fleet)")
+	instances := flag.Int("instances", 2, "initial fleet size")
+	replicas := flag.Int("replicas", 4, "serving groups per appliance")
+	ranks := flag.Int("ranks", 0, "override each appliance's rank count (0 = testbed 32)")
+	routerName := flag.String("router", "round-robin", "router: round-robin, least-outstanding, weighted-kv or shape-affinity")
+	admissionName := flag.String("admission", "admit-all", "admission: admit-all or token-bucket")
+	rate := flag.Float64("rate", 100, "open-loop Poisson arrival rate (requests/sec, single default class)")
+	classesFlag := flag.String("classes", "", `SLO classes as "name:rate[:admitRate]" pairs, comma-separated (overrides -rate)`)
+	duration := flag.Duration("duration", 60*time.Second, "arrival window")
+	seed := flag.Int64("seed", 1, "workload seed")
+	maxBatch := flag.Int("max-batch", 8, "requests per batch")
+	sched := flag.String("scheduler", "packed", "batch scheduler: fcfs or packed")
+	quantum := flag.Int("quantum", 64, "token padding quantum (shape bucket)")
+	minTok := flag.Int("min-tokens", 16, "minimum request length")
+	maxTok := flag.Int("max-tokens", 256, "maximum request length")
+	meanTok := flag.Float64("mean-tokens", 0, "mean request length (0 = model sequence length)")
+	outTok := flag.Int("out-tokens", 0, "fixed decode tokens per request (decoder models)")
+	outTokMean := flag.Float64("out-tokens-mean", 0, "mean sampled decode tokens per request (overrides -out-tokens)")
+	outTokMax := flag.Int("out-tokens-max", 0, "cap on sampled decode tokens (0 = 4x the mean)")
+	autoscale := flag.Bool("autoscale", false, "enable the reactive autoscaler")
+	slo := flag.Float64("slo", 0, "autoscaler response-start p99 target in seconds (required with -autoscale)")
+	minInst := flag.Int("min-instances", 0, "autoscaler floor (0 = 1)")
+	maxInst := flag.Int("max-instances", 0, "autoscaler ceiling (0 = 4x initial)")
+	interval := flag.Duration("interval", 0, "autoscaler control period (0 = 5s)")
+	warmup := flag.Duration("warmup", 0, "launched-instance warm-up delay (0 = 2s)")
+	drain := flag.Duration("drain", 0, "retirement delay after an instance empties (0 = 1s)")
+	par := flag.Int("j", 0, "host worker-pool size (0 = NumCPU); results are identical at any -j")
+	sweepFlag := flag.String("sweep", "", "comma-separated arrival rates for a fleet-scaling sweep")
+	fleetsFlag := flag.String("fleets", "", "comma-separated fleet sizes for -sweep (default: -instances)")
+	jsonOut := flag.Bool("json", false, "emit JSON")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	timeline := flag.Bool("timeline", false, "print the autoscaler timeline (table output only)")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	benchJSON := flag.String("bench-json", "", "run the cluster self-benchmark and write JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
+	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profStop = stopProf
+	defer stopProf()
+
+	w := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *sweepFlag != "" {
+		err := runSweep(w, *sweepFlag, *fleetsFlag, *model, *fmtName, *design,
+			*instances, *replicas, *ranks, *routerName, *admissionName,
+			*duration, *seed, *maxBatch, *sched, *quantum,
+			*minTok, *maxTok, *meanTok, *outTok, *outTokMean, *outTokMax, *csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	m, err := localut.ParseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := localut.ParseFormat(*fmtName)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := localut.ParseDesign(*design)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := localut.ParseSchedulerPolicy(*sched)
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := localut.ParseRouterPolicy(*routerName)
+	if err != nil {
+		fatal(err)
+	}
+	adm, err := localut.ParseAdmissionPolicy(*admissionName)
+	if err != nil {
+		fatal(err)
+	}
+	var designs []localut.Design
+	if *designsFlag != "" {
+		for _, name := range strings.Split(*designsFlag, ",") {
+			dd, err := localut.ParseDesign(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			designs = append(designs, dd)
+		}
+	}
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []localut.Option{localut.WithSeed(*seed), localut.WithParallelism(*par)}
+	if *ranks > 0 {
+		opts = append(opts, localut.WithRanks(*ranks))
+	}
+	sys := localut.NewSystem(opts...)
+
+	start := time.Now()
+	rep, err := sys.ServeCluster(localut.ClusterConfig{
+		Model: m, Format: f, Design: d, Designs: designs,
+		Instances:       *instances,
+		Replicas:        *replicas,
+		Router:          rt,
+		Admission:       adm,
+		Classes:         classes,
+		RatePerSec:      *rate,
+		DurationSeconds: duration.Seconds(),
+		MaxBatch:        *maxBatch,
+		Scheduler:       pol,
+		MinTokens:       *minTok,
+		MaxTokens:       *maxTok,
+		MeanTokens:      *meanTok,
+		TokenQuantum:    *quantum,
+		OutTokens:       *outTok,
+		OutTokensMean:   *outTokMean,
+		OutTokensMax:    *outTokMax,
+		Autoscaler: localut.ClusterAutoscaler{
+			Enabled:         *autoscale,
+			MinInstances:    *minInst,
+			MaxInstances:    *maxInst,
+			IntervalSeconds: interval.Seconds(),
+			SLOSeconds:      *slo,
+			WarmupSeconds:   warmup.Seconds(),
+			DrainSeconds:    drain.Seconds(),
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	case *csvOut:
+		if err := summaryTable(rep).CSV(w); err != nil {
+			fatal(err)
+		}
+		if err := instanceTable(rep).CSV(w); err != nil {
+			fatal(err)
+		}
+		if err := classTable(rep).CSV(w); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, t := range []*trace.Table{summaryTable(rep), instanceTable(rep), classTable(rep)} {
+			if err := t.Render(w); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+		if *timeline && len(rep.Scaling) > 0 {
+			if err := timelineTable(rep).Render(w); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "simulated %d requests over %d instances (peak %d, %d distinct forward sims) in %.2fs host wall-clock\n",
+		rep.Admitted, len(rep.Instances), rep.InstancesPeak, rep.DistinctForwardSims, wall)
+}
+
+// summaryTable flattens the cluster-wide metrics.
+func summaryTable(r *localut.ClusterReport) *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Cluster serving %s %s (%d instances, %s router, %s admission)",
+			r.Model, r.Format, r.InstancesInitial, r.Router, r.Admission),
+		"metric", "value")
+	t.Add("offered", r.Offered)
+	t.Add("admitted", r.Admitted)
+	t.Add("rejected", r.Rejected)
+	t.Add("completed", r.Completed)
+	t.Add("instances initial/peak/final", fmt.Sprintf("%d / %d / %d",
+		r.InstancesInitial, r.InstancesPeak, r.InstancesFinal))
+	t.Add("offered (req/s)", r.OfferedPerSec)
+	t.Add("throughput (req/s)", r.ThroughputPerSec)
+	t.Add("tokens/s", r.TokensPerSec)
+	t.Add("arrival window (s)", r.DurationSeconds)
+	t.Add("makespan (s)", r.MakespanSeconds)
+	t.Add("latency p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99))
+	if r.TTFT.P99 > 0 {
+		t.Add("ttft p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g",
+			r.TTFT.P50, r.TTFT.P95, r.TTFT.P99))
+		t.Add("tpot p50/p95/p99 (s)", fmt.Sprintf("%.4g / %.4g / %.4g",
+			r.TPOT.P50, r.TPOT.P95, r.TPOT.P99))
+	}
+	t.Add("tokens in/padded/out", fmt.Sprintf("%d / %d / %d", r.TokensIn, r.TokensPadded, r.TokensOut))
+	t.Add("energy/request (J)", r.EnergyPerRequestJ)
+	t.Add("distinct forward sims", r.DistinctForwardSims)
+	return t
+}
+
+// instanceTable lists the per-instance breakdown.
+func instanceTable(r *localut.ClusterReport) *trace.Table {
+	t := trace.NewTable("Per-instance breakdown",
+		"instance", "design", "requests", "completed", "batches", "batch size",
+		"util", "pim share", "tokens out", "energy (J)", "up (s)", "down (s)")
+	for _, ir := range r.Instances {
+		t.Add(ir.ID, ir.Design, ir.Requests, ir.Completed, ir.Batches,
+			ir.MeanBatchSize, ir.Utilization, ir.PIMShare, ir.TokensOut,
+			ir.EnergyJ, ir.UpSeconds, ir.DownSeconds)
+	}
+	return t
+}
+
+// classTable lists the per-SLO-class breakdown.
+func classTable(r *localut.ClusterReport) *trace.Table {
+	t := trace.NewTable("Per-class breakdown",
+		"class", "rate/s", "offered", "admitted", "rejected", "completed",
+		"p99 (s)", "ttft p99 (s)", "tpot p99 (s)", "slo met")
+	for _, cr := range r.Classes {
+		t.Add(cr.Name, cr.RatePerSec, cr.Offered, cr.Admitted, cr.Rejected,
+			cr.Completed, cr.Latency.P99, cr.TTFT.P99, cr.TPOT.P99, cr.SLOMet)
+	}
+	return t
+}
+
+// timelineTable lists the autoscaler timeline.
+func timelineTable(r *localut.ClusterReport) *trace.Table {
+	t := trace.NewTable("Autoscaler timeline",
+		"t (s)", "action", "instance", "active", "p99 (s)", "samples")
+	for _, ev := range r.Scaling {
+		t.Add(ev.Seconds, ev.Action, ev.Instance, ev.Active, ev.P99, ev.Samples)
+	}
+	return t
+}
+
+// parseClasses parses "name:rate[:admitRate]" pairs.
+func parseClasses(s string) ([]localut.ClusterClass, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []localut.ClusterClass
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("bad -classes entry %q (want name:rate[:admitRate])", part)
+		}
+		c := localut.ClusterClass{Name: fields[0]}
+		r, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate in -classes entry %q", part)
+		}
+		c.RatePerSec = r
+		if len(fields) == 3 {
+			a, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || a <= 0 {
+				return nil, fmt.Errorf("bad admit rate in -classes entry %q", part)
+			}
+			c.AdmitRatePerSec = a
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// runSweep drives the experiments fleet-scaling driver.
+func runSweep(w io.Writer, rates, fleets, model, fmtName, design string,
+	instances, replicas, ranks int, routerName, admissionName string,
+	duration time.Duration, seed int64, maxBatch int, sched string,
+	quantum, minTok, maxTok int, meanTok float64, outTok int,
+	outTokMean float64, outTokMax int, csvOut bool) error {
+
+	rateVals, err := parseNums(rates)
+	if err != nil {
+		return err
+	}
+	fleetVals := []int{instances}
+	if fleets != "" {
+		fs, err := parseNums(fleets)
+		if err != nil {
+			return err
+		}
+		fleetVals = fleetVals[:0]
+		for _, f := range fs {
+			fleetVals = append(fleetVals, int(f))
+		}
+	}
+	mc, err := modelConfig(model)
+	if err != nil {
+		return err
+	}
+	f, err := quant.ParseFormat(fmtName)
+	if err != nil {
+		return err
+	}
+	v, err := variantByName(design)
+	if err != nil {
+		return err
+	}
+	pol, err := serve.ParsePolicy(strings.ToLower(sched))
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.ParseRouterPolicy(strings.ToLower(routerName))
+	if err != nil {
+		return err
+	}
+	adm, err := cluster.ParseAdmissionPolicy(strings.ToLower(admissionName))
+	if err != nil {
+		return err
+	}
+
+	base := cluster.Config{
+		Base: serve.Config{
+			Model: mc, Fmt: f, Variant: v,
+			Replicas:      replicas,
+			MaxBatch:      maxBatch,
+			Scheduler:     pol,
+			MinTokens:     minTok,
+			MaxTokens:     maxTok,
+			MeanTokens:    meanTok,
+			TokenQuantum:  quantum,
+			OutTokens:     outTok,
+			OutTokensMean: outTokMean,
+			OutTokensMax:  outTokMax,
+		},
+		Router:          rt,
+		Admission:       adm,
+		DurationSeconds: duration.Seconds(),
+		Seed:            seed,
+	}
+	if ranks > 0 {
+		eng := gemm.NewEngine()
+		eng.Cfg.Ranks = ranks
+		base.Base.Engine = eng
+	}
+
+	start := time.Now()
+	points, err := experiments.ClusterCurve(base, fleetVals, rateVals)
+	if err != nil {
+		return err
+	}
+	table := experiments.ClusterTable(
+		fmt.Sprintf("Fleet scaling: %s %s on %s, %s router, %s window",
+			mc.Name, f.Name(), v, rt, duration), points)
+	if csvOut {
+		if err := table.CSV(w); err != nil {
+			return err
+		}
+	} else if err := table.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d sweep points in %.2fs host wall-clock\n",
+		len(points), time.Since(start).Seconds())
+	return nil
+}
+
+// benchScenario is one timed cluster self-benchmark workload.
+type benchScenario struct {
+	Model            string  `json:"model"`
+	Instances        int     `json:"instances"`
+	RatePerSec       float64 `json:"rate_per_sec"`
+	DurationSeconds  float64 `json:"duration_s"`
+	Requests         int     `json:"requests"`
+	PeakInstances    int     `json:"peak_instances"`
+	DistinctSims     int     `json:"distinct_forward_sims"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	RequestsPerSec   float64 `json:"requests_per_sec"`
+	SimSecondsPerSec float64 `json:"simulated_seconds_per_wall_second"`
+}
+
+// benchReport pairs the million-request static-fleet acceptance workload
+// with an autoscaled one, so scaling-path performance is tracked too.
+type benchReport struct {
+	Fleet      benchScenario `json:"fleet"`
+	Autoscaled benchScenario `json:"autoscaled"`
+}
+
+// benchRun times one scenario.
+func benchRun(cfg localut.ClusterConfig) (benchScenario, error) {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	start := time.Now()
+	rep, err := sys.ServeCluster(cfg)
+	if err != nil {
+		return benchScenario{}, err
+	}
+	wall := time.Since(start).Seconds()
+	out := benchScenario{
+		Model:           rep.Model,
+		Instances:       cfg.Instances,
+		RatePerSec:      cfg.RatePerSec,
+		DurationSeconds: cfg.DurationSeconds,
+		Requests:        rep.Admitted,
+		PeakInstances:   rep.InstancesPeak,
+		DistinctSims:    rep.DistinctForwardSims,
+		WallSeconds:     wall,
+	}
+	if wall > 0 {
+		out.RequestsPerSec = float64(rep.Admitted) / wall
+		out.SimSecondsPerSec = rep.MakespanSeconds / wall
+	}
+	return out, nil
+}
+
+// runBenchJSON times the acceptance workloads: one million requests over
+// an eight-instance fleet, and an autoscaled decode fleet exercising the
+// scale-up/drain paths.
+func runBenchJSON(path string) error {
+	fleet, err := benchRun(localut.ClusterConfig{
+		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       8,
+		RatePerSec:      17000,
+		DurationSeconds: 60,
+		Router:          localut.RouteLeastOutstanding,
+	})
+	if err != nil {
+		return err
+	}
+	scaled, err := benchRun(localut.ClusterConfig{
+		Model: localut.OPT125M, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       1,
+		RatePerSec:      50,
+		DurationSeconds: 60,
+		OutTokens:       4,
+		Autoscaler: localut.ClusterAutoscaler{
+			Enabled: true, MaxInstances: 4, IntervalSeconds: 1,
+			SLOSeconds: 1, ScaleDownFactor: 0.1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	out := benchReport{Fleet: fleet, Autoscaled: scaled}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (fleet: %d requests in %.2fs, %.0f req/s; autoscaled peak %d)\n",
+		path, fleet.Requests, fleet.WallSeconds, fleet.RequestsPerSec, scaled.PeakInstances)
+	return nil
+}
+
+// parseNums parses "2,4,8".
+func parseNums(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep value %q (want positive numbers)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// modelConfig maps CLI names to dnn configs for the internal sweep path.
+func modelConfig(name string) (dnn.ModelConfig, error) {
+	switch strings.ToLower(name) {
+	case "bert-base":
+		return dnn.BERTBase(), nil
+	case "opt-125m":
+		return dnn.OPT125M(), nil
+	case "vit-base":
+		return dnn.ViTBase(), nil
+	}
+	return dnn.ModelConfig{}, fmt.Errorf("unknown model %q (want bert-base, opt-125m or vit-base)", name)
+}
+
+// variantByName resolves a design by its paper name, case-insensitively.
+func variantByName(s string) (kernels.Variant, error) {
+	for _, v := range kernels.Variants {
+		if strings.EqualFold(s, v.String()) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+// profStop flushes any active pprof collectors before an error exit, so a
+// failing profiled run still leaves usable profiles. Idempotent; the
+// success path defers the same stop.
+var profStop = func() {}
+
+func fatal(err error) {
+	profStop()
+	fmt.Fprintln(os.Stderr, "localut-cluster:", err)
+	os.Exit(1)
+}

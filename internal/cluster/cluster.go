@@ -1,0 +1,564 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/serve"
+	"github.com/ais-snu/localut/internal/workload"
+)
+
+// ClassConfig is one SLO class: an independent open-loop request
+// population with its own arrival rate, length distributions, admission
+// budget and latency objectives. Zero length/decode fields inherit the
+// Base config's values.
+type ClassConfig struct {
+	Name       string
+	RatePerSec float64
+
+	// AdmitRatePerSec/AdmitBurst parameterize the class's token bucket
+	// when the cluster admission policy is TokenBucket (defaults: the
+	// class rate, and one second of it, at least 1).
+	AdmitRatePerSec float64
+	AdmitBurst      float64
+
+	// Prompt-length distribution overrides (0 = Base values).
+	MinTokens, MaxTokens int
+	MeanTokens           float64
+
+	// Decode-length overrides (0 = Base values). OutTokens is ignored
+	// when OutTokensMean is set, as in serve.Config.
+	OutTokens     int
+	OutTokensMean float64
+	OutTokensMax  int
+
+	// SLO targets for per-class reporting (0 = not tracked): p99
+	// time-to-first-token, p99 total latency, p99 time-per-output-token.
+	TTFTp99SLO    float64
+	LatencyP99SLO float64
+	TPOTp99SLO    float64
+}
+
+// Config describes one cluster simulation: a fleet of appliances built
+// from a per-instance template, fronted by a router, admission control
+// and (optionally) an autoscaler, serving per-class traffic populations.
+type Config struct {
+	// Base is the per-instance template (model, design, engine, replicas,
+	// batching, default length distributions). Its arrival-source fields
+	// are ignored: traffic is cluster-level.
+	Base serve.Config
+
+	// Instances is the initial fleet size (default 2).
+	Instances int
+	// Designs optionally makes the fleet heterogeneous: instance i runs
+	// design Designs[i % len(Designs)] instead of Base.Variant. The cycle
+	// also covers autoscaler-launched instances.
+	Designs []kernels.Variant
+
+	Router    RouterPolicy
+	Admission AdmissionPolicy
+
+	// Classes lists the traffic populations. Empty Classes with a
+	// positive RatePerSec is shorthand for one "default" class.
+	Classes    []ClassConfig
+	RatePerSec float64
+
+	// DurationSeconds is the arrival window (default 60); admitted
+	// requests drain afterwards.
+	DurationSeconds float64
+	// Seed drives every sampler (default: Base.Seed, then 1).
+	Seed int64
+
+	Autoscaler AutoscalerConfig
+}
+
+// withDefaults fills and validates the cluster-level fields; Base is
+// normalized separately via serve.Config.NormalizeInstance.
+func (c Config) withDefaults() (Config, error) {
+	if c.Instances == 0 {
+		c.Instances = 2
+	}
+	if c.DurationSeconds == 0 {
+		c.DurationSeconds = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = c.Base.Seed
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Classes) == 0 {
+		if c.RatePerSec <= 0 {
+			return c, fmt.Errorf("cluster: no traffic (set RatePerSec or Classes)")
+		}
+		c.Classes = []ClassConfig{{Name: "default", RatePerSec: c.RatePerSec}}
+	}
+	if c.Instances < 1 {
+		return c, fmt.Errorf("cluster: fleet size %d must be at least 1", c.Instances)
+	}
+	if c.DurationSeconds <= 0 {
+		return c, fmt.Errorf("cluster: duration %g must be positive", c.DurationSeconds)
+	}
+	var err error
+	if c.Autoscaler, err = c.Autoscaler.withDefaults(c.Instances); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// member is one fleet slot: an instance plus its lifecycle state.
+type member struct {
+	inst  *serve.Instance
+	state memberState
+
+	upAt     float64 // creation time
+	activeAt float64 // first routable time
+	drainAt  float64 // drain-start time (draining/down only)
+	downAt   float64 // retirement time (down only)
+
+	retireScheduled bool
+}
+
+type memberState int
+
+const (
+	stateWarming memberState = iota
+	stateActive
+	stateDraining
+	stateDown
+)
+
+// Fleet-level event kinds; serve.CompletionPrefill (1) and
+// serve.CompletionStep (2) share the namespace.
+const (
+	evArrival      = 0
+	evScaleTick    = 3
+	evInstanceUp   = 4
+	evInstanceDown = 5
+)
+
+// event is one heap entry. The heap merges every instance's completions
+// with the fleet-level traffic and lifecycle events; ordering is
+// (time, instanceID, seq) with instance -1 for fleet-level events, so
+// same-timestamp events process fleet-first then in instance-ID order,
+// and seq — the global insertion counter — breaks the remaining ties in
+// creation order. The order is a pure function of config and seed.
+type event struct {
+	at   float64
+	inst int // -1 for fleet-level events
+	seq  int64
+	kind int
+
+	class   int // evArrival
+	replica int // completions
+	batch   []*serve.Request
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].inst != h[j].inst {
+		return h[i].inst < h[j].inst
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// classState is one class's samplers, admission bucket and aggregation.
+type classState struct {
+	cfg     ClassConfig
+	lengths *workload.LengthSampler
+	outLens *workload.LengthSampler // nil = fixed OutTokens
+	bucket  *bucket                 // nil under AdmitAll
+
+	offered, admitted, rejected, completed int
+
+	tLat, ttft, tpot []float64
+}
+
+// csim is the mutable state of one cluster run.
+type csim struct {
+	cfg     Config
+	base    serve.Config // normalized instance template
+	members []*member
+	oracles map[kernels.Variant]*serve.Oracle
+	rt      router
+
+	events eventHeap
+	seq    int64
+
+	arrivals *workload.MultiArrival
+	classes  []classState
+	nextID   int
+
+	// Cluster-wide latency populations, appended in event order.
+	qLat, sLat, tLat []float64
+	ttft, tpot       []float64
+	window           []float64 // autoscaler samples since the last tick
+	makespan         float64
+
+	offered, admitted, rejected, completed int
+
+	timeline []ScaleEvent
+	peak     int // peak routable-instance count
+}
+
+func (cs *csim) pushEvent(e *event) {
+	e.seq = cs.seq
+	cs.seq++
+	heap.Push(&cs.events, e)
+}
+
+// designFor cycles the heterogeneous-design list over instance IDs.
+func (cs *csim) designFor(id int) kernels.Variant {
+	if len(cs.cfg.Designs) == 0 {
+		return cs.base.Variant
+	}
+	return cs.cfg.Designs[id%len(cs.cfg.Designs)]
+}
+
+// newMember builds instance id in the given lifecycle state, sharing the
+// pricing oracle with every same-design member of the fleet.
+func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) {
+	icfg := cs.base
+	icfg.Variant = cs.designFor(id)
+	o := cs.oracles[icfg.Variant]
+	inst, err := serve.NewInstance(icfg, id, o)
+	if err != nil {
+		return nil, err
+	}
+	if o == nil {
+		cs.oracles[icfg.Variant] = inst.Oracle()
+	}
+	inst.OnFirstToken = cs.onFirstToken
+	inst.OnFinish = cs.onFinish
+	m := &member{inst: inst, state: st, upAt: now}
+	if st == stateActive {
+		m.activeAt = now
+	}
+	return m, nil
+}
+
+// onFirstToken aggregates a decode request's TTFT cluster-wide, per class
+// and into the autoscaler window.
+func (cs *csim) onFirstToken(r *serve.Request, now float64) {
+	t := now - r.Arrive
+	cs.ttft = append(cs.ttft, t)
+	cs.classes[r.Class].ttft = append(cs.classes[r.Class].ttft, t)
+	cs.window = append(cs.window, t)
+}
+
+// onFinish aggregates a completed request's latencies; prefill-only
+// requests feed the autoscaler window here (their completion is their
+// response start).
+func (cs *csim) onFinish(r *serve.Request, now float64) {
+	cs.completed++
+	c := &cs.classes[r.Class]
+	c.completed++
+	lat := r.Finish - r.Arrive
+	cs.qLat = append(cs.qLat, r.Start-r.Arrive)
+	cs.sLat = append(cs.sLat, r.Finish-r.Start)
+	cs.tLat = append(cs.tLat, lat)
+	c.tLat = append(c.tLat, lat)
+	if r.OutLen > 1 {
+		tp := (r.Finish - r.FirstTok) / float64(r.OutLen-1)
+		cs.tpot = append(cs.tpot, tp)
+		c.tpot = append(c.tpot, tp)
+	}
+	if r.OutLen == 0 {
+		cs.window = append(cs.window, lat)
+	}
+	if now > cs.makespan {
+		cs.makespan = now
+	}
+}
+
+// fleetCounts tallies the lifecycle states.
+func (cs *csim) fleetCounts() (active, warming, draining int) {
+	for _, m := range cs.members {
+		switch m.state {
+		case stateActive:
+			active++
+		case stateWarming:
+			warming++
+		case stateDraining:
+			draining++
+		}
+	}
+	return active, warming, draining
+}
+
+// outstandingTotal sums admitted-but-unfinished requests fleet-wide.
+func (cs *csim) outstandingTotal() int {
+	total := 0
+	for _, m := range cs.members {
+		total += m.inst.Outstanding()
+	}
+	return total
+}
+
+// routable lists the active members in ID order. scratch is reused across
+// arrivals; at fleet scale this is the per-request hot path.
+func (cs *csim) routable(scratch []*member) []*member {
+	scratch = scratch[:0]
+	for _, m := range cs.members {
+		if m.state == stateActive {
+			scratch = append(scratch, m)
+		}
+	}
+	return scratch
+}
+
+// newRequest samples one request of the given class arriving at t.
+func (cs *csim) newRequest(t float64, class int) *serve.Request {
+	c := &cs.classes[class]
+	tok := c.lengths.Next()
+	out := c.cfg.OutTokens
+	if c.outLens != nil {
+		out = c.outLens.Next()
+	}
+	r := &serve.Request{
+		ID:     cs.nextID,
+		Client: -1,
+		Class:  class,
+		Tokens: tok,
+		Padded: roundUp(tok, cs.base.TokenQuantum),
+		OutLen: out,
+		Arrive: t,
+	}
+	cs.nextID++
+	return r
+}
+
+func roundUp(v, quantum int) int {
+	return (v + quantum - 1) / quantum * quantum
+}
+
+// dispatch starts idle replicas on member m and schedules the completions.
+func (cs *csim) dispatch(m *member, now float64) error {
+	comps, err := m.inst.Dispatch(now)
+	if err != nil {
+		return err
+	}
+	for i := range comps {
+		c := &comps[i]
+		cs.pushEvent(&event{at: c.At, inst: m.inst.ID, kind: c.Kind, replica: c.Replica, batch: c.Batch})
+	}
+	return nil
+}
+
+// normalizeClass resolves a class's inherited fields against the base
+// template and validates the decode settings.
+func normalizeClass(c ClassConfig, base *serve.Config, idx int) (ClassConfig, error) {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("class%d", idx)
+	}
+	if c.RatePerSec <= 0 {
+		return c, fmt.Errorf("cluster: class %q rate %g must be positive", c.Name, c.RatePerSec)
+	}
+	if c.MinTokens == 0 {
+		c.MinTokens = base.MinTokens
+	}
+	if c.MaxTokens == 0 {
+		c.MaxTokens = base.MaxTokens
+	}
+	if c.MeanTokens == 0 {
+		c.MeanTokens = base.MeanTokens
+	}
+	if c.MeanTokens < float64(c.MinTokens) {
+		c.MeanTokens = float64(c.MinTokens)
+	}
+	if c.MeanTokens > float64(c.MaxTokens) {
+		c.MeanTokens = float64(c.MaxTokens)
+	}
+	if c.OutTokens == 0 && c.OutTokensMean == 0 {
+		c.OutTokens = base.OutTokens
+		c.OutTokensMean = base.OutTokensMean
+		c.OutTokensMax = base.OutTokensMax
+	}
+	if c.OutTokensMean > 0 {
+		if c.OutTokensMean < 1 {
+			return c, fmt.Errorf("cluster: class %q output-length mean %g must be at least 1 token", c.Name, c.OutTokensMean)
+		}
+		if c.OutTokensMax == 0 {
+			c.OutTokensMax = int(4 * c.OutTokensMean)
+		}
+		if c.OutTokensMean > float64(c.OutTokensMax) {
+			c.OutTokensMean = float64(c.OutTokensMax)
+		}
+	}
+	switch {
+	case c.OutTokens < 0 || c.OutTokensMean < 0 || c.OutTokensMax < 0:
+		return c, fmt.Errorf("cluster: class %q has negative decode settings", c.Name)
+	case (c.OutTokens > 0 || c.OutTokensMean > 0) && !base.Model.Decoder:
+		return c, fmt.Errorf("cluster: class %q decodes on non-decoder model %s", c.Name, base.Model.Name)
+	case c.AdmitRatePerSec < 0 || c.AdmitBurst < 0:
+		return c, fmt.Errorf("cluster: class %q has a negative admission budget", c.Name)
+	case c.TTFTp99SLO < 0 || c.LatencyP99SLO < 0 || c.TPOTp99SLO < 0:
+		return c, fmt.Errorf("cluster: class %q has a negative SLO", c.Name)
+	}
+	if c.AdmitRatePerSec == 0 {
+		c.AdmitRatePerSec = c.RatePerSec
+	}
+	if c.AdmitBurst == 0 {
+		if c.AdmitBurst = c.AdmitRatePerSec; c.AdmitBurst < 1 {
+			c.AdmitBurst = 1
+		}
+	}
+	return c, nil
+}
+
+// Run executes the cluster simulation to completion: arrivals stop at the
+// duration cutoff, every admitted request drains, and — with the
+// autoscaler enabled — ticks continue while work remains so the fleet
+// drains back toward its minimum.
+func Run(cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base, err := cfg.Base.NormalizeInstance()
+	if err != nil {
+		return nil, err
+	}
+	base.Seed = cfg.Seed
+	cs := &csim{cfg: cfg, base: base, oracles: make(map[kernels.Variant]*serve.Oracle)}
+	if cs.rt, err = newRouter(cfg.Router); err != nil {
+		return nil, err
+	}
+	if cfg.Admission != AdmitAll && cfg.Admission != TokenBucket {
+		return nil, fmt.Errorf("cluster: unknown admission policy %d", int(cfg.Admission))
+	}
+
+	// Classes: samplers are seeded per class so populations are
+	// independent streams (adding a class never perturbs the others).
+	rates := make([]float64, len(cfg.Classes))
+	cs.classes = make([]classState, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		cc, err := normalizeClass(cc, &base, i)
+		if err != nil {
+			return nil, err
+		}
+		st := classState{cfg: cc}
+		seed := cfg.Seed + int64(i)*1009
+		if st.lengths, err = workload.NewLengthSampler(cc.MinTokens, cc.MaxTokens, cc.MeanTokens, seed+1); err != nil {
+			return nil, fmt.Errorf("cluster: class %q: %w", cc.Name, err)
+		}
+		if cc.OutTokensMean > 0 {
+			if st.outLens, err = workload.NewLengthSampler(1, cc.OutTokensMax, cc.OutTokensMean, seed+3); err != nil {
+				return nil, fmt.Errorf("cluster: class %q: %w", cc.Name, err)
+			}
+		}
+		if cfg.Admission == TokenBucket {
+			st.bucket = newBucket(cc.AdmitRatePerSec, cc.AdmitBurst)
+		}
+		cs.classes[i] = st
+		rates[i] = cc.RatePerSec
+	}
+	if cs.arrivals, err = workload.NewMultiArrival(rates, cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	// The initial fleet is active at t=0.
+	for i := 0; i < cfg.Instances; i++ {
+		m, err := cs.newMember(i, stateActive, 0)
+		if err != nil {
+			return nil, err
+		}
+		cs.members = append(cs.members, m)
+	}
+	cs.peak = cfg.Instances
+
+	// Seed the merged arrival stream and the autoscaler clock.
+	if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
+		cs.pushEvent(&event{at: t, inst: -1, kind: evArrival, class: class})
+	}
+	if cfg.Autoscaler.Enabled {
+		cs.pushEvent(&event{at: cfg.Autoscaler.IntervalSeconds, inst: -1, kind: evScaleTick})
+	}
+
+	// The shared-clock event loop.
+	var scratch []*member
+	for cs.events.Len() > 0 {
+		ev := heap.Pop(&cs.events).(*event)
+		now := ev.at
+		switch ev.kind {
+		case evArrival:
+			cs.offered++
+			c := &cs.classes[ev.class]
+			c.offered++
+			if c.bucket != nil && !c.bucket.admit(now) {
+				cs.rejected++
+				c.rejected++
+			} else {
+				r := cs.newRequest(now, ev.class)
+				cs.admitted++
+				c.admitted++
+				scratch = cs.routable(scratch)
+				if len(scratch) == 0 {
+					// MinInstances >= 1 and drain-only-below-SLO make this
+					// unreachable; guard against a silently dropped request.
+					return nil, fmt.Errorf("cluster: no routable instance at t=%g", now)
+				}
+				m := cs.rt.pick(scratch, r)
+				m.inst.Admit(r)
+				if err := cs.dispatch(m, now); err != nil {
+					return nil, err
+				}
+			}
+			if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
+				cs.pushEvent(&event{at: t, inst: -1, kind: evArrival, class: class})
+			}
+		case serve.CompletionPrefill, serve.CompletionStep:
+			m := cs.members[ev.inst]
+			if ev.kind == serve.CompletionPrefill {
+				m.inst.PrefillDone(ev.replica, ev.batch, now)
+			} else {
+				m.inst.StepDone(ev.replica, now)
+			}
+			if err := cs.dispatch(m, now); err != nil {
+				return nil, err
+			}
+			cs.maybeRetire(m, now)
+		case evScaleTick:
+			cs.scaleTick(now)
+			// Ticks outlive the arrival window while work or excess fleet
+			// remains, so the cluster always drains back to its minimum.
+			active, warming, draining := cs.fleetCounts()
+			if next := now + cfg.Autoscaler.IntervalSeconds; next <= cfg.DurationSeconds ||
+				cs.outstandingTotal() > 0 || active+warming+draining > cfg.Autoscaler.MinInstances {
+				cs.pushEvent(&event{at: next, inst: -1, kind: evScaleTick})
+			}
+		case evInstanceUp:
+			m := cs.members[ev.inst]
+			m.state = stateActive
+			m.activeAt = now
+			active, _, _ := cs.fleetCounts()
+			if active > cs.peak {
+				cs.peak = active
+			}
+			cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "up-active", Instance: ev.inst, Active: active})
+		case evInstanceDown:
+			m := cs.members[ev.inst]
+			m.state = stateDown
+			m.downAt = now
+			active, _, _ := cs.fleetCounts()
+			cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "down", Instance: ev.inst, Active: active})
+		}
+	}
+	return cs.report(), nil
+}

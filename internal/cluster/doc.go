@@ -1,0 +1,25 @@
+// Package cluster lifts the request-level serving simulator from one
+// appliance to a routed fleet: N serve.Instance appliances (possibly
+// heterogeneous designs) behind a pluggable request router, per-class
+// admission control and a reactive autoscaler, all driven by one shared
+// discrete-event clock.
+//
+// The event loop merges per-instance completions and fleet-level events
+// (arrivals, autoscaler ticks, instance lifecycle) on a single heap
+// ordered by (time, instanceID, seq): fleet-level events carry instance
+// -1 so they sort ahead of same-timestamp instance events, and seq is the
+// global insertion counter that breaks the remaining ties. The order is a
+// pure function of the configuration and seed, so a ClusterReport is
+// byte-identical across runs and across engine parallelism levels — the
+// same determinism bar the single-appliance simulator holds, now
+// including mid-run scale-up and scale-down.
+//
+// Traffic is one open-loop Poisson population per SLO class
+// (workload.MultiArrival), each with its own rates, length distributions
+// and latency objectives. Admission control (token bucket per class) runs
+// before routing; the router picks among active, non-draining instances;
+// the autoscaler watches a windowed response-start p99 (TTFT for decode
+// requests, total latency for prefill-only) against its SLO and adds
+// instances (with a warm-up delay) or drains them (stop routing, finish
+// outstanding work, retire after a drain delay).
+package cluster

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+// InstanceReport summarizes one fleet member's lifecycle and service.
+type InstanceReport struct {
+	ID       int
+	Design   string
+	Replicas int
+
+	// Lifecycle timestamps in simulated seconds. DownAt is 0 for
+	// instances still active at the end of the run; ActiveAt is 0 for the
+	// initial fleet.
+	UpAt, ActiveAt, DrainAt, DownAt float64
+
+	Requests  int // admitted (routed) requests
+	Completed int
+
+	Batches       int
+	DecodeSteps   int
+	MeanBatchSize float64
+	// Utilization is replica-seconds busy over replica-seconds routable
+	// (active until retirement or end of run).
+	Utilization float64
+	// PIMShare is the fraction of busy time spent in PIM kernels.
+	PIMShare float64
+
+	TokensIn, TokensPadded, TokensOut int64
+	EnergyJ                           float64
+	KVPeakBytes, KVCapacityBytes      int64
+}
+
+// ClassReport summarizes one SLO class's population.
+type ClassReport struct {
+	Name       string
+	RatePerSec float64
+
+	Offered, Admitted, Rejected, Completed int
+
+	Latency serve.Stats
+	TTFT    serve.Stats
+	TPOT    serve.Stats
+
+	// SLO targets echoed from the config (0 = not tracked) and whether
+	// the class met every tracked one.
+	TTFTp99SLO    float64
+	LatencyP99SLO float64
+	TPOTp99SLO    float64
+	SLOMet        bool
+}
+
+// Report is the cluster-run summary. Built from samples appended in
+// event order, it is a pure function of the configuration and seed.
+type Report struct {
+	Router    string
+	Admission string
+
+	InstancesInitial int
+	InstancesPeak    int
+	InstancesFinal   int // active at end of run
+
+	Offered, Admitted, Rejected, Completed int
+
+	DurationSeconds float64
+	MakespanSeconds float64
+
+	OfferedPerSec    float64
+	ThroughputPerSec float64 // completed / makespan
+	TokensPerSec     float64 // output (or padded prefill) tokens / makespan
+
+	Queue   serve.Stats
+	Service serve.Stats
+	Latency serve.Stats
+	TTFT    serve.Stats
+	TPOT    serve.Stats
+
+	TokensIn, TokensPadded, TokensOut int64
+	EnergyJ                           float64
+	EnergyPerRequestJ                 float64
+
+	// KVPeakBytes/KVCapacityBytes are the fleet-wide maxima over members.
+	KVPeakBytes, KVCapacityBytes int64
+
+	// DistinctForwardSims counts the unique forward-pass shapes priced
+	// across the fleet's shared oracles — the memoization that makes
+	// million-request fleets cheap.
+	DistinctForwardSims int
+
+	Instances []InstanceReport
+	Classes   []ClassReport
+
+	// Scaling is the autoscaler timeline (empty when disabled).
+	Scaling []ScaleEvent `json:",omitempty"`
+}
+
+func (cs *csim) report() *Report {
+	rep := &Report{
+		Router:           cs.cfg.Router.String(),
+		Admission:        cs.cfg.Admission.String(),
+		InstancesInitial: cs.cfg.Instances,
+		InstancesPeak:    cs.peak,
+		Offered:          cs.offered,
+		Admitted:         cs.admitted,
+		Rejected:         cs.rejected,
+		Completed:        cs.completed,
+		DurationSeconds:  cs.cfg.DurationSeconds,
+		MakespanSeconds:  cs.makespan,
+		Queue:            serve.StatsOf(cs.qLat),
+		Service:          serve.StatsOf(cs.sLat),
+		Latency:          serve.StatsOf(cs.tLat),
+		TTFT:             serve.StatsOf(cs.ttft),
+		TPOT:             serve.StatsOf(cs.tpot),
+		Scaling:          cs.timeline,
+	}
+	rep.OfferedPerSec = float64(cs.offered) / cs.cfg.DurationSeconds
+	if cs.makespan > 0 {
+		rep.ThroughputPerSec = float64(cs.completed) / cs.makespan
+	}
+
+	for _, m := range cs.members {
+		st := m.inst.Stats()
+		ir := InstanceReport{
+			ID:              m.inst.ID,
+			Design:          m.inst.Cfg.Variant.String(),
+			Replicas:        m.inst.Cfg.Replicas,
+			UpAt:            m.upAt,
+			ActiveAt:        m.activeAt,
+			DrainAt:         m.drainAt,
+			DownAt:          m.downAt,
+			Requests:        st.Admitted,
+			Completed:       st.Finished,
+			Batches:         st.Batches,
+			DecodeSteps:     st.DecodeSteps,
+			TokensIn:        st.TokensIn,
+			TokensPadded:    st.TokensPadded,
+			TokensOut:       st.TokensOut,
+			EnergyJ:         st.EnergyJ,
+			KVPeakBytes:     st.KVPeakBytes,
+			KVCapacityBytes: st.KVCapacityBytes,
+		}
+		if st.Batches > 0 {
+			ir.MeanBatchSize = float64(st.BatchRequests) / float64(st.Batches)
+		}
+		end := ir.DownAt
+		if m.state != stateDown {
+			end = cs.makespan
+		}
+		var busyTotal float64
+		for _, b := range st.BusySeconds {
+			busyTotal += b
+		}
+		if span := end - ir.ActiveAt; span > 0 && ir.Replicas > 0 {
+			ir.Utilization = busyTotal / (span * float64(ir.Replicas))
+		}
+		if busyTotal > 0 {
+			ir.PIMShare = st.PIMBusySeconds / busyTotal
+		}
+		rep.TokensIn += st.TokensIn
+		rep.TokensPadded += st.TokensPadded
+		rep.TokensOut += st.TokensOut
+		rep.EnergyJ += st.EnergyJ
+		if st.KVPeakBytes > rep.KVPeakBytes {
+			rep.KVPeakBytes = st.KVPeakBytes
+		}
+		if st.KVCapacityBytes > rep.KVCapacityBytes {
+			rep.KVCapacityBytes = st.KVCapacityBytes
+		}
+		if m.state == stateActive {
+			rep.InstancesFinal++
+		}
+		rep.Instances = append(rep.Instances, ir)
+	}
+	if cs.completed > 0 {
+		rep.EnergyPerRequestJ = rep.EnergyJ / float64(cs.completed)
+	}
+	if cs.makespan > 0 {
+		toks := rep.TokensOut
+		if toks == 0 {
+			toks = rep.TokensPadded
+		}
+		rep.TokensPerSec = float64(toks) / cs.makespan
+	}
+	for _, o := range cs.oracles {
+		rep.DistinctForwardSims += o.DistinctSims()
+	}
+
+	for i := range cs.classes {
+		c := &cs.classes[i]
+		cr := ClassReport{
+			Name:          c.cfg.Name,
+			RatePerSec:    c.cfg.RatePerSec,
+			Offered:       c.offered,
+			Admitted:      c.admitted,
+			Rejected:      c.rejected,
+			Completed:     c.completed,
+			Latency:       serve.StatsOf(c.tLat),
+			TTFT:          serve.StatsOf(c.ttft),
+			TPOT:          serve.StatsOf(c.tpot),
+			TTFTp99SLO:    c.cfg.TTFTp99SLO,
+			LatencyP99SLO: c.cfg.LatencyP99SLO,
+			TPOTp99SLO:    c.cfg.TPOTp99SLO,
+		}
+		cr.SLOMet = (cr.TTFTp99SLO == 0 || cr.TTFT.P99 <= cr.TTFTp99SLO) &&
+			(cr.LatencyP99SLO == 0 || cr.Latency.P99 <= cr.LatencyP99SLO) &&
+			(cr.TPOTp99SLO == 0 || cr.TPOT.P99 <= cr.TPOTp99SLO)
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep
+}

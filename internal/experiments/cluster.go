@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/trace"
+)
+
+// ClusterPoint is one (fleet size, arrival rate) sample of a cluster
+// scaling sweep: how the fleet's latency–throughput curve shifts as
+// appliances are added.
+type ClusterPoint struct {
+	Instances        int
+	RatePerSec       float64
+	OfferedPerSec    float64
+	ThroughputPerSec float64
+	TokensPerSec     float64
+	Rejected         int
+	LatencyP50       float64
+	LatencyP99       float64
+	TTFTP99          float64
+	EnergyPerReqJ    float64
+	PeakInstances    int
+	Requests         int
+}
+
+// ClusterCurve sweeps the open-loop arrival rate for each fleet size and
+// returns one point per (instances, rate), in input order. The base
+// config's Instances and RatePerSec (single-class shorthand) are
+// overridden per point; everything else — router, admission, autoscaler,
+// designs — is shared. Each run is individually deterministic, so the
+// curve is bit-reproducible.
+func ClusterCurve(base cluster.Config, fleets []int, rates []float64) ([]ClusterPoint, error) {
+	points := make([]ClusterPoint, 0, len(fleets)*len(rates))
+	for _, n := range fleets {
+		for _, r := range rates {
+			cfg := base
+			cfg.Instances = n
+			cfg.RatePerSec = r
+			cfg.Classes = nil
+			rep, err := cluster.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ClusterPoint{
+				Instances:        n,
+				RatePerSec:       r,
+				OfferedPerSec:    rep.OfferedPerSec,
+				ThroughputPerSec: rep.ThroughputPerSec,
+				TokensPerSec:     rep.TokensPerSec,
+				Rejected:         rep.Rejected,
+				LatencyP50:       rep.Latency.P50,
+				LatencyP99:       rep.Latency.P99,
+				TTFTP99:          rep.TTFT.P99,
+				EnergyPerReqJ:    rep.EnergyPerRequestJ,
+				PeakInstances:    rep.InstancesPeak,
+				Requests:         rep.Admitted,
+			})
+		}
+	}
+	return points, nil
+}
+
+// ClusterTable renders a cluster sweep as a trace table.
+func ClusterTable(title string, points []ClusterPoint) *trace.Table {
+	t := trace.NewTable(title,
+		"fleet", "rate/s", "offered/s", "throughput/s", "tokens/s",
+		"rejected", "p50 (s)", "p99 (s)", "ttft p99 (s)",
+		"energy/req (J)", "peak", "requests")
+	for _, p := range points {
+		t.Add(p.Instances, p.RatePerSec, p.OfferedPerSec, p.ThroughputPerSec,
+			p.TokensPerSec, p.Rejected, p.LatencyP50, p.LatencyP99,
+			p.TTFTP99, p.EnergyPerReqJ, p.PeakInstances, p.Requests)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+func clusterBase() cluster.Config {
+	return cluster.Config{
+		Base: serve.Config{
+			Model: dnn.BERTBase(),
+			Fmt:   quant.W1A3,
+		},
+		DurationSeconds: 2,
+		Seed:            1,
+	}
+}
+
+// TestClusterCurveFleetScaling pins the sweep's purpose: at an offered
+// load that saturates one appliance, adding appliances must cut p99
+// latency.
+func TestClusterCurveFleetScaling(t *testing.T) {
+	points, err := ClusterCurve(clusterBase(), []int{1, 4}, []float64{600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	one, four := points[0], points[1]
+	if one.Instances != 1 || four.Instances != 4 || one.RatePerSec != 600 {
+		t.Fatalf("point identity wrong: %+v", points)
+	}
+	if four.LatencyP99 >= one.LatencyP99 {
+		t.Errorf("4 instances did not beat 1 at p99: %g vs %g", four.LatencyP99, one.LatencyP99)
+	}
+	if four.ThroughputPerSec <= one.ThroughputPerSec {
+		t.Errorf("4 instances did not raise drain throughput: %g vs %g",
+			four.ThroughputPerSec, one.ThroughputPerSec)
+	}
+}
+
+func TestClusterCurveDeterministic(t *testing.T) {
+	a, err := ClusterCurve(clusterBase(), []int{2}, []float64{100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterCurve(clusterBase(), []int{2}, []float64{100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config diverged")
+	}
+}
+
+func TestClusterTable(t *testing.T) {
+	points, err := ClusterCurve(clusterBase(), []int{2}, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ClusterTable("fleet scaling", points).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, col := range []string{"fleet", "throughput/s", "ttft p99 (s)", "peak"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q:\n%s", col, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent and safe with both profiles disabled.
+	stop()
+	stop()
+}
+
+func TestStartCPUAndHeap(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	stop() // the error path may fire the same stop again
+
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartHeapOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("uncreatable CPU profile path accepted")
+	}
+}
+
+func TestStartBadMemPathSurvives(t *testing.T) {
+	// A bad heap path fails at stop time (written to stderr), not at
+	// start; the stop function must still be safe to call.
+	stop, err := Start("", filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

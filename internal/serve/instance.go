@@ -1,0 +1,335 @@
+package serve
+
+// Request is one inference request moving through a simulator. The serve
+// package's single-appliance loop and the cluster package's fleet loop
+// both construct Requests at their traffic layer (sampling lengths from
+// their own seeded distributions) and hand them to an Instance for
+// service; the Instance mutates the service-side fields (Start, FirstTok,
+// Finish, Generated) as the request advances.
+type Request struct {
+	ID     int
+	Client int // closed-loop client index, -1 for open-loop/trace arrivals
+	Class  int // SLO class index (cluster populations; 0 in single-appliance runs)
+
+	Tokens int // sampled prompt length
+	Padded int // prompt tokens rounded up to the token quantum
+
+	OutLen    int // sampled output tokens (0 = prefill-only serving)
+	Generated int // decode tokens produced so far (beyond the prefill token)
+
+	Arrive, Start, FirstTok, Finish float64 // simulated seconds
+}
+
+// Completion kinds: what an Instance schedules when a replica starts a
+// forward pass. evArrival (0) is reserved for the traffic layers' own
+// arrival events so kinds can share one event-kind namespace.
+const (
+	// CompletionPrefill is a batched prefill pass finishing.
+	CompletionPrefill = 1
+	// CompletionStep is one token-level decode step finishing.
+	CompletionStep = 2
+)
+
+// Completion is a forward pass an Instance has started: the caller owns
+// the clock, so it schedules the completion on its own event heap and
+// calls PrefillDone or StepDone when simulated time reaches At.
+type Completion struct {
+	At      float64
+	Kind    int // CompletionPrefill or CompletionStep
+	Replica int
+	Batch   []*Request // CompletionPrefill only
+}
+
+// Instance is one appliance's serving state machine: the admission queue,
+// batch-forming scheduler, per-replica prefill/decode service and the
+// pricing oracle — everything below the traffic layer. It owns no clock
+// and no event heap: callers (the single-appliance loop here, the fleet
+// loop in internal/cluster) deliver arrivals via Admit, start idle
+// replicas via Dispatch, and deliver completions back in event order.
+// Instances are not safe for concurrent use; a simulation's event loop is
+// serial by construction.
+type Instance struct {
+	ID  int
+	Cfg Config // normalized per-instance configuration
+
+	// OnFirstToken fires at prefill completion of every decode-enabled
+	// request (its TTFT moment). OnFinish fires when a request fully
+	// completes, after its Finish timestamp is set. Both run inline in
+	// event order, so callbacks may aggregate float samples and stay
+	// deterministic. Nil callbacks are skipped.
+	OnFirstToken func(r *Request, now float64)
+	OnFinish     func(r *Request, now float64)
+
+	oracle *Oracle
+	sched  scheduler
+	q      queue
+
+	replicaBusy []bool
+	live        [][]*Request // per-replica decode batch
+	busy        []float64    // accumulated service seconds per replica
+	pimBusy     float64      // accumulated PIM-kernel seconds across replicas
+
+	kvPerToken   int64 // KV bytes one cached token occupies
+	kvPeak       int64 // largest per-replica KV footprint seen
+	kvCapacity   int64 // replica DRAM capacity net of the LUT budget
+	queuedTokens int64 // prompt tokens waiting in the queue
+	liveTokens   int64 // context tokens held by live decode requests
+
+	outstanding int // admitted but not yet finished
+	admitted    int
+	finished    int
+	batches     int
+	batchReqs   int
+	steps       int
+
+	tokensIn, tokensPadded, tokensOut int64
+	energyJ                           float64
+}
+
+// NewInstance builds an instance from a per-instance config (arrival
+// fields are ignored; NormalizeInstance fills the service defaults). A
+// non-nil oracle is shared — fleets of identical appliances reuse one
+// memo so each distinct forward-pass shape is planned once per fleet, not
+// once per instance. Sharing is only safe from a single event loop.
+func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
+	cfg, err := cfg.NormalizeInstance()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := newScheduler(cfg.Scheduler, cfg.PackWindow)
+	if err != nil {
+		return nil, err
+	}
+	if o == nil {
+		o = NewOracle(&cfg)
+	}
+	inst := &Instance{
+		ID:          id,
+		Cfg:         cfg,
+		oracle:      o,
+		sched:       sched,
+		replicaBusy: make([]bool, cfg.Replicas),
+		busy:        make([]float64, cfg.Replicas),
+		live:        make([][]*Request, cfg.Replicas),
+		kvPerToken:  2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem,
+	}
+	// One replica's DRAM capacity net of the LUT budget: the part of the
+	// paper's capacity axis KV state competes for.
+	pcfg := &cfg.Engine.Cfg
+	rankShare := pcfg.Ranks / cfg.Replicas
+	if rankShare < 1 {
+		rankShare = 1
+	}
+	inst.kvCapacity = int64(rankShare*pcfg.BanksPerRank) * (pcfg.MRAMBytes - pcfg.MRAMLUTBudget())
+	return inst, nil
+}
+
+// Admit enqueues an arrived request.
+func (inst *Instance) Admit(r *Request) {
+	inst.admitted++
+	inst.outstanding++
+	inst.queuedTokens += int64(r.Tokens)
+	inst.q.push(r)
+}
+
+// Dispatch starts work on every idle replica: a prefill pass when
+// requests wait and the replica's decode batch has room (prefill priority
+// keeps TTFT low and is how newly queued requests join the decode batch
+// at step boundaries), else one decode step over the live batch. It
+// returns the completions the caller must schedule, in replica order.
+func (inst *Instance) Dispatch(now float64) ([]Completion, error) {
+	var out []Completion
+	for rep := range inst.replicaBusy {
+		if inst.replicaBusy[rep] {
+			continue
+		}
+		c, started, err := inst.startWork(rep, now)
+		if err != nil {
+			return nil, err
+		}
+		if started {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// startWork launches the idle replica's next forward pass, if any.
+func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) {
+	if room := inst.Cfg.MaxBatch - len(inst.live[rep]); room > 0 && inst.q.len() > 0 {
+		batch := inst.sched.pick(&inst.q, room)
+		// Members are already quantum-padded, so their sum is the batch's
+		// padded shape; ctx is the longest member (attention span).
+		padTokens, maxPad := 0, 0
+		for _, r := range batch {
+			r.Start = now
+			padTokens += r.Padded
+			inst.tokensIn += int64(r.Tokens)
+			inst.queuedTokens -= int64(r.Tokens)
+			if r.Padded > maxPad {
+				maxPad = r.Padded
+			}
+		}
+		cost, err := inst.oracle.batch(padTokens, maxPad)
+		if err != nil {
+			return Completion{}, false, err
+		}
+		inst.tokensPadded += int64(padTokens)
+		inst.energyJ += cost.energyJ
+		inst.busy[rep] += cost.seconds
+		inst.pimBusy += cost.pimSec
+		inst.batches++
+		inst.batchReqs += len(batch)
+		inst.replicaBusy[rep] = true
+		return Completion{At: now + cost.seconds, Kind: CompletionPrefill, Replica: rep, Batch: batch}, true, nil
+	}
+	if live := inst.live[rep]; len(live) > 0 {
+		// One decode step: each live request's next token attends its
+		// prompt plus everything generated so far. Attention cost is
+		// linear in the context, so pricing the batch at its mean context
+		// is exact; the mean is then bucketed to the token quantum so the
+		// oracle's step memo stays bounded.
+		// ctxSum prices attention over the padded (shape-bucketed) prompt;
+		// kvTokens gauges physical KV state, so it counts the real prompt
+		// lengths — padding is a pricing artifact, not cached memory.
+		ctxSum, kvTokens := 0, 0
+		for _, r := range live {
+			ctxSum += r.Padded + r.Generated + 1
+			kvTokens += r.Tokens + r.Generated + 1
+		}
+		n := len(live)
+		ctx := roundUp((ctxSum+n-1)/n, inst.Cfg.TokenQuantum)
+		cost, err := inst.oracle.decodeStep(n, ctx)
+		if err != nil {
+			return Completion{}, false, err
+		}
+		inst.energyJ += cost.energyJ
+		inst.busy[rep] += cost.seconds
+		inst.pimBusy += cost.pimSec
+		inst.steps++
+		inst.replicaBusy[rep] = true
+		// KV gauge: during the step the replica holds every live context
+		// plus the newly written token per sequence.
+		if kv := int64(kvTokens+n) * inst.kvPerToken; kv > inst.kvPeak {
+			inst.kvPeak = kv
+		}
+		return Completion{At: now + cost.seconds, Kind: CompletionStep, Replica: rep}, true, nil
+	}
+	return Completion{}, false, nil
+}
+
+// PrefillDone delivers a CompletionPrefill back to the instance: batch
+// members emit their first token (OnFirstToken), join the replica's live
+// decode batch when more tokens remain, or finish.
+func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
+	inst.replicaBusy[replica] = false
+	for _, r := range batch {
+		r.FirstTok = now
+		if r.OutLen > 0 && inst.OnFirstToken != nil {
+			inst.OnFirstToken(r, now)
+		}
+		if r.OutLen > 1 {
+			// The prefill pass emitted the first output token; the
+			// remaining OutLen-1 decode at token granularity.
+			inst.live[replica] = append(inst.live[replica], r)
+			inst.liveTokens += int64(r.Tokens + 1)
+		} else {
+			inst.retire(r, now)
+		}
+	}
+}
+
+// StepDone delivers a CompletionStep: every live request on the replica
+// gained one token; finished requests retire, survivors stay live.
+func (inst *Instance) StepDone(replica int, now float64) {
+	inst.replicaBusy[replica] = false
+	live := inst.live[replica]
+	surv := live[:0]
+	for _, r := range live {
+		r.Generated++
+		if r.Generated >= r.OutLen-1 {
+			inst.liveTokens -= int64(r.Tokens + r.Generated)
+			inst.retire(r, now)
+		} else {
+			inst.liveTokens++
+			surv = append(surv, r)
+		}
+	}
+	for i := len(surv); i < len(live); i++ {
+		live[i] = nil
+	}
+	inst.live[replica] = surv
+}
+
+// retire completes a request: timestamps, token accounting, callback.
+func (inst *Instance) retire(r *Request, now float64) {
+	r.Finish = now
+	inst.finished++
+	inst.outstanding--
+	inst.tokensOut += int64(r.OutLen)
+	if inst.OnFinish != nil {
+		inst.OnFinish(r, now)
+	}
+}
+
+// Outstanding reports admitted-but-unfinished requests — the
+// least-outstanding-requests routing signal, and zero exactly when the
+// instance is fully drained (no queue, no live batch, no pass in flight).
+func (inst *Instance) Outstanding() int { return inst.outstanding }
+
+// QueueLen reports requests waiting for a prefill slot.
+func (inst *Instance) QueueLen() int { return inst.q.len() }
+
+// KVDemandBytes estimates the KV footprint the instance's current load
+// pins: live decode contexts plus queued prompts (which will pin KV once
+// admitted). Maintained incrementally, so routing stays O(1) per request.
+func (inst *Instance) KVDemandBytes() int64 {
+	return (inst.queuedTokens + inst.liveTokens) * inst.kvPerToken
+}
+
+// KVFreeBytes is the replica KV capacity left after current demand — the
+// weighted-by-free-KV routing signal. It can go negative under
+// oversubscription; routers compare, not allocate, so that is fine.
+func (inst *Instance) KVFreeBytes() int64 { return inst.kvCapacity - inst.KVDemandBytes() }
+
+// Oracle returns the instance's pricing oracle (shared across a fleet of
+// identical appliances).
+func (inst *Instance) Oracle() *Oracle { return inst.oracle }
+
+// InstanceStats is a snapshot of an instance's service counters, taken
+// for per-instance cluster reporting.
+type InstanceStats struct {
+	Admitted, Finished int
+	Batches            int
+	BatchRequests      int
+	DecodeSteps        int
+
+	TokensIn, TokensPadded, TokensOut int64
+	EnergyJ                           float64
+
+	BusySeconds    []float64 // per replica
+	PIMBusySeconds float64
+
+	KVPeakBytes, KVCapacityBytes int64
+}
+
+// Stats snapshots the instance's counters.
+func (inst *Instance) Stats() InstanceStats {
+	busy := make([]float64, len(inst.busy))
+	copy(busy, inst.busy)
+	return InstanceStats{
+		Admitted:        inst.admitted,
+		Finished:        inst.finished,
+		Batches:         inst.batches,
+		BatchRequests:   inst.batchReqs,
+		DecodeSteps:     inst.steps,
+		TokensIn:        inst.tokensIn,
+		TokensPadded:    inst.tokensPadded,
+		TokensOut:       inst.tokensOut,
+		EnergyJ:         inst.energyJ,
+		BusySeconds:     busy,
+		PIMBusySeconds:  inst.pimBusy,
+		KVPeakBytes:     inst.kvPeak,
+		KVCapacityBytes: inst.kvCapacity,
+	}
+}

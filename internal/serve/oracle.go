@@ -18,12 +18,12 @@ type costKey struct {
 	tokens, ctx int
 }
 
-// oracle prices batched forward passes through the dnn/gemm planners in
+// Oracle prices batched forward passes through the dnn/gemm planners in
 // cycles-only mode and memoizes per shape. Replica scaling happens here:
 // the runner's engine is a clone of the appliance engine with its rank
 // count divided by the replica count, so each replica's forward pass sees
 // only its share of banks.
-type oracle struct {
+type Oracle struct {
 	runner *dnn.Runner
 	energy energy.Model
 
@@ -31,8 +31,10 @@ type oracle struct {
 	step    map[costKey]batchCost // key: (live batch size, ctx bucket)
 }
 
-// newOracle builds the pricing path for one serving run.
-func newOracle(cfg *Config) *oracle {
+// NewOracle builds the pricing path for one serving run. A fleet of
+// identical appliances may share one Oracle (from a single event loop):
+// each distinct forward-pass shape is then planned once per fleet.
+func NewOracle(cfg *Config) *Oracle {
 	eng := cfg.Engine.Clone()
 	eng.Exec.Mode = kernels.CyclesOnly
 	eng.Exec.FullGrid = false
@@ -45,7 +47,7 @@ func newOracle(cfg *Config) *oracle {
 	r := dnn.NewRunner(cfg.Model, cfg.Fmt, cfg.Variant)
 	r.Engine = eng
 	r.Seed = cfg.Seed
-	return &oracle{
+	return &Oracle{
 		runner:  r,
 		energy:  cfg.Energy,
 		prefill: make(map[costKey]batchCost),
@@ -54,14 +56,14 @@ func newOracle(cfg *Config) *oracle {
 }
 
 // price converts a phase report to a batchCost.
-func (o *oracle) price(p *dnn.PhaseReport) batchCost {
+func (o *Oracle) price(p *dnn.PhaseReport) batchCost {
 	e := o.energy.Price(&p.Meter, p.HostOps, p.Total)
 	return batchCost{seconds: p.Total, pimSec: p.GEMMPIM, energyJ: e.TotalJ}
 }
 
 // batch prices one prefill pass: `tokens` padded prompt tokens attending
 // over a ctx-token context. Misses run the planners; hits are map lookups.
-func (o *oracle) batch(tokens, ctx int) (batchCost, error) {
+func (o *Oracle) batch(tokens, ctx int) (batchCost, error) {
 	key := costKey{tokens, ctx}
 	cost, ok := o.prefill[key]
 	if !ok {
@@ -80,7 +82,7 @@ func (o *oracle) batch(tokens, ctx int) (batchCost, error) {
 // token quantum) before keying, so the step map — and with it
 // DistinctForwardSims — stays bounded by batch-size x context-bucket
 // combinations however long the generations run.
-func (o *oracle) decodeStep(n, ctx int) (batchCost, error) {
+func (o *Oracle) decodeStep(n, ctx int) (batchCost, error) {
 	key := costKey{n, ctx}
 	cost, ok := o.step[key]
 	if !ok {
@@ -94,5 +96,5 @@ func (o *oracle) decodeStep(n, ctx int) (batchCost, error) {
 	return cost, nil
 }
 
-// distinctSims counts the planner executions the whole run needed.
-func (o *oracle) distinctSims() int { return len(o.prefill) + len(o.step) }
+// DistinctSims counts the planner executions the whole run needed.
+func (o *Oracle) DistinctSims() int { return len(o.prefill) + len(o.step) }

@@ -2,32 +2,19 @@ package serve
 
 import "fmt"
 
-// request is one inference request moving through the simulator.
-type request struct {
-	id     int
-	client int // closed-loop client index, -1 for open-loop/trace arrivals
-	tokens int // sampled prompt length
-	padded int // prompt tokens rounded up to the token quantum
-
-	outLen    int // sampled output tokens (0 = prefill-only serving)
-	generated int // decode tokens produced so far (beyond the prefill token)
-
-	arrive, start, firstTok, finish float64 // simulated seconds
-}
-
 // queue is the FIFO admission queue. Head pops are O(1); the packing
 // scheduler removes scattered entries from a bounded prefix, which costs
 // O(window) per batch.
 type queue struct {
-	items []*request
+	items []*Request
 	head  int
 }
 
 func (q *queue) len() int          { return len(q.items) - q.head }
-func (q *queue) push(r *request)   { q.items = append(q.items, r) }
-func (q *queue) at(i int) *request { return q.items[q.head+i] }
+func (q *queue) push(r *Request)   { q.items = append(q.items, r) }
+func (q *queue) at(i int) *Request { return q.items[q.head+i] }
 
-func (q *queue) popHead() *request {
+func (q *queue) popHead() *Request {
 	r := q.items[q.head]
 	q.items[q.head] = nil
 	q.head++
@@ -38,10 +25,10 @@ func (q *queue) popHead() *request {
 // removePrefix removes the requests at the ascending prefix-relative
 // indices sel (which must include 0) and returns them in order. Survivors
 // in the prefix shift toward the head so the queue stays contiguous.
-func (q *queue) removePrefix(sel []int) []*request {
-	out := make([]*request, 0, len(sel))
+func (q *queue) removePrefix(sel []int) []*Request {
+	out := make([]*Request, 0, len(sel))
 	last := sel[len(sel)-1]
-	surv := make([]*request, 0, last)
+	surv := make([]*Request, 0, last)
 	next := 0
 	for i := 0; i <= last; i++ {
 		it := q.items[q.head+i]
@@ -111,18 +98,18 @@ func ParsePolicy(s string) (Policy, error) {
 type scheduler interface {
 	// pick removes and returns 1..max requests, always including the head
 	// (no starvation: the oldest request is served first in every batch).
-	pick(q *queue, max int) []*request
+	pick(q *queue, max int) []*Request
 }
 
 // fcfsScheduler takes the first max requests in arrival order.
 type fcfsScheduler struct{}
 
-func (fcfsScheduler) pick(q *queue, max int) []*request {
+func (fcfsScheduler) pick(q *queue, max int) []*Request {
 	n := q.len()
 	if n > max {
 		n = max
 	}
-	out := make([]*request, n)
+	out := make([]*Request, n)
 	for i := range out {
 		out[i] = q.popHead()
 	}
@@ -136,15 +123,15 @@ type packedScheduler struct {
 	window int
 }
 
-func (p packedScheduler) pick(q *queue, max int) []*request {
-	bucket := q.at(0).padded
+func (p packedScheduler) pick(q *queue, max int) []*Request {
+	bucket := q.at(0).Padded
 	w := q.len()
 	if w > p.window {
 		w = p.window
 	}
 	sel := make([]int, 0, max)
 	for i := 0; i < w && len(sel) < max; i++ {
-		if q.at(i).padded == bucket {
+		if q.at(i).Padded == bucket {
 			sel = append(sel, i)
 		}
 	}

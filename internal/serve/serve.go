@@ -86,8 +86,11 @@ type Config struct {
 	OutTokensMax int
 }
 
-// withDefaults fills unset fields and validates the result.
-func (c Config) withDefaults() (Config, error) {
+// NormalizeInstance fills and validates the per-instance (service-side)
+// fields: model, engine, replicas, batching, length distribution, decode.
+// Arrival-source fields are left untouched — the cluster simulator drives
+// instances from its own traffic layer and calls this directly.
+func (c Config) NormalizeInstance() (Config, error) {
 	if c.Model.Layers == 0 {
 		return c, fmt.Errorf("serve: config has no model")
 	}
@@ -99,17 +102,6 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 4
-	}
-	if c.DurationSeconds == 0 {
-		if len(c.ArrivalTimes) > 0 {
-			for _, t := range c.ArrivalTimes {
-				if t > c.DurationSeconds {
-					c.DurationSeconds = t
-				}
-			}
-		} else {
-			c.DurationSeconds = 60
-		}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -138,9 +130,6 @@ func (c Config) withDefaults() (Config, error) {
 	if c.TokenQuantum == 0 {
 		c.TokenQuantum = 64
 	}
-	if c.ThinkSeconds == 0 {
-		c.ThinkSeconds = 0.1
-	}
 	if c.OutTokensMean > 0 {
 		if c.OutTokensMean < 1 {
 			// A sub-token mean would otherwise clamp to a zero max and
@@ -162,12 +151,6 @@ func (c Config) withDefaults() (Config, error) {
 	case c.Replicas > c.Engine.Cfg.Ranks:
 		return c, fmt.Errorf("serve: %d replicas exceed the appliance's %d ranks",
 			c.Replicas, c.Engine.Cfg.Ranks)
-	case c.DurationSeconds <= 0:
-		return c, fmt.Errorf("serve: duration %g must be positive", c.DurationSeconds)
-	case len(c.ArrivalTimes) == 0 && c.Clients == 0 && c.RatePerSec <= 0:
-		return c, fmt.Errorf("serve: no arrival source (set RatePerSec, Clients or ArrivalTimes)")
-	case c.Clients < 0:
-		return c, fmt.Errorf("serve: %d clients", c.Clients)
 	case c.OutTokens < 0:
 		return c, fmt.Errorf("serve: %d decode tokens", c.OutTokens)
 	case c.OutTokensMean < 0 || c.OutTokensMax < 0:
@@ -179,15 +162,47 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// withDefaults fills unset fields and validates the result, including the
+// arrival source the single-appliance loop needs.
+func (c Config) withDefaults() (Config, error) {
+	c, err := c.NormalizeInstance()
+	if err != nil {
+		return c, err
+	}
+	if c.DurationSeconds == 0 {
+		if len(c.ArrivalTimes) > 0 {
+			for _, t := range c.ArrivalTimes {
+				if t > c.DurationSeconds {
+					c.DurationSeconds = t
+				}
+			}
+		} else {
+			c.DurationSeconds = 60
+		}
+	}
+	if c.ThinkSeconds == 0 {
+		c.ThinkSeconds = 0.1
+	}
+	switch {
+	case c.DurationSeconds <= 0:
+		return c, fmt.Errorf("serve: duration %g must be positive", c.DurationSeconds)
+	case len(c.ArrivalTimes) == 0 && c.Clients == 0 && c.RatePerSec <= 0:
+		return c, fmt.Errorf("serve: no arrival source (set RatePerSec, Clients or ArrivalTimes)")
+	case c.Clients < 0:
+		return c, fmt.Errorf("serve: %d clients", c.Clients)
+	}
+	return c, nil
+}
+
 // Stats summarizes one latency population in seconds.
 type Stats struct {
 	P50, P95, P99 float64
 	Mean, Max     float64
 }
 
-// statsOf computes the summary; samples arrive in completion order, so the
+// StatsOf computes the summary; samples arrive in completion order, so the
 // mean's float accumulation order is fixed and the result reproducible.
-func statsOf(vals []float64) Stats {
+func StatsOf(vals []float64) Stats {
 	if len(vals) == 0 {
 		return Stats{}
 	}
@@ -272,12 +287,9 @@ type Report struct {
 	LatencyHist *trace.Histogram
 }
 
-// event kinds.
-const (
-	evArrival = iota
-	evPrefillDone
-	evStepDone
-)
+// evArrival is the traffic layer's event kind; completion kinds come from
+// the Instance (CompletionPrefill, CompletionStep).
+const evArrival = 0
 
 // event is one heap entry; seq breaks time ties in insertion order so the
 // loop is deterministic even under simultaneous events.
@@ -286,9 +298,9 @@ type event struct {
 	seq  int64
 	kind int
 
-	req     *request   // evArrival
-	replica int        // evPrefillDone, evStepDone
-	batch   []*request // evPrefillDone
+	req     *Request   // evArrival
+	replica int        // CompletionPrefill, CompletionStep
+	batch   []*Request // CompletionPrefill
 }
 
 type eventHeap []*event
@@ -311,37 +323,22 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// sim is the mutable state of one run.
+// sim is the traffic layer of one single-appliance run: arrivals, length
+// sampling and latency aggregation around one Instance.
 type sim struct {
-	cfg    Config
-	oracle *oracle
-	sched  scheduler
+	cfg  Config
+	inst *Instance
 
 	events eventHeap
 	seq    int64
-	q      queue
 
 	arrivals *workload.ArrivalSampler // open loop
 	lengths  *workload.LengthSampler
 	outLens  *workload.LengthSampler  // nil = fixed OutTokens per request
 	think    *workload.ArrivalSampler // closed loop
 
-	replicaBusy []bool
-	live        [][]*request // per-replica decode batch
-	busy        []float64    // accumulated service seconds per replica
-	pimBusy     float64      // accumulated PIM-kernel seconds across replicas
-
-	kvPerToken int64 // KV bytes one cached token occupies
-	kvPeak     int64 // largest per-replica KV footprint seen
-
-	nextID    int
-	requests  int
-	batches   int
-	batchReqs int
-	steps     int
-
-	tokensIn, tokensPadded, tokensOut int64
-	energyJ                           float64
+	nextID   int
+	requests int
 
 	qLat, sLat, tLat []float64
 	ttft, tpot       []float64
@@ -356,14 +353,14 @@ func (s *sim) pushEvent(e *event) {
 
 // newRequest admits a request arriving at t for the given closed-loop
 // client (-1 for open-loop/trace), sampling its prompt and output lengths.
-func (s *sim) newRequest(t float64, client int) *request {
+func (s *sim) newRequest(t float64, client int) *Request {
 	tok := s.lengths.Next()
 	pad := roundUp(tok, s.cfg.TokenQuantum)
 	out := s.cfg.OutTokens
 	if s.outLens != nil {
 		out = s.outLens.Next()
 	}
-	r := &request{id: s.nextID, client: client, tokens: tok, padded: pad, outLen: out, arrive: t}
+	r := &Request{ID: s.nextID, Client: client, Tokens: tok, Padded: pad, OutLen: out, Arrive: t}
 	s.nextID++
 	return r
 }
@@ -372,105 +369,18 @@ func roundUp(v, quantum int) int {
 	return (v + quantum - 1) / quantum * quantum
 }
 
-// dispatch starts work on every idle replica: a prefill pass when
-// requests wait and the replica's decode batch has room (prefill priority
-// keeps TTFT low and is how newly queued requests join the decode batch
-// at step boundaries), else one decode step over the live batch.
+// dispatch starts work on the instance's idle replicas and schedules the
+// resulting completions.
 func (s *sim) dispatch(now float64) error {
-	for rep := range s.replicaBusy {
-		if s.replicaBusy[rep] {
-			continue
-		}
-		if err := s.startWork(rep, now); err != nil {
-			return err
-		}
+	comps, err := s.inst.Dispatch(now)
+	if err != nil {
+		return err
+	}
+	for i := range comps {
+		c := &comps[i]
+		s.pushEvent(&event{at: c.At, kind: c.Kind, replica: c.Replica, batch: c.Batch})
 	}
 	return nil
-}
-
-// startWork launches the idle replica's next forward pass, if any.
-func (s *sim) startWork(rep int, now float64) error {
-	if room := s.cfg.MaxBatch - len(s.live[rep]); room > 0 && s.q.len() > 0 {
-		batch := s.sched.pick(&s.q, room)
-		// Members are already quantum-padded, so their sum is the batch's
-		// padded shape; ctx is the longest member (attention span).
-		padTokens, maxPad := 0, 0
-		for _, r := range batch {
-			r.start = now
-			padTokens += r.padded
-			s.tokensIn += int64(r.tokens)
-			if r.padded > maxPad {
-				maxPad = r.padded
-			}
-		}
-		cost, err := s.oracle.batch(padTokens, maxPad)
-		if err != nil {
-			return err
-		}
-		s.tokensPadded += int64(padTokens)
-		s.energyJ += cost.energyJ
-		s.busy[rep] += cost.seconds
-		s.pimBusy += cost.pimSec
-		s.batches++
-		s.batchReqs += len(batch)
-		s.replicaBusy[rep] = true
-		s.pushEvent(&event{at: now + cost.seconds, kind: evPrefillDone, replica: rep, batch: batch})
-		return nil
-	}
-	if live := s.live[rep]; len(live) > 0 {
-		// One decode step: each live request's next token attends its
-		// prompt plus everything generated so far. Attention cost is
-		// linear in the context, so pricing the batch at its mean context
-		// is exact; the mean is then bucketed to the token quantum so the
-		// oracle's step memo stays bounded.
-		// ctxSum prices attention over the padded (shape-bucketed) prompt;
-		// kvTokens gauges physical KV state, so it counts the real prompt
-		// lengths — padding is a pricing artifact, not cached memory.
-		ctxSum, kvTokens := 0, 0
-		for _, r := range live {
-			ctxSum += r.padded + r.generated + 1
-			kvTokens += r.tokens + r.generated + 1
-		}
-		n := len(live)
-		ctx := roundUp((ctxSum+n-1)/n, s.cfg.TokenQuantum)
-		cost, err := s.oracle.decodeStep(n, ctx)
-		if err != nil {
-			return err
-		}
-		s.energyJ += cost.energyJ
-		s.busy[rep] += cost.seconds
-		s.pimBusy += cost.pimSec
-		s.steps++
-		s.replicaBusy[rep] = true
-		s.pushEvent(&event{at: now + cost.seconds, kind: evStepDone, replica: rep})
-		// KV gauge: during the step the replica holds every live context
-		// plus the newly written token per sequence.
-		if kv := int64(kvTokens+n) * s.kvPerToken; kv > s.kvPeak {
-			s.kvPeak = kv
-		}
-	}
-	return nil
-}
-
-// finish retires a completed request: latency samples, token accounting,
-// and the closed-loop client's next think timer.
-func (s *sim) finish(r *request, now float64) {
-	r.finish = now
-	s.qLat = append(s.qLat, r.start-r.arrive)
-	s.sLat = append(s.sLat, r.finish-r.start)
-	s.tLat = append(s.tLat, r.finish-r.arrive)
-	s.tokensOut += int64(r.outLen)
-	if r.outLen > 1 {
-		s.tpot = append(s.tpot, (r.finish-r.firstTok)/float64(r.outLen-1))
-	}
-	if now > s.makespan {
-		s.makespan = now
-	}
-	if s.think != nil && r.client >= 0 {
-		if t := now + s.think.Next(); t <= s.cfg.DurationSeconds {
-			s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: r.client}})
-		}
-	}
 }
 
 // Run executes the simulation to completion: arrivals stop at the duration
@@ -480,9 +390,28 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &sim{cfg: cfg, oracle: newOracle(&cfg)}
-	if s.sched, err = newScheduler(cfg.Scheduler, cfg.PackWindow); err != nil {
+	s := &sim{cfg: cfg}
+	if s.inst, err = NewInstance(cfg, 0, nil); err != nil {
 		return nil, err
+	}
+	s.inst.OnFirstToken = func(r *Request, now float64) {
+		s.ttft = append(s.ttft, now-r.Arrive)
+	}
+	s.inst.OnFinish = func(r *Request, now float64) {
+		s.qLat = append(s.qLat, r.Start-r.Arrive)
+		s.sLat = append(s.sLat, r.Finish-r.Start)
+		s.tLat = append(s.tLat, r.Finish-r.Arrive)
+		if r.OutLen > 1 {
+			s.tpot = append(s.tpot, (r.Finish-r.FirstTok)/float64(r.OutLen-1))
+		}
+		if now > s.makespan {
+			s.makespan = now
+		}
+		if s.think != nil && r.Client >= 0 {
+			if t := now + s.think.Next(); t <= s.cfg.DurationSeconds {
+				s.pushEvent(&event{at: t, kind: evArrival, req: &Request{Client: r.Client}})
+			}
+		}
 	}
 	if s.lengths, err = workload.NewLengthSampler(cfg.MinTokens, cfg.MaxTokens, cfg.MeanTokens, cfg.Seed+1); err != nil {
 		return nil, err
@@ -492,10 +421,6 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
-	s.replicaBusy = make([]bool, cfg.Replicas)
-	s.busy = make([]float64, cfg.Replicas)
-	s.live = make([][]*request, cfg.Replicas)
-	s.kvPerToken = 2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem
 
 	// Seed the arrival process.
 	switch {
@@ -518,7 +443,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		for c := 0; c < cfg.Clients; c++ {
 			if t := s.think.Next(); t <= cfg.DurationSeconds {
-				s.pushEvent(&event{at: t, kind: evArrival, req: &request{client: c}})
+				s.pushEvent(&event{at: t, kind: evArrival, req: &Request{Client: c}})
 			}
 		}
 	default:
@@ -538,47 +463,20 @@ func Run(cfg Config) (*Report, error) {
 		case evArrival:
 			client := -1
 			if ev.req != nil {
-				client = ev.req.client
+				client = ev.req.Client
 			}
 			r := s.newRequest(now, client)
 			s.requests++
-			s.q.push(r)
+			s.inst.Admit(r)
 			if s.arrivals != nil {
 				if t := now + s.arrivals.Next(); t <= cfg.DurationSeconds {
 					s.pushEvent(&event{at: t, kind: evArrival})
 				}
 			}
-		case evPrefillDone:
-			s.replicaBusy[ev.replica] = false
-			for _, r := range ev.batch {
-				r.firstTok = now
-				if r.outLen > 0 {
-					s.ttft = append(s.ttft, now-r.arrive)
-				}
-				if r.outLen > 1 {
-					// The prefill pass emitted the first output token; the
-					// remaining outLen-1 decode at token granularity.
-					s.live[ev.replica] = append(s.live[ev.replica], r)
-				} else {
-					s.finish(r, now)
-				}
-			}
-		case evStepDone:
-			s.replicaBusy[ev.replica] = false
-			live := s.live[ev.replica]
-			surv := live[:0]
-			for _, r := range live {
-				r.generated++
-				if r.generated >= r.outLen-1 {
-					s.finish(r, now)
-				} else {
-					surv = append(surv, r)
-				}
-			}
-			for i := len(surv); i < len(live); i++ {
-				live[i] = nil
-			}
-			s.live[ev.replica] = surv
+		case CompletionPrefill:
+			s.inst.PrefillDone(ev.replica, ev.batch, now)
+		case CompletionStep:
+			s.inst.StepDone(ev.replica, now)
 		}
 		if err := s.dispatch(now); err != nil {
 			return nil, err
@@ -590,6 +488,7 @@ func Run(cfg Config) (*Report, error) {
 // report assembles the final metrics.
 func (s *sim) report() *Report {
 	cfg := &s.cfg
+	inst := s.inst
 	r := &Report{
 		Model:     cfg.Model.Name,
 		Format:    cfg.Fmt.Name(),
@@ -599,57 +498,50 @@ func (s *sim) report() *Report {
 
 		Requests:        s.requests,
 		Completed:       len(s.tLat),
-		Batches:         s.batches,
-		DecodeSteps:     s.steps,
+		Batches:         inst.batches,
+		DecodeSteps:     inst.steps,
 		DurationSeconds: cfg.DurationSeconds,
 		MakespanSeconds: s.makespan,
 
-		Queue:   statsOf(s.qLat),
-		Service: statsOf(s.sLat),
-		Latency: statsOf(s.tLat),
-		TTFT:    statsOf(s.ttft),
-		TPOT:    statsOf(s.tpot),
+		Queue:   StatsOf(s.qLat),
+		Service: StatsOf(s.sLat),
+		Latency: StatsOf(s.tLat),
+		TTFT:    StatsOf(s.ttft),
+		TPOT:    StatsOf(s.tpot),
 
-		TokensIn:     s.tokensIn,
-		TokensPadded: s.tokensPadded,
-		TokensOut:    s.tokensOut,
-		EnergyJ:      s.energyJ,
+		TokensIn:     inst.tokensIn,
+		TokensPadded: inst.tokensPadded,
+		TokensOut:    inst.tokensOut,
+		EnergyJ:      inst.energyJ,
 
-		KVPeakBytes: s.kvPeak,
+		KVPeakBytes:     inst.kvPeak,
+		KVCapacityBytes: inst.kvCapacity,
 
-		DistinctForwardSims: s.oracle.distinctSims(),
+		DistinctForwardSims: inst.oracle.DistinctSims(),
 	}
-	// One replica's DRAM capacity net of the LUT budget: the part of the
-	// paper's capacity axis KV state competes for.
-	pcfg := &cfg.Engine.Cfg
-	rankShare := pcfg.Ranks / cfg.Replicas
-	if rankShare < 1 {
-		rankShare = 1
-	}
-	r.KVCapacityBytes = int64(rankShare*pcfg.BanksPerRank) * (pcfg.MRAMBytes - pcfg.MRAMLUTBudget())
 	if r.KVCapacityBytes > 0 {
 		r.KVPeakUtilization = float64(r.KVPeakBytes) / float64(r.KVCapacityBytes)
 	}
 	r.OfferedPerSec = float64(r.Requests) / cfg.DurationSeconds
-	if s.batches > 0 {
-		r.MeanBatchSize = float64(s.batchReqs) / float64(s.batches)
+	if inst.batches > 0 {
+		r.MeanBatchSize = float64(inst.batchReqs) / float64(inst.batches)
 	}
 	if s.makespan > 0 {
 		r.ThroughputPerSec = float64(r.Completed) / s.makespan
-		r.TokensPerSec = float64(s.tokensIn+s.tokensOut) / s.makespan
+		r.TokensPerSec = float64(inst.tokensIn+inst.tokensOut) / s.makespan
 		r.ReplicaUtilization = make([]float64, cfg.Replicas)
 		var totalBusy float64
-		for i, b := range s.busy {
+		for i, b := range inst.busy {
 			r.ReplicaUtilization[i] = b / s.makespan
 			totalBusy += b
 		}
 		r.RankUtilization = totalBusy / (float64(cfg.Replicas) * s.makespan)
 		if totalBusy > 0 {
-			r.PIMUtilization = s.pimBusy / totalBusy
+			r.PIMUtilization = inst.pimBusy / totalBusy
 		}
 	}
 	if r.Completed > 0 {
-		r.EnergyPerRequestJ = s.energyJ / float64(r.Completed)
+		r.EnergyPerRequestJ = inst.energyJ / float64(r.Completed)
 		// Nextafter keeps the maximum inside the half-open top bucket.
 		hi := math.Nextafter(r.Latency.Max, math.Inf(1))
 		if hist, err := trace.NewHistogram(0, hi, 20); err == nil {

@@ -129,37 +129,37 @@ func TestServeSchedulers(t *testing.T) {
 func TestPackedBatchesShareShape(t *testing.T) {
 	q := &queue{}
 	for i, pad := range []int{64, 128, 64, 192, 64, 64} {
-		q.push(&request{id: i, padded: pad})
+		q.push(&Request{ID: i, Padded: pad})
 	}
 	batch := packedScheduler{window: 16}.pick(q, 4)
 	if len(batch) != 4 {
 		t.Fatalf("picked %d requests, want 4", len(batch))
 	}
 	for _, r := range batch {
-		if r.padded != 64 {
-			t.Errorf("mixed bucket in packed batch: request %d has %d", r.id, r.padded)
+		if r.Padded != 64 {
+			t.Errorf("mixed bucket in packed batch: request %d has %d", r.ID, r.Padded)
 		}
 	}
 	if q.len() != 2 {
 		t.Fatalf("queue keeps %d, want 2", q.len())
 	}
-	if q.at(0).id != 1 || q.at(1).id != 3 {
-		t.Errorf("skipped requests lost their order: %d, %d", q.at(0).id, q.at(1).id)
+	if q.at(0).ID != 1 || q.at(1).ID != 3 {
+		t.Errorf("skipped requests lost their order: %d, %d", q.at(0).ID, q.at(1).ID)
 	}
 }
 
 func TestFCFSKeepsArrivalOrder(t *testing.T) {
 	q := &queue{}
 	for i := 0; i < 5; i++ {
-		q.push(&request{id: i, padded: 64 * (1 + i%2)})
+		q.push(&Request{ID: i, Padded: 64 * (1 + i%2)})
 	}
 	batch := fcfsScheduler{}.pick(q, 3)
 	for i, r := range batch {
-		if r.id != i {
-			t.Errorf("batch[%d] = request %d", i, r.id)
+		if r.ID != i {
+			t.Errorf("batch[%d] = request %d", i, r.ID)
 		}
 	}
-	if q.len() != 2 || q.at(0).id != 3 {
+	if q.len() != 2 || q.at(0).ID != 3 {
 		t.Error("queue head after FCFS pick is wrong")
 	}
 }
@@ -236,24 +236,24 @@ func TestOracleStepMemoKeysOnCtxBucket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := newOracle(&cfg)
+	o := NewOracle(&cfg)
 	a, err := o.decodeStep(4, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := o.distinctSims()
+	after := o.DistinctSims()
 	b, err := o.decodeStep(4, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := o.distinctSims(); got != after || a != b {
+	if got := o.DistinctSims(); got != after || a != b {
 		t.Errorf("same (n, ctx) cell re-simulated: sims %d -> %d", after, got)
 	}
 	c, err := o.decodeStep(4, 192)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := o.distinctSims(); got != after+1 {
+	if got := o.DistinctSims(); got != after+1 {
 		t.Errorf("new ctx bucket did not price a new sim: %d -> %d", after, got)
 	}
 	if c.seconds <= a.seconds {
@@ -273,7 +273,7 @@ func TestStepBucketingPriceBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := newOracle(&cfg)
+	o := NewOracle(&cfg)
 	for _, exact := range []int{65, 130, 200, 255} {
 		bucketed := roundUp(exact, cfg.TokenQuantum)
 		e, err := o.decodeStep(4, exact)

@@ -1,0 +1,110 @@
+package stripemap
+
+import (
+	"sync"
+	"testing"
+)
+
+// identity hash: spreads sequential int keys over shards via the
+// avalanche step in shardFor.
+func intHash(k int) uint64 { return uint64(k) }
+
+func TestLookupStore(t *testing.T) {
+	m := New[int, string](intHash)
+	if _, ok := m.Lookup(1); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Store(1, "one")
+	m.Store(2, "two")
+	if v, ok := m.Lookup(1); !ok || v != "one" {
+		t.Fatalf("Lookup(1) = %q, %v", v, ok)
+	}
+	if v, ok := m.Lookup(2); !ok || v != "two" {
+		t.Fatalf("Lookup(2) = %q, %v", v, ok)
+	}
+	// Overwrite is last-store-wins.
+	m.Store(1, "uno")
+	if v, _ := m.Lookup(1); v != "uno" {
+		t.Fatalf("after overwrite Lookup(1) = %q", v)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := New[int, int](intHash)
+	for i := 0; i < 10; i++ {
+		m.Lookup(i) // 10 misses
+	}
+	for i := 0; i < 10; i++ {
+		m.Store(i, i*i)
+	}
+	for i := 0; i < 10; i++ {
+		m.Lookup(i) // 10 hits
+	}
+	hits, misses := m.Stats()
+	if hits != 10 || misses != 10 {
+		t.Fatalf("Stats() = %d hits, %d misses; want 10, 10", hits, misses)
+	}
+}
+
+func TestKeysSpreadAcrossShards(t *testing.T) {
+	m := New[int, int](intHash)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		m.Store(i, i)
+	}
+	occupied := 0
+	for i := range m.shards {
+		if len(m.shards[i].m) > 0 {
+			occupied++
+		}
+	}
+	if occupied < numShards/2 {
+		t.Errorf("%d keys landed in only %d of %d shards", n, occupied, numShards)
+	}
+	total := 0
+	for i := range m.shards {
+		total += len(m.shards[i].m)
+	}
+	if total != n {
+		t.Errorf("stored %d keys, shards hold %d", n, total)
+	}
+}
+
+// TestConcurrentAccess hammers the map from many goroutines; run under
+// -race this pins the striping's synchronization.
+func TestConcurrentAccess(t *testing.T) {
+	m := New[int, int](intHash)
+	const (
+		workers = 16
+		keys    = 512
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := (w*keys + i) % keys // overlapping key sets across workers
+				if v, ok := m.Lookup(k); ok && v != k*k {
+					t.Errorf("Lookup(%d) = %d, want %d", k, v, k*k)
+					return
+				}
+				m.Store(k, k*k)
+				if v, ok := m.Lookup(k); !ok || v != k*k {
+					t.Errorf("read-after-write Lookup(%d) = %d, %v", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := m.Stats()
+	if hits+misses != 2*workers*keys {
+		t.Errorf("counter total %d, want %d", hits+misses, 2*workers*keys)
+	}
+	for i := 0; i < keys; i++ {
+		if v, ok := m.Lookup(i); !ok || v != i*i {
+			t.Fatalf("final Lookup(%d) = %d, %v", i, v, ok)
+		}
+	}
+}

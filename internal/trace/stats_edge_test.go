@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Edge-case coverage for the quantile estimator and histogram: degenerate
+// populations and a cross-check against an independent reference.
+
+func TestQuantilesEmptySeries(t *testing.T) {
+	got := Quantiles(nil, 0, 0.5, 0.99, 1)
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("empty series quantile %d = %g, want 0", i, v)
+		}
+	}
+	if got := Quantiles([]float64{}, 0.5); got[0] != 0 {
+		t.Errorf("zero-length series quantile = %g, want 0", got[0])
+	}
+}
+
+func TestQuantilesSingleSample(t *testing.T) {
+	// Every quantile of a one-sample population is that sample.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := Quantiles([]float64{3.25}, q)[0]; got != 3.25 {
+			t.Errorf("single-sample q=%g = %g, want 3.25", q, got)
+		}
+	}
+}
+
+func TestQuantilesAllEqual(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 7.5
+	}
+	// Interpolation between equal order statistics must return the value
+	// exactly — no floating-point drift from the frac arithmetic.
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := Quantiles(vals, q)[0]; got != 7.5 {
+			t.Errorf("all-equal q=%g = %g, want exactly 7.5", q, got)
+		}
+	}
+}
+
+func TestQuantileOutOfRangeQ(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if got := Quantile(sorted, -0.5); got != 1 {
+		t.Errorf("q<0 = %g, want min", got)
+	}
+	if got := Quantile(sorted, 1.5); got != 3 {
+		t.Errorf("q>1 = %g, want max", got)
+	}
+}
+
+// naiveQuantile is an independent type-7 reference implementation.
+func naiveQuantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	h := q * float64(len(s)-1)
+	lo := int(h)
+	frac := h - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// TestQuantilesAgainstNaiveReference cross-checks Quantiles over random
+// populations of many sizes against the independently written estimator.
+func TestQuantilesAgainstNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+	for _, n := range []int{1, 2, 3, 7, 100, 1023} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.ExpFloat64() * 10
+		}
+		got := Quantiles(vals, qs...)
+		for i, q := range qs {
+			want := naiveQuantile(vals, q)
+			if math.Abs(got[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("n=%d q=%g: got %g, reference %g", n, q, got[i], want)
+			}
+		}
+	}
+}
+
+func TestQuantilesMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	qs := []float64{0, 0.1, 0.5, 0.9, 0.99, 1}
+	got := Quantiles(vals, qs...)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("quantiles not monotone: q=%g -> %g but q=%g -> %g",
+				qs[i-1], got[i-1], qs[i], got[i])
+		}
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h, err := NewHistogram(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0)
+	h.Add(0.5)
+	h.Add(math.Nextafter(1, 0)) // largest value still inside [0, 1)
+	h.Add(1)                    // exactly Hi -> Over
+	if h.Counts[0] != 3 || h.Over != 1 || h.Under != 0 {
+		t.Errorf("single bucket: counts=%v under=%d over=%d", h.Counts, h.Under, h.Over)
+	}
+	lo, hi := h.BucketBounds(0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("bucket bounds [%g, %g), want [0, 1)", lo, hi)
+	}
+}
+
+func TestHistogramAllEqualSamples(t *testing.T) {
+	h, err := NewHistogram(0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Add(2.5) // exactly on the bucket 0/1 boundary -> bucket 1
+	}
+	if h.Counts[1] != 1000 {
+		t.Errorf("boundary value scattered: %v", h.Counts)
+	}
+	if h.Total() != 1000 {
+		t.Errorf("total %d, want 1000", h.Total())
+	}
+}
+
+func TestHistogramNegativeRange(t *testing.T) {
+	h, err := NewHistogram(-10, -2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-10) // first bucket
+	h.Add(-3)  // last bucket
+	h.Add(-11) // under
+	h.Add(-2)  // over (Hi is exclusive)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Under != 1 || h.Over != 1 {
+		t.Errorf("negative-range buckets wrong: counts=%v under=%d over=%d",
+			h.Counts, h.Under, h.Over)
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != -4 || hi != -2 {
+		t.Errorf("last bucket [%g, %g), want [-4, -2)", lo, hi)
+	}
+}
+
+func TestHistogramEmptyTotalAndRender(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 0 {
+		t.Errorf("empty total %d", h.Total())
+	}
+	// Rendering an empty histogram must not divide by the zero peak.
+	var sink nullWriter
+	if err := h.Render(&sink); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiArrivalValidation(t *testing.T) {
+	if _, err := NewMultiArrival(nil, 1); err == nil {
+		t.Error("empty class list accepted")
+	}
+	if _, err := NewMultiArrival([]float64{10, 0}, 1); err == nil {
+		t.Error("zero-rate class accepted")
+	}
+	if _, err := NewMultiArrival([]float64{10, -5}, 1); err == nil {
+		t.Error("negative-rate class accepted")
+	}
+}
+
+// TestMultiArrivalOrderedAndDeterministic pins the merge contract: the
+// stream is non-decreasing in time and a pure function of (rates, seed).
+func TestMultiArrivalOrderedAndDeterministic(t *testing.T) {
+	rates := []float64{100, 30, 5}
+	a, err := NewMultiArrival(rates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMultiArrival(rates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	for i := 0; i < 10000; i++ {
+		ta, ca := a.Next()
+		tb, cb := b.Next()
+		if ta != tb || ca != cb {
+			t.Fatalf("draw %d diverged: (%g, %d) vs (%g, %d)", i, ta, ca, tb, cb)
+		}
+		if ta < last {
+			t.Fatalf("draw %d went backwards: %g after %g", i, ta, last)
+		}
+		last = ta
+	}
+}
+
+// TestMultiArrivalPerClassRates checks each class realizes its own rate:
+// the merge must not starve or double-count any population.
+func TestMultiArrivalPerClassRates(t *testing.T) {
+	rates := []float64{200, 50}
+	m, err := NewMultiArrival(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 100.0
+	counts := make([]int, len(rates))
+	for {
+		at, class := m.Next()
+		if at > horizon {
+			break
+		}
+		counts[class]++
+	}
+	for i, r := range rates {
+		want := r * horizon
+		got := float64(counts[i])
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("class %d realized %g arrivals over %gs, want ~%g",
+				i, got, horizon, want)
+		}
+	}
+}
+
+// TestMultiArrivalClassStreamsIndependent pins seed isolation: class 0's
+// stream is identical whether or not other classes exist alongside it.
+func TestMultiArrivalClassStreamsIndependent(t *testing.T) {
+	solo, err := NewMultiArrival([]float64{50}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := NewMultiArrival([]float64{50, 500}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var soloTimes, duoTimes []float64
+	for len(soloTimes) < 200 {
+		at, _ := solo.Next()
+		soloTimes = append(soloTimes, at)
+	}
+	for len(duoTimes) < 200 {
+		at, class := duo.Next()
+		if class == 0 {
+			duoTimes = append(duoTimes, at)
+		}
+	}
+	for i := range soloTimes {
+		if soloTimes[i] != duoTimes[i] {
+			t.Fatalf("class 0 arrival %d moved when class 1 was added: %g vs %g",
+				i, soloTimes[i], duoTimes[i])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package localut
+
+import "testing"
+
+// Table-driven error-path coverage for the public name parsers: every
+// accepted spelling, every rejected near-miss, and the empty string.
+
+func TestParseDesignTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Design
+		ok   bool
+	}{
+		{"NaivePIM", DesignNaive, true},
+		{"naivepim", DesignNaive, true},
+		{"LTC", DesignLTC, true},
+		{"ltc", DesignLTC, true},
+		{"OP", DesignOP, true},
+		{"OP+LC", DesignOPLC, true},
+		{"op+lc", DesignOPLC, true},
+		{"OP+LC+RC", DesignOPLCRC, true},
+		{"LoCaLUT", DesignLoCaLUT, true},
+		{"LOCALUT", DesignLoCaLUT, true},
+		{"localut", DesignLoCaLUT, true},
+
+		{"", 0, false},
+		{" LoCaLUT", 0, false}, // no whitespace trimming
+		{"LoCaLUT ", 0, false},
+		{"OPLC", 0, false}, // the '+' spelling is canonical
+		{"OP+LC+RC+SS", 0, false},
+		{"Naive", 0, false},
+		{"gpu", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDesign(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseDesign(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseDesign(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+func TestParseModelTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Model
+		ok   bool
+	}{
+		{"BERT-base", BERTBase, true},
+		{"bert-base", BERTBase, true},
+		{"OPT-125M", OPT125M, true},
+		{"opt-125m", OPT125M, true},
+		{"ViT-Base", ViTBase, true},
+		{"vit-base", ViTBase, true},
+
+		{"", 0, false},
+		{"bert", 0, false},
+		{"bert_base", 0, false},
+		{"opt125m", 0, false},
+		{" bert-base", 0, false},
+		{"gpt-5", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseModel(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseModel(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+func TestParseSchedulerPolicyTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedulerPolicy
+		ok   bool
+	}{
+		{"fcfs", ScheduleFCFS, true},
+		{"FCFS", ScheduleFCFS, true},
+		{"packed", SchedulePacked, true},
+		{"Packed", SchedulePacked, true},
+
+		{"", 0, false},
+		{"fifo", 0, false},
+		{"lifo", 0, false},
+		{"packed ", 0, false},
+		{"pack", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedulerPolicy(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseSchedulerPolicy(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseSchedulerPolicy(%q) accepted, want error", c.in)
+		}
+	}
+}
+
+// TestParseRoundTrips pins String <-> Parse consistency for every listed
+// value of each enum, so new entries cannot drift apart.
+func TestParseRoundTrips(t *testing.T) {
+	for _, d := range Designs {
+		if got, err := ParseDesign(d.String()); err != nil || got != d {
+			t.Errorf("design %v round-trip: %v, %v", d, got, err)
+		}
+	}
+	for _, m := range []Model{BERTBase, OPT125M, ViTBase} {
+		if got, err := ParseModel(m.String()); err != nil || got != m {
+			t.Errorf("model %v round-trip: %v, %v", m, got, err)
+		}
+	}
+	for _, p := range []SchedulerPolicy{ScheduleFCFS, SchedulePacked} {
+		if got, err := ParseSchedulerPolicy(p.String()); err != nil || got != p {
+			t.Errorf("scheduler %v round-trip: %v, %v", p, got, err)
+		}
+	}
+	for _, r := range []RouterPolicy{RouteRoundRobin, RouteLeastOutstanding, RouteWeightedFreeKV, RouteShapeAffinity} {
+		if got, err := ParseRouterPolicy(r.String()); err != nil || got != r {
+			t.Errorf("router %v round-trip: %v, %v", r, got, err)
+		}
+	}
+	for _, a := range []AdmissionPolicy{AdmitAll, AdmitTokenBucket} {
+		if got, err := ParseAdmissionPolicy(a.String()); err != nil || got != a {
+			t.Errorf("admission %v round-trip: %v, %v", a, got, err)
+		}
+	}
+}
