@@ -55,6 +55,75 @@ func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
 	return AdmissionPolicy(p), err
 }
 
+// KVPolicy selects how each appliance treats its per-replica KV-cache
+// capacity: as a passive gauge (reported, never enforced), as a stall
+// budget (prefill admission waits until decode retirements free KV), or
+// as a shed budget (requests that don't fit are dropped with accounting).
+type KVPolicy int
+
+const (
+	// KVGauge reports KV peak/capacity but never enforces the budget.
+	KVGauge KVPolicy = iota
+	// KVStall enforces the budget by stalling prefill admission.
+	KVStall
+	// KVShed enforces the budget by shedding what does not fit.
+	KVShed
+)
+
+// String names the policy ("gauge", "stall", "shed").
+func (p KVPolicy) String() string { return serve.KVPolicy(p).String() }
+
+// ParseKVPolicy parses a KV-policy name, case-insensitively.
+func ParseKVPolicy(s string) (KVPolicy, error) {
+	p, err := serve.ParseKVPolicy(strings.ToLower(s))
+	return KVPolicy(p), err
+}
+
+// ClusterFaults is the deterministic fault plan: every instance draws
+// exponential fail-stop times (mean MTTFSeconds) from its own seeded
+// stream. A crashed appliance leaves the router, its queued requests
+// reroute, and its in-flight batches and live decode state are lost —
+// retried work pays full re-prefill, and the appliance pays an
+// exponential repair delay (mean MTTRSeconds) plus a modeled LUT
+// re-materialization latency before returning to service. With
+// probability DegradedFraction a fault instead degrades one replica
+// (rank group) and the instance keeps serving at reduced capacity.
+type ClusterFaults struct {
+	Enabled bool
+	// MTTFSeconds is the per-instance mean time to failure (required
+	// when enabled).
+	MTTFSeconds float64
+	// MTTRSeconds is the mean repair delay (default 5).
+	MTTRSeconds float64
+	// DegradedFraction is the probability a fault is a single-replica
+	// loss instead of a crash (default 0).
+	DegradedFraction float64
+	// LUTRematGBps is the assumed DRAM write bandwidth for re-materializing
+	// the appliance's LUT budget on recovery (default 16).
+	LUTRematGBps float64
+}
+
+// ClusterRetry governs re-service of work lost to faults: capped
+// exponential backoff with a bounded number of attempts.
+type ClusterRetry struct {
+	// MaxAttempts bounds total service attempts per request (default 3).
+	MaxAttempts int
+	// BackoffSeconds is the first retry delay (default 0.05); attempt k
+	// waits BackoffSeconds * 2^(k-1), capped at BackoffCapSeconds.
+	BackoffSeconds float64
+	// BackoffCapSeconds caps the backoff (default 1).
+	BackoffCapSeconds float64
+}
+
+// ClusterDeadlines gives requests completion deadlines so the report can
+// separate goodput (deadline-met completions per second) from raw
+// throughput. Work that cannot finish in time is shed with accounting.
+type ClusterDeadlines struct {
+	// DefaultSeconds applies to every class that does not set its own
+	// DeadlineSeconds (0 = no deadline).
+	DefaultSeconds float64
+}
+
 // ClusterClass is one SLO class of cluster traffic: an independent
 // open-loop Poisson population with its own rate, length distributions,
 // admission budget and latency objectives. Zero length/decode fields
@@ -80,6 +149,10 @@ type ClusterClass struct {
 	TTFTp99SLO    float64
 	LatencyP99SLO float64
 	TPOTp99SLO    float64
+
+	// DeadlineSeconds is this class's completion deadline (0 inherits
+	// Deadlines.DefaultSeconds).
+	DeadlineSeconds float64
 }
 
 // ClusterAutoscaler parameterizes the reactive autoscaler: every
@@ -138,7 +211,17 @@ type ClusterConfig struct {
 	OutTokensMean float64
 	OutTokensMax  int
 
+	// MaxQueue bounds each appliance's admission queue (0 = unbounded);
+	// arrivals that find every routable queue full are shed.
+	MaxQueue int
+	// KVPolicy turns the per-replica KV gauge into an enforced budget.
+	KVPolicy KVPolicy
+
 	Autoscaler ClusterAutoscaler
+
+	Faults    ClusterFaults
+	Deadlines ClusterDeadlines
+	Retry     ClusterRetry
 }
 
 // ClusterInstanceReport summarizes one fleet member.
@@ -154,8 +237,13 @@ type ClusterInstanceReport struct {
 
 	Requests    int `json:"requests"`
 	Completed   int `json:"completed"`
+	Shed        int `json:"shed,omitempty"`
 	Batches     int `json:"batches"`
 	DecodeSteps int `json:"decode_steps"`
+
+	Crashes            int     `json:"crashes,omitempty"`
+	Degraded           int     `json:"degraded,omitempty"`
+	UnavailableSeconds float64 `json:"unavailable_s,omitempty"`
 
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	Utilization   float64 `json:"utilization"`
@@ -180,6 +268,14 @@ type ClusterClassReport struct {
 	Rejected  int `json:"rejected"`
 	Completed int `json:"completed"`
 
+	Good             int     `json:"good"`
+	GoodputPerSec    float64 `json:"goodput_per_s"`
+	DeadlineMisses   int     `json:"deadline_misses"`
+	Shed             int     `json:"shed"`
+	Retries          int     `json:"retries"`
+	DeadlineSeconds  float64 `json:"deadline_s,omitempty"`
+	DeadlineMissRate float64 `json:"deadline_miss_rate"`
+
 	Latency LatencyStats `json:"latency"`
 	TTFT    LatencyStats `json:"ttft"`
 	TPOT    LatencyStats `json:"tpot"`
@@ -188,6 +284,22 @@ type ClusterClassReport struct {
 	LatencyP99SLO float64 `json:"latency_p99_slo_s,omitempty"`
 	TPOTp99SLO    float64 `json:"tpot_p99_slo_s,omitempty"`
 	SLOMet        bool    `json:"slo_met"`
+}
+
+// ClusterFaultEvent is one fault-injection timeline entry.
+type ClusterFaultEvent struct {
+	Seconds float64 `json:"t_s"`
+	// Action is "crash", "repair", "degrade" (one replica lost) or
+	// "replica-repair".
+	Action   string `json:"action"`
+	Instance int    `json:"instance"`
+	// Replica is the replica index a degrade/replica-repair touched.
+	Replica int `json:"replica,omitempty"`
+	// Active counts routable instances after the event.
+	Active int `json:"active"`
+	// RecoverSeconds is the crash-to-repair outage a "repair" closed,
+	// including the LUT re-materialization surcharge.
+	RecoverSeconds float64 `json:"recover_s,omitempty"`
 }
 
 // ClusterScaleEvent is one autoscaler timeline entry.
@@ -226,6 +338,26 @@ type ClusterReport struct {
 	ThroughputPerSec float64 `json:"throughput_per_s"`
 	TokensPerSec     float64 `json:"tokens_per_s"`
 
+	// Reliability rows: goodput counts deadline-met completions only, and
+	// shed work decomposes by cause. After the drain admitted ==
+	// completed + shed.
+	Good            int     `json:"good"`
+	GoodputPerSec   float64 `json:"goodput_per_s"`
+	DeadlineMisses  int     `json:"deadline_misses"`
+	Retries         int     `json:"retries"`
+	ReprefillTokens int64   `json:"reprefill_tokens"`
+	Shed            int     `json:"shed"`
+	ShedExpired     int     `json:"shed_expired"`
+	ShedKV          int     `json:"shed_kv"`
+	ShedQueueFull   int     `json:"shed_queue_full"`
+	ShedRetries     int     `json:"shed_retries"`
+
+	Crashes            int          `json:"crashes"`
+	DegradedEvents     int          `json:"degraded_events"`
+	UnavailableSeconds float64      `json:"unavailable_s"`
+	TimeToRecover      LatencyStats `json:"time_to_recover"`
+	LUTRematSeconds    float64      `json:"lut_remat_s"`
+
 	Queue   LatencyStats `json:"queue"`
 	Service LatencyStats `json:"service"`
 	Latency LatencyStats `json:"latency"`
@@ -247,6 +379,7 @@ type ClusterReport struct {
 	Instances []ClusterInstanceReport `json:"instances"`
 	Classes   []ClusterClassReport    `json:"classes"`
 	Scaling   []ClusterScaleEvent     `json:"scaling,omitempty"`
+	Faults    []ClusterFaultEvent     `json:"faults,omitempty"`
 }
 
 // ServeCluster runs a cluster-scale serving simulation: a routed,
@@ -281,6 +414,9 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			OutTokens:     cfg.OutTokens,
 			OutTokensMean: cfg.OutTokensMean,
 			OutTokensMax:  cfg.OutTokensMax,
+
+			MaxQueue: cfg.MaxQueue,
+			KVPolicy: serve.KVPolicy(cfg.KVPolicy),
 		},
 		Instances: cfg.Instances,
 		Router:    cluster.RouterPolicy(cfg.Router),
@@ -300,6 +436,20 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			WarmupSeconds:   cfg.Autoscaler.WarmupSeconds,
 			DrainSeconds:    cfg.Autoscaler.DrainSeconds,
 		},
+
+		Faults: cluster.FaultConfig{
+			Enabled:          cfg.Faults.Enabled,
+			MTTFSeconds:      cfg.Faults.MTTFSeconds,
+			MTTRSeconds:      cfg.Faults.MTTRSeconds,
+			DegradedFraction: cfg.Faults.DegradedFraction,
+			LUTRematGBps:     cfg.Faults.LUTRematGBps,
+		},
+		Retry: cluster.RetryConfig{
+			MaxAttempts:       cfg.Retry.MaxAttempts,
+			BackoffSeconds:    cfg.Retry.BackoffSeconds,
+			BackoffCapSeconds: cfg.Retry.BackoffCapSeconds,
+		},
+		DeadlineSeconds: cfg.Deadlines.DefaultSeconds,
 	}
 	for _, d := range cfg.Designs {
 		ccfg.Designs = append(ccfg.Designs, d.variant())
@@ -319,6 +469,7 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			TTFTp99SLO:      c.TTFTp99SLO,
 			LatencyP99SLO:   c.LatencyP99SLO,
 			TPOTp99SLO:      c.TPOTp99SLO,
+			DeadlineSeconds: c.DeadlineSeconds,
 		})
 	}
 	rep, err := cluster.Run(ccfg)
@@ -355,6 +506,23 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 		ThroughputPerSec: r.ThroughputPerSec,
 		TokensPerSec:     r.TokensPerSec,
 
+		Good:            r.Good,
+		GoodputPerSec:   r.GoodputPerSec,
+		DeadlineMisses:  r.DeadlineMisses,
+		Retries:         r.Retries,
+		ReprefillTokens: r.ReprefillTokens,
+		Shed:            r.Shed,
+		ShedExpired:     r.ShedExpired,
+		ShedKV:          r.ShedKV,
+		ShedQueueFull:   r.ShedQueueFull,
+		ShedRetries:     r.ShedRetries,
+
+		Crashes:            r.Crashes,
+		DegradedEvents:     r.DegradedEvents,
+		UnavailableSeconds: r.UnavailableSeconds,
+		TimeToRecover:      stats(r.TimeToRecover),
+		LUTRematSeconds:    r.LUTRematSeconds,
+
 		Queue:   stats(r.Queue),
 		Service: stats(r.Service),
 		Latency: stats(r.Latency),
@@ -375,36 +543,49 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 	}
 	for _, ir := range r.Instances {
 		out.Instances = append(out.Instances, ClusterInstanceReport{
-			ID:              ir.ID,
-			Design:          ir.Design,
-			Replicas:        ir.Replicas,
-			UpSeconds:       ir.UpAt,
-			ActiveSeconds:   ir.ActiveAt,
-			DrainSeconds:    ir.DrainAt,
-			DownSeconds:     ir.DownAt,
-			Requests:        ir.Requests,
-			Completed:       ir.Completed,
-			Batches:         ir.Batches,
-			DecodeSteps:     ir.DecodeSteps,
-			MeanBatchSize:   ir.MeanBatchSize,
-			Utilization:     ir.Utilization,
-			PIMShare:        ir.PIMShare,
-			TokensIn:        ir.TokensIn,
-			TokensPadded:    ir.TokensPadded,
-			TokensOut:       ir.TokensOut,
-			EnergyJ:         ir.EnergyJ,
-			KVPeakBytes:     ir.KVPeakBytes,
-			KVCapacityBytes: ir.KVCapacityBytes,
+			ID:                 ir.ID,
+			Design:             ir.Design,
+			Replicas:           ir.Replicas,
+			UpSeconds:          ir.UpAt,
+			ActiveSeconds:      ir.ActiveAt,
+			DrainSeconds:       ir.DrainAt,
+			DownSeconds:        ir.DownAt,
+			Requests:           ir.Requests,
+			Completed:          ir.Completed,
+			Shed:               ir.Shed,
+			Crashes:            ir.Crashes,
+			Degraded:           ir.Degraded,
+			UnavailableSeconds: ir.UnavailableSeconds,
+			Batches:            ir.Batches,
+			DecodeSteps:        ir.DecodeSteps,
+			MeanBatchSize:      ir.MeanBatchSize,
+			Utilization:        ir.Utilization,
+			PIMShare:           ir.PIMShare,
+			TokensIn:           ir.TokensIn,
+			TokensPadded:       ir.TokensPadded,
+			TokensOut:          ir.TokensOut,
+			EnergyJ:            ir.EnergyJ,
+			KVPeakBytes:        ir.KVPeakBytes,
+			KVCapacityBytes:    ir.KVCapacityBytes,
 		})
 	}
 	for _, cr := range r.Classes {
 		out.Classes = append(out.Classes, ClusterClassReport{
-			Name:          cr.Name,
-			RatePerSec:    cr.RatePerSec,
-			Offered:       cr.Offered,
-			Admitted:      cr.Admitted,
-			Rejected:      cr.Rejected,
-			Completed:     cr.Completed,
+			Name:       cr.Name,
+			RatePerSec: cr.RatePerSec,
+			Offered:    cr.Offered,
+			Admitted:   cr.Admitted,
+			Rejected:   cr.Rejected,
+			Completed:  cr.Completed,
+
+			Good:             cr.Good,
+			GoodputPerSec:    cr.GoodputPerSec,
+			DeadlineMisses:   cr.DeadlineMisses,
+			Shed:             cr.Shed,
+			Retries:          cr.Retries,
+			DeadlineSeconds:  cr.DeadlineSeconds,
+			DeadlineMissRate: cr.DeadlineMissRate,
+
 			Latency:       stats(cr.Latency),
 			TTFT:          stats(cr.TTFT),
 			TPOT:          stats(cr.TPOT),
@@ -418,6 +599,12 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 		out.Scaling = append(out.Scaling, ClusterScaleEvent{
 			Seconds: ev.T, Action: ev.Action, Instance: ev.Instance,
 			Active: ev.Active, P99: ev.P99, Samples: ev.Samples,
+		})
+	}
+	for _, ev := range r.Faults {
+		out.Faults = append(out.Faults, ClusterFaultEvent{
+			Seconds: ev.T, Action: ev.Action, Instance: ev.Instance,
+			Replica: ev.Replica, Active: ev.Active, RecoverSeconds: ev.RecoverSeconds,
 		})
 	}
 	return out

@@ -71,14 +71,25 @@ func main() {
 	interval := flag.Duration("interval", 0, "autoscaler control period (0 = 5s)")
 	warmup := flag.Duration("warmup", 0, "launched-instance warm-up delay (0 = 2s)")
 	drain := flag.Duration("drain", 0, "retirement delay after an instance empties (0 = 1s)")
+	mttf := flag.Float64("mttf", 0, "per-instance mean time to failure in seconds (0 = no fault injection)")
+	mttr := flag.Float64("mttr", 0, "mean repair delay in seconds (0 = 5)")
+	degraded := flag.Float64("degraded", 0, "fraction of faults that degrade one replica instead of crashing")
+	rematGBps := flag.Float64("remat-gbps", 0, "LUT re-materialization write bandwidth in GB/s (0 = 16)")
+	deadline := flag.Float64("deadline", 0, "default per-request completion deadline in seconds (0 = none)")
+	retries := flag.Int("retries", 0, "max service attempts per request (0 = 3)")
+	retryBackoff := flag.Float64("retry-backoff", 0, "first retry backoff in seconds (0 = 0.05)")
+	maxQueue := flag.Int("max-queue", 0, "per-instance admission queue bound (0 = unbounded)")
+	kvPolicy := flag.String("kv", "gauge", "KV budget policy: gauge, stall or shed")
 	par := flag.Int("j", 0, "host worker-pool size (0 = NumCPU); results are identical at any -j")
 	sweepFlag := flag.String("sweep", "", "comma-separated arrival rates for a fleet-scaling sweep")
 	fleetsFlag := flag.String("fleets", "", "comma-separated fleet sizes for -sweep (default: -instances)")
+	mttfSweep := flag.String("mttf-sweep", "", "comma-separated MTTF values (seconds; 0 = fault-free baseline) for a reliability sweep")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	timeline := flag.Bool("timeline", false, "print the autoscaler timeline (table output only)")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	benchJSON := flag.String("bench-json", "", "run the cluster self-benchmark and write JSON to this path")
+	benchFaultsJSON := flag.String("bench-faults-json", "", "run the faulted-fleet self-benchmark and write JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
 	flag.Parse()
@@ -102,6 +113,25 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchFaultsJSON != "" {
+		if err := runBenchFaultsJSON(*benchFaultsJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *mttfSweep != "" {
+		err := runMTTFSweep(w, *mttfSweep, *model, *fmtName, *design, *designsFlag,
+			*instances, *replicas, *ranks, *routerName, *admissionName,
+			*rate, *duration, *seed, *maxBatch, *sched, *quantum,
+			*minTok, *maxTok, *meanTok, *outTok, *outTokMean, *outTokMax,
+			*mttr, *degraded, *rematGBps, *deadline, *retries, *retryBackoff,
+			*maxQueue, *kvPolicy, *csvOut)
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -139,6 +169,10 @@ func main() {
 		fatal(err)
 	}
 	adm, err := localut.ParseAdmissionPolicy(*admissionName)
+	if err != nil {
+		fatal(err)
+	}
+	kv, err := localut.ParseKVPolicy(*kvPolicy)
 	if err != nil {
 		fatal(err)
 	}
@@ -182,6 +216,20 @@ func main() {
 		OutTokens:       *outTok,
 		OutTokensMean:   *outTokMean,
 		OutTokensMax:    *outTokMax,
+		MaxQueue:        *maxQueue,
+		KVPolicy:        kv,
+		Faults: localut.ClusterFaults{
+			Enabled:          *mttf > 0,
+			MTTFSeconds:      *mttf,
+			MTTRSeconds:      *mttr,
+			DegradedFraction: *degraded,
+			LUTRematGBps:     *rematGBps,
+		},
+		Deadlines: localut.ClusterDeadlines{DefaultSeconds: *deadline},
+		Retry: localut.ClusterRetry{
+			MaxAttempts:    *retries,
+			BackoffSeconds: *retryBackoff,
+		},
 		Autoscaler: localut.ClusterAutoscaler{
 			Enabled:         *autoscale,
 			MinInstances:    *minInst,
@@ -226,6 +274,11 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *timeline && len(rep.Faults) > 0 {
+			if err := faultTable(rep).Render(w); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "simulated %d requests over %d instances (peak %d, %d distinct forward sims) in %.2fs host wall-clock\n",
 		rep.Admitted, len(rep.Instances), rep.InstancesPeak, rep.DistinctForwardSims, wall)
@@ -245,6 +298,21 @@ func summaryTable(r *localut.ClusterReport) *trace.Table {
 		r.InstancesInitial, r.InstancesPeak, r.InstancesFinal))
 	t.Add("offered (req/s)", r.OfferedPerSec)
 	t.Add("throughput (req/s)", r.ThroughputPerSec)
+	t.Add("goodput (req/s)", r.GoodputPerSec)
+	t.Add("good / late / shed", fmt.Sprintf("%d / %d / %d", r.Good, r.DeadlineMisses, r.Shed))
+	if r.Shed > 0 {
+		t.Add("shed expired/kv/queue/retries", fmt.Sprintf("%d / %d / %d / %d",
+			r.ShedExpired, r.ShedKV, r.ShedQueueFull, r.ShedRetries))
+	}
+	t.Add("retries", r.Retries)
+	t.Add("reprefill tokens", r.ReprefillTokens)
+	if r.Crashes > 0 || r.DegradedEvents > 0 {
+		t.Add("crashes / degraded", fmt.Sprintf("%d / %d", r.Crashes, r.DegradedEvents))
+		t.Add("unavailable (s)", r.UnavailableSeconds)
+		t.Add("time-to-recover p50/p99 (s)", fmt.Sprintf("%.4g / %.4g",
+			r.TimeToRecover.P50, r.TimeToRecover.P99))
+		t.Add("lut remat per recovery (s)", r.LUTRematSeconds)
+	}
 	t.Add("tokens/s", r.TokensPerSec)
 	t.Add("arrival window (s)", r.DurationSeconds)
 	t.Add("makespan (s)", r.MakespanSeconds)
@@ -265,10 +333,12 @@ func summaryTable(r *localut.ClusterReport) *trace.Table {
 // instanceTable lists the per-instance breakdown.
 func instanceTable(r *localut.ClusterReport) *trace.Table {
 	t := trace.NewTable("Per-instance breakdown",
-		"instance", "design", "requests", "completed", "batches", "batch size",
+		"instance", "design", "requests", "completed", "shed", "crashes",
+		"unavail (s)", "batches", "batch size",
 		"util", "pim share", "tokens out", "energy (J)", "up (s)", "down (s)")
 	for _, ir := range r.Instances {
-		t.Add(ir.ID, ir.Design, ir.Requests, ir.Completed, ir.Batches,
+		t.Add(ir.ID, ir.Design, ir.Requests, ir.Completed, ir.Shed, ir.Crashes,
+			ir.UnavailableSeconds, ir.Batches,
 			ir.MeanBatchSize, ir.Utilization, ir.PIMShare, ir.TokensOut,
 			ir.EnergyJ, ir.UpSeconds, ir.DownSeconds)
 	}
@@ -279,10 +349,12 @@ func instanceTable(r *localut.ClusterReport) *trace.Table {
 func classTable(r *localut.ClusterReport) *trace.Table {
 	t := trace.NewTable("Per-class breakdown",
 		"class", "rate/s", "offered", "admitted", "rejected", "completed",
+		"good", "shed", "retries", "miss rate",
 		"p99 (s)", "ttft p99 (s)", "tpot p99 (s)", "slo met")
 	for _, cr := range r.Classes {
 		t.Add(cr.Name, cr.RatePerSec, cr.Offered, cr.Admitted, cr.Rejected,
-			cr.Completed, cr.Latency.P99, cr.TTFT.P99, cr.TPOT.P99, cr.SLOMet)
+			cr.Completed, cr.Good, cr.Shed, cr.Retries, cr.DeadlineMissRate,
+			cr.Latency.P99, cr.TTFT.P99, cr.TPOT.P99, cr.SLOMet)
 	}
 	return t
 }
@@ -293,6 +365,16 @@ func timelineTable(r *localut.ClusterReport) *trace.Table {
 		"t (s)", "action", "instance", "active", "p99 (s)", "samples")
 	for _, ev := range r.Scaling {
 		t.Add(ev.Seconds, ev.Action, ev.Instance, ev.Active, ev.P99, ev.Samples)
+	}
+	return t
+}
+
+// faultTable lists the fault-injection timeline.
+func faultTable(r *localut.ClusterReport) *trace.Table {
+	t := trace.NewTable("Fault timeline",
+		"t (s)", "action", "instance", "replica", "active", "recover (s)")
+	for _, ev := range r.Faults {
+		t.Add(ev.Seconds, ev.Action, ev.Instance, ev.Replica, ev.Active, ev.RecoverSeconds)
 	}
 	return t
 }
@@ -418,6 +500,121 @@ func runSweep(w io.Writer, rates, fleets, model, fmtName, design string,
 	return nil
 }
 
+// runMTTFSweep drives the experiments reliability driver: goodput and
+// recovery tax per (design, MTTF), with MTTF 0 as the fault-free
+// baseline each design is normalized against.
+func runMTTFSweep(w io.Writer, mttfs, model, fmtName, design, designsList string,
+	instances, replicas, ranks int, routerName, admissionName string,
+	rate float64, duration time.Duration, seed int64, maxBatch int, sched string,
+	quantum, minTok, maxTok int, meanTok float64, outTok int,
+	outTokMean float64, outTokMax int,
+	mttr, degraded, rematGBps, deadline float64, retries int, retryBackoff float64,
+	maxQueue int, kvName string, csvOut bool) error {
+
+	var mttfVals []float64
+	for _, p := range strings.Split(mttfs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad -mttf-sweep value %q (want non-negative seconds, 0 = fault-free)", p)
+		}
+		mttfVals = append(mttfVals, v)
+	}
+	designNames := []string{design}
+	if designsList != "" {
+		designNames = strings.Split(designsList, ",")
+	}
+	var designs []kernels.Variant
+	for _, name := range designNames {
+		v, err := variantByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		designs = append(designs, v)
+	}
+	mc, err := modelConfig(model)
+	if err != nil {
+		return err
+	}
+	f, err := quant.ParseFormat(fmtName)
+	if err != nil {
+		return err
+	}
+	pol, err := serve.ParsePolicy(strings.ToLower(sched))
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.ParseRouterPolicy(strings.ToLower(routerName))
+	if err != nil {
+		return err
+	}
+	adm, err := cluster.ParseAdmissionPolicy(strings.ToLower(admissionName))
+	if err != nil {
+		return err
+	}
+	kv, err := serve.ParseKVPolicy(strings.ToLower(kvName))
+	if err != nil {
+		return err
+	}
+
+	base := cluster.Config{
+		Base: serve.Config{
+			Model: mc, Fmt: f,
+			Replicas:      replicas,
+			MaxBatch:      maxBatch,
+			Scheduler:     pol,
+			MinTokens:     minTok,
+			MaxTokens:     maxTok,
+			MeanTokens:    meanTok,
+			TokenQuantum:  quantum,
+			OutTokens:     outTok,
+			OutTokensMean: outTokMean,
+			OutTokensMax:  outTokMax,
+			MaxQueue:      maxQueue,
+			KVPolicy:      kv,
+		},
+		Instances:       instances,
+		Router:          rt,
+		Admission:       adm,
+		RatePerSec:      rate,
+		DurationSeconds: duration.Seconds(),
+		Seed:            seed,
+		DeadlineSeconds: deadline,
+		Faults: cluster.FaultConfig{
+			MTTRSeconds:      mttr,
+			DegradedFraction: degraded,
+			LUTRematGBps:     rematGBps,
+		},
+		Retry: cluster.RetryConfig{
+			MaxAttempts:    retries,
+			BackoffSeconds: retryBackoff,
+		},
+	}
+	if ranks > 0 {
+		eng := gemm.NewEngine()
+		eng.Cfg.Ranks = ranks
+		base.Base.Engine = eng
+	}
+
+	start := time.Now()
+	points, err := experiments.ReliabilityCurve(base, designs, mttfVals)
+	if err != nil {
+		return err
+	}
+	table := experiments.ReliabilityTable(
+		fmt.Sprintf("Reliability: %s %s, %d instances at %g req/s, %s window",
+			mc.Name, f.Name(), instances, rate, duration), points)
+	if csvOut {
+		if err := table.CSV(w); err != nil {
+			return err
+		}
+	} else if err := table.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d reliability points in %.2fs host wall-clock\n",
+		len(points), time.Since(start).Seconds())
+	return nil
+}
+
 // benchScenario is one timed cluster self-benchmark workload.
 type benchScenario struct {
 	Model            string  `json:"model"`
@@ -503,6 +700,72 @@ func runBenchJSON(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (fleet: %d requests in %.2fs, %.0f req/s; autoscaled peak %d)\n",
 		path, fleet.Requests, fleet.WallSeconds, fleet.RequestsPerSec, scaled.PeakInstances)
+	return nil
+}
+
+// faultBenchScenario extends the timed scenario with reliability outcome
+// counters, so regressions in the fault path's cost or behavior show up.
+type faultBenchScenario struct {
+	benchScenario
+	GoodputPerSec      float64 `json:"goodput_per_s"`
+	Crashes            int     `json:"crashes"`
+	Retries            int     `json:"retries"`
+	ReprefillTokens    int64   `json:"reprefill_tokens"`
+	Shed               int     `json:"shed"`
+	UnavailableSeconds float64 `json:"unavailable_s"`
+}
+
+// runBenchFaultsJSON times the faulted-fleet acceptance workload: an
+// eight-instance fleet with deadlines, retries and fault injection dialed
+// to several crashes per run.
+func runBenchFaultsJSON(path string) error {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	cfg := localut.ClusterConfig{
+		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       8,
+		RatePerSec:      2000,
+		DurationSeconds: 60,
+		Router:          localut.RouteLeastOutstanding,
+		Deadlines:       localut.ClusterDeadlines{DefaultSeconds: 5},
+		Faults:          localut.ClusterFaults{Enabled: true, MTTFSeconds: 120, MTTRSeconds: 2},
+	}
+	start := time.Now()
+	rep, err := sys.ServeCluster(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	out := faultBenchScenario{
+		benchScenario: benchScenario{
+			Model:           rep.Model,
+			Instances:       cfg.Instances,
+			RatePerSec:      cfg.RatePerSec,
+			DurationSeconds: cfg.DurationSeconds,
+			Requests:        rep.Admitted,
+			PeakInstances:   rep.InstancesPeak,
+			DistinctSims:    rep.DistinctForwardSims,
+			WallSeconds:     wall,
+		},
+		GoodputPerSec:      rep.GoodputPerSec,
+		Crashes:            rep.Crashes,
+		Retries:            rep.Retries,
+		ReprefillTokens:    rep.ReprefillTokens,
+		Shed:               rep.Shed,
+		UnavailableSeconds: rep.UnavailableSeconds,
+	}
+	if wall > 0 {
+		out.RequestsPerSec = float64(rep.Admitted) / wall
+		out.SimSecondsPerSec = rep.MakespanSeconds / wall
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d requests, %d crashes, %d retries in %.2fs)\n",
+		path, rep.Admitted, rep.Crashes, rep.Retries, wall)
 	return nil
 }
 

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ais-snu/localut"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenConfig is the fixed workload behind the -json regression test: a
+// small faulted fleet with deadlines and retries, touching the report's
+// reliability rows, the fault timeline and the per-instance/per-class
+// sections.
+func goldenConfig() localut.ClusterConfig {
+	return localut.ClusterConfig{
+		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       4,
+		Replicas:        2,
+		RatePerSec:      20,
+		DurationSeconds: 20,
+		Deadlines:       localut.ClusterDeadlines{DefaultSeconds: 5},
+		Faults: localut.ClusterFaults{
+			Enabled:     true,
+			MTTFSeconds: 15,
+			MTTRSeconds: 1,
+		},
+	}
+}
+
+// renderJSON produces exactly what `localut-cluster -json` writes: the
+// report through an indenting encoder.
+func renderJSON(t *testing.T, cfg localut.ClusterConfig) []byte {
+	t.Helper()
+	sys := localut.NewSystem(localut.WithSeed(1))
+	rep, err := sys.ServeCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestClusterJSONGolden pins the -json output byte for byte on a fixed
+// seed and a faulted-fleet config. A diff means the report schema, the
+// simulation's numbers or the fault schedule changed — all must be
+// deliberate; run `go test ./cmd/localut-cluster -update` to re-bless.
+func TestClusterJSONGolden(t *testing.T) {
+	got := renderJSON(t, goldenConfig())
+	path := filepath.Join("testdata", "cluster_bert_w1a3_faults.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON report drifted from %s (re-bless with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestClusterJSONGoldenStable guards the golden test itself: two fresh
+// systems must render identical bytes, or the golden file would flake.
+func TestClusterJSONGoldenStable(t *testing.T) {
+	a := renderJSON(t, goldenConfig())
+	b := renderJSON(t, goldenConfig())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same config rendered different JSON across runs")
+	}
+}
+
+// TestClusterGoldenHasFaults guards the scenario: the golden workload
+// must actually exercise the fault layer, or the regression test pins
+// nothing interesting.
+func TestClusterGoldenHasFaults(t *testing.T) {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	rep, err := sys.ServeCluster(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 {
+		t.Error("golden scenario produced no crashes")
+	}
+	if len(rep.Faults) == 0 {
+		t.Error("golden scenario produced no fault timeline")
+	}
+	if rep.Admitted != rep.Completed+rep.Shed {
+		t.Errorf("accounting leak: admitted %d != completed %d + shed %d",
+			rep.Admitted, rep.Completed, rep.Shed)
+	}
+}
+
+// TestSummaryTableReliabilityRows sanity-checks the table renderer: a
+// faulted run must surface the reliability rows.
+func TestSummaryTableReliabilityRows(t *testing.T) {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	rep, err := sys.ServeCluster(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := summaryTable(rep).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, row := range []string{"goodput (req/s)", "good / late / shed", "retries",
+		"reprefill tokens", "crashes / degraded", "unavailable (s)", "time-to-recover"} {
+		if !bytes.Contains([]byte(out), []byte(row)) {
+			t.Errorf("summary table missing row %q:\n%s", row, out)
+		}
+	}
+	buf.Reset()
+	if err := faultTable(rep).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"crash", "repair"} {
+		if !bytes.Contains(buf.Bytes(), []byte(cell)) {
+			t.Errorf("fault timeline missing %q:\n%s", cell, buf.String())
+		}
+	}
+}
+
+// TestParseClasses covers the class-flag parser.
+func TestParseClasses(t *testing.T) {
+	got, err := parseClasses("interactive:300:200, batch:100")
+	if err != nil || len(got) != 2 || got[0].AdmitRatePerSec != 200 || got[1].RatePerSec != 100 {
+		t.Errorf("parseClasses = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "a:b", "a:-1", "a:1:0", "a:1:2:3"} {
+		if _, err := parseClasses(bad); err == nil {
+			t.Errorf("parseClasses(%q) accepted", bad)
+		}
+	}
+}

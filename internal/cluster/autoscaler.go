@@ -147,6 +147,9 @@ func (cs *csim) drainOne(now float64) {
 	}
 	victim.state = stateDraining
 	victim.drainAt = now
+	// Draining members don't crash (simplification): their pending fault
+	// events die with the epoch bump.
+	victim.bumpEpoch()
 	active, _, _ := cs.fleetCounts()
 	cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "drain-start", Instance: victim.inst.ID, Active: active})
 	cs.maybeRetire(victim, now)

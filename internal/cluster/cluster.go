@@ -3,6 +3,7 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 
 	"github.com/ais-snu/localut/internal/kernels"
 	"github.com/ais-snu/localut/internal/serve"
@@ -38,6 +39,39 @@ type ClassConfig struct {
 	TTFTp99SLO    float64
 	LatencyP99SLO float64
 	TPOTp99SLO    float64
+
+	// DeadlineSeconds is the class's completion deadline, measured from
+	// arrival; work that cannot finish in time is shed with accounting and
+	// the report separates goodput (deadline-met completions) from raw
+	// throughput (0 = inherit Config.DeadlineSeconds).
+	DeadlineSeconds float64
+}
+
+// validate rejects nonsensical class fields early — before inheritance
+// against the base template resolves the zero values.
+func (c ClassConfig) validate(idx int) error {
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("class%d", idx)
+	}
+	switch {
+	case c.RatePerSec <= 0:
+		return fmt.Errorf("cluster: class %q rate %g must be positive", name, c.RatePerSec)
+	case c.MinTokens < 0 || c.MaxTokens < 0 || c.MeanTokens < 0:
+		return fmt.Errorf("cluster: class %q has a negative length distribution", name)
+	case c.MinTokens > 0 && c.MaxTokens > 0 && c.MinTokens > c.MaxTokens:
+		return fmt.Errorf("cluster: class %q length bounds inverted (min %d > max %d)",
+			name, c.MinTokens, c.MaxTokens)
+	case c.OutTokens < 0 || c.OutTokensMean < 0 || c.OutTokensMax < 0:
+		return fmt.Errorf("cluster: class %q has negative decode settings", name)
+	case c.AdmitRatePerSec < 0 || c.AdmitBurst < 0:
+		return fmt.Errorf("cluster: class %q has a negative admission budget", name)
+	case c.TTFTp99SLO < 0 || c.LatencyP99SLO < 0 || c.TPOTp99SLO < 0:
+		return fmt.Errorf("cluster: class %q has a negative SLO", name)
+	case c.DeadlineSeconds < 0:
+		return fmt.Errorf("cluster: class %q has a negative deadline", name)
+	}
+	return nil
 }
 
 // Config describes one cluster simulation: a fleet of appliances built
@@ -71,6 +105,15 @@ type Config struct {
 	Seed int64
 
 	Autoscaler AutoscalerConfig
+
+	// Faults injects deterministic instance failures (crashes and
+	// degraded-mode replica losses) with modeled recovery.
+	Faults FaultConfig
+	// Retry governs re-service of work lost to faults.
+	Retry RetryConfig
+	// DeadlineSeconds is the default completion deadline for classes that
+	// don't set their own (0 = no deadline).
+	DeadlineSeconds float64
 }
 
 // withDefaults fills and validates the cluster-level fields; Base is
@@ -100,8 +143,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DurationSeconds <= 0 {
 		return c, fmt.Errorf("cluster: duration %g must be positive", c.DurationSeconds)
 	}
+	if c.DeadlineSeconds < 0 {
+		return c, fmt.Errorf("cluster: deadline %g must not be negative", c.DeadlineSeconds)
+	}
+	for i, cc := range c.Classes {
+		if err := cc.validate(i); err != nil {
+			return c, err
+		}
+	}
 	var err error
 	if c.Autoscaler, err = c.Autoscaler.withDefaults(c.Instances); err != nil {
+		return c, err
+	}
+	if c.Faults, err = c.Faults.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Retry, err = c.Retry.withDefaults(); err != nil {
 		return c, err
 	}
 	return c, nil
@@ -118,6 +175,15 @@ type member struct {
 	downAt   float64 // retirement time (down only)
 
 	retireScheduled bool
+
+	// Fault state. lifeEpoch bumps on every lifecycle transition so
+	// scheduled fault events recognize a member that left service first;
+	// faultRNG is the member's own seeded failure stream (nil when fault
+	// injection is off); crashAt/unavail track outage windows.
+	lifeEpoch int
+	faultRNG  *rand.Rand
+	crashAt   float64
+	unavail   float64
 }
 
 type memberState int
@@ -127,15 +193,27 @@ const (
 	stateActive
 	stateDraining
 	stateDown
+	// stateCrashed: fail-stopped by fault injection, repair pending. Like
+	// stateDown the member is unroutable, but it returns to stateActive
+	// when the repair event lands.
+	stateCrashed
 )
+
+// bumpEpoch invalidates the member's scheduled fault events; call on
+// every lifecycle transition.
+func (m *member) bumpEpoch() { m.lifeEpoch++ }
 
 // Fleet-level event kinds; serve.CompletionPrefill (1) and
 // serve.CompletionStep (2) share the namespace.
 const (
-	evArrival      = 0
-	evScaleTick    = 3
-	evInstanceUp   = 4
-	evInstanceDown = 5
+	evArrival        = 0
+	evScaleTick      = 3
+	evInstanceUp     = 4
+	evInstanceDown   = 5
+	evInstanceFault  = 6
+	evInstanceRepair = 7
+	evReplicaRepair  = 8
+	evRetry          = 9
 )
 
 // event is one heap entry. The heap merges every instance's completions
@@ -153,6 +231,16 @@ type event struct {
 	class   int // evArrival
 	replica int // completions
 	batch   []*serve.Request
+
+	// epoch stamps completions (replica fault epoch at launch) and fault
+	// events (member life epoch at scheduling); a mismatch at pop time
+	// means the state the event refers to was lost and the event is
+	// dropped. degrade marks a fault draw as degraded-mode; req/lost carry
+	// an evRetry's displaced request.
+	epoch   int
+	degrade bool
+	req     *serve.Request
+	lost    bool
 }
 
 type eventHeap []*event
@@ -185,7 +273,10 @@ type classState struct {
 	outLens *workload.LengthSampler // nil = fixed OutTokens
 	bucket  *bucket                 // nil under AdmitAll
 
+	deadline float64 // resolved completion deadline (0 = none)
+
 	offered, admitted, rejected, completed int
+	good, late, retries, shed              int
 
 	tLat, ttft, tpot []float64
 }
@@ -215,6 +306,22 @@ type csim struct {
 
 	timeline []ScaleEvent
 	peak     int // peak routable-instance count
+
+	scratch []*member // routable-member scratch, reused per event
+
+	// Reliability accounting (fault injection, deadlines, KV budgets).
+	rematFull, rematReplica float64 // LUT re-materialization seconds
+	good, late              int     // deadline-met / late completions
+	retries                 int
+	reprefillTokens         int64
+	shed                    int
+	shedExpired, shedKV     int
+	shedQueueFull           int
+	shedRetries             int
+	crashes, degradedEvents int
+	unavailableSeconds      float64
+	recoverTimes            []float64
+	faultTL                 []FaultEvent
 }
 
 func (cs *csim) pushEvent(e *event) {
@@ -246,9 +353,13 @@ func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) 
 	}
 	inst.OnFirstToken = cs.onFirstToken
 	inst.OnFinish = cs.onFinish
+	inst.OnShed = cs.onInstanceShed
 	m := &member{inst: inst, state: st, upAt: now}
 	if st == stateActive {
 		m.activeAt = now
+	}
+	if cs.cfg.Faults.Enabled {
+		m.faultRNG = rand.New(rand.NewSource(cs.cfg.Seed + faultSeedOffset + int64(id)*faultSeedStride))
 	}
 	return m, nil
 }
@@ -269,6 +380,13 @@ func (cs *csim) onFinish(r *serve.Request, now float64) {
 	cs.completed++
 	c := &cs.classes[r.Class]
 	c.completed++
+	if r.Deadline == 0 || r.Finish <= r.Deadline {
+		cs.good++
+		c.good++
+	} else {
+		cs.late++
+		c.late++
+	}
 	lat := r.Finish - r.Arrive
 	cs.qLat = append(cs.qLat, r.Start-r.Arrive)
 	cs.sLat = append(cs.sLat, r.Finish-r.Start)
@@ -340,6 +458,9 @@ func (cs *csim) newRequest(t float64, class int) *serve.Request {
 		OutLen: out,
 		Arrive: t,
 	}
+	if c.deadline > 0 {
+		r.Deadline = t + c.deadline
+	}
 	cs.nextID++
 	return r
 }
@@ -356,7 +477,7 @@ func (cs *csim) dispatch(m *member, now float64) error {
 	}
 	for i := range comps {
 		c := &comps[i]
-		cs.pushEvent(&event{at: c.At, inst: m.inst.ID, kind: c.Kind, replica: c.Replica, batch: c.Batch})
+		cs.pushEvent(&event{at: c.At, inst: m.inst.ID, kind: c.Kind, replica: c.Replica, epoch: c.Epoch, batch: c.Batch})
 	}
 	return nil
 }
@@ -453,7 +574,10 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := classState{cfg: cc}
+		st := classState{cfg: cc, deadline: cc.DeadlineSeconds}
+		if st.deadline == 0 {
+			st.deadline = cfg.DeadlineSeconds
+		}
 		seed := cfg.Seed + int64(i)*1009
 		if st.lengths, err = workload.NewLengthSampler(cc.MinTokens, cc.MaxTokens, cc.MeanTokens, seed+1); err != nil {
 			return nil, fmt.Errorf("cluster: class %q: %w", cc.Name, err)
@@ -473,6 +597,17 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	// LUT re-materialization surcharge on recovery: the whole appliance's
+	// LUT budget rewritten at the modeled bandwidth (one replica's share
+	// for degraded-mode repairs). This is the capacity-computation
+	// tradeoff's availability face: bigger tables recover slower.
+	if cfg.Faults.Enabled {
+		pcfg := &base.Engine.Cfg
+		lutBytes := int64(pcfg.Ranks*pcfg.BanksPerRank) * pcfg.MRAMLUTBudget()
+		cs.rematFull = float64(lutBytes) / (cfg.Faults.LUTRematGBps * 1e9)
+		cs.rematReplica = cs.rematFull / float64(base.Replicas)
+	}
+
 	// The initial fleet is active at t=0.
 	for i := 0; i < cfg.Instances; i++ {
 		m, err := cs.newMember(i, stateActive, 0)
@@ -482,6 +617,9 @@ func Run(cfg Config) (*Report, error) {
 		cs.members = append(cs.members, m)
 	}
 	cs.peak = cfg.Instances
+	for _, m := range cs.members {
+		cs.scheduleFault(m, 0)
+	}
 
 	// Seed the merged arrival stream and the autoscaler clock.
 	if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
@@ -492,7 +630,6 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	// The shared-clock event loop.
-	var scratch []*member
 	for cs.events.Len() > 0 {
 		ev := heap.Pop(&cs.events).(*event)
 		now := ev.at
@@ -508,23 +645,22 @@ func Run(cfg Config) (*Report, error) {
 				r := cs.newRequest(now, ev.class)
 				cs.admitted++
 				c.admitted++
-				scratch = cs.routable(scratch)
-				if len(scratch) == 0 {
-					// MinInstances >= 1 and drain-only-below-SLO make this
-					// unreachable; guard against a silently dropped request.
-					return nil, fmt.Errorf("cluster: no routable instance at t=%g", now)
-				}
-				m := cs.rt.pick(scratch, r)
-				m.inst.Admit(r)
-				if err := cs.dispatch(m, now); err != nil {
+				if err := cs.route(r, now, false); err != nil {
 					return nil, err
 				}
 			}
 			if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
 				cs.pushEvent(&event{at: t, inst: -1, kind: evArrival, class: class})
 			}
+		case evRetry:
+			if err := cs.route(ev.req, now, ev.lost); err != nil {
+				return nil, err
+			}
 		case serve.CompletionPrefill, serve.CompletionStep:
 			m := cs.members[ev.inst]
+			if ev.epoch != m.inst.ReplicaEpoch(ev.replica) {
+				break // the pass was vaporized by a crash or replica loss
+			}
 			if ev.kind == serve.CompletionPrefill {
 				m.inst.PrefillDone(ev.replica, ev.batch, now)
 			} else {
@@ -534,6 +670,16 @@ func Run(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			cs.maybeRetire(m, now)
+		case evInstanceFault:
+			cs.onFault(ev, now)
+		case evInstanceRepair:
+			if err := cs.onRepair(ev, now); err != nil {
+				return nil, err
+			}
+		case evReplicaRepair:
+			if err := cs.onReplicaRepair(ev, now); err != nil {
+				return nil, err
+			}
 		case evScaleTick:
 			cs.scaleTick(now)
 			// Ticks outlive the arrival window while work or excess fleet
@@ -547,6 +693,8 @@ func Run(cfg Config) (*Report, error) {
 			m := cs.members[ev.inst]
 			m.state = stateActive
 			m.activeAt = now
+			m.bumpEpoch()
+			cs.scheduleFault(m, now)
 			active, _, _ := cs.fleetCounts()
 			if active > cs.peak {
 				cs.peak = active
@@ -556,6 +704,7 @@ func Run(cfg Config) (*Report, error) {
 			m := cs.members[ev.inst]
 			m.state = stateDown
 			m.downAt = now
+			m.bumpEpoch()
 			active, _, _ := cs.fleetCounts()
 			cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "down", Instance: ev.inst, Active: active})
 		}

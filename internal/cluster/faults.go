@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+// FaultConfig is the deterministic fault plan: every active instance
+// draws exponential fail-stop times (mean MTTFSeconds) from its own
+// seeded stream, so the crash schedule is a pure function of the cluster
+// seed and adding instances never perturbs the others' faults. A fault is
+// either a full crash — the appliance leaves the router, its queue
+// reroutes, its in-flight prefill batches and live decode state are lost
+// (KV is gone, retries pay full re-prefill) — or, with probability
+// DegradedFraction, a degraded-mode fault: one replica (rank group)
+// drops out and the instance keeps serving on the survivors at reduced
+// capacity. Recovery waits an exponential repair time (mean MTTRSeconds)
+// plus the modeled LUT re-materialization latency: a LoCaLUT appliance
+// cannot serve until its lookup tables are rewritten into DRAM, so the
+// capacity-vs-computation tradeoff shows up in availability too. Faults
+// are injected during the arrival window only.
+type FaultConfig struct {
+	Enabled bool
+
+	// MTTFSeconds is the per-instance mean time to failure (required).
+	MTTFSeconds float64
+	// MTTRSeconds is the mean repair delay before re-materialization
+	// starts (default 5).
+	MTTRSeconds float64
+	// DegradedFraction is the probability a fault degrades one replica
+	// instead of crashing the instance (default 0; escalates to a crash
+	// when only one replica is healthy).
+	DegradedFraction float64
+	// LUTRematGBps is the DRAM write bandwidth assumed for re-materializing
+	// the LUT budget on recovery (default 16).
+	LUTRematGBps float64
+}
+
+// withDefaults fills and validates the fault plan.
+func (f FaultConfig) withDefaults() (FaultConfig, error) {
+	if !f.Enabled {
+		return f, nil
+	}
+	if f.MTTRSeconds == 0 {
+		f.MTTRSeconds = 5
+	}
+	if f.LUTRematGBps == 0 {
+		f.LUTRematGBps = 16
+	}
+	switch {
+	case f.MTTFSeconds <= 0:
+		return f, fmt.Errorf("cluster: fault injection needs a positive MTTFSeconds")
+	case f.MTTRSeconds <= 0:
+		return f, fmt.Errorf("cluster: MTTRSeconds %g must be positive", f.MTTRSeconds)
+	case f.DegradedFraction < 0 || f.DegradedFraction > 1:
+		return f, fmt.Errorf("cluster: DegradedFraction %g outside [0, 1]", f.DegradedFraction)
+	case f.LUTRematGBps <= 0:
+		return f, fmt.Errorf("cluster: LUTRematGBps %g must be positive", f.LUTRematGBps)
+	}
+	return f, nil
+}
+
+// RetryConfig governs re-service of work displaced by faults. Queued
+// requests on a crashed instance reroute immediately (their service never
+// started); lost work — in-flight prefill or live decode — consumed an
+// attempt and retries after capped exponential backoff.
+type RetryConfig struct {
+	// MaxAttempts bounds total service attempts per request (default 3).
+	MaxAttempts int
+	// BackoffSeconds is the first retry delay (default 0.05); attempt k
+	// waits BackoffSeconds * 2^(k-1), capped at BackoffCapSeconds.
+	BackoffSeconds float64
+	// BackoffCapSeconds caps the exponential backoff (default 1).
+	BackoffCapSeconds float64
+}
+
+// withDefaults fills and validates the retry policy.
+func (r RetryConfig) withDefaults() (RetryConfig, error) {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BackoffSeconds == 0 {
+		r.BackoffSeconds = 0.05
+	}
+	if r.BackoffCapSeconds == 0 {
+		r.BackoffCapSeconds = 1
+	}
+	switch {
+	case r.MaxAttempts < 1:
+		return r, fmt.Errorf("cluster: retry MaxAttempts %d must be at least 1", r.MaxAttempts)
+	case r.BackoffSeconds <= 0 || r.BackoffCapSeconds <= 0:
+		return r, fmt.Errorf("cluster: retry backoff must be positive")
+	case r.BackoffCapSeconds < r.BackoffSeconds:
+		return r, fmt.Errorf("cluster: retry backoff cap %g below initial backoff %g",
+			r.BackoffCapSeconds, r.BackoffSeconds)
+	}
+	return r, nil
+}
+
+// backoff is the capped exponential delay before service attempt
+// attempt+1 (attempt counts completed admissions so far).
+func (r RetryConfig) backoff(attempt int) float64 {
+	d := r.BackoffSeconds
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= r.BackoffCapSeconds {
+			return r.BackoffCapSeconds
+		}
+	}
+	if d > r.BackoffCapSeconds {
+		d = r.BackoffCapSeconds
+	}
+	return d
+}
+
+// FaultEvent is one entry of the fault timeline, in simulated-time order.
+type FaultEvent struct {
+	T float64
+	// Action is "crash" (instance fail-stop), "repair" (instance back in
+	// service), "degrade" (one replica lost) or "replica-repair".
+	Action   string
+	Instance int
+	// Replica is the failed/repaired replica for degraded-mode events, -1
+	// for whole-instance events.
+	Replica int
+	// Active counts routable instances after the event.
+	Active int
+	// RecoverSeconds is the crash-to-repair outage length ("repair" only),
+	// including the exponential repair delay and LUT re-materialization.
+	RecoverSeconds float64 `json:",omitempty"`
+}
+
+// Per-member fault streams: seeds are decoupled per instance ID so the
+// fault schedule of one member never depends on fleet size or on the
+// other members' draws.
+const (
+	faultSeedOffset = 57
+	faultSeedStride = 104729
+)
+
+// shedCause classifies cluster-level request drops.
+type shedCause int
+
+const (
+	shedExpired   shedCause = iota // deadline passed (queued, or before a retry could land)
+	shedKVBudget                   // KV-pressure policy dropped it
+	shedQueueFull                  // every routable member's bounded queue was full
+	shedRetries                    // retry budget exhausted
+)
+
+// shedRequest accounts a dropped request. After the drain, every admitted
+// request is exactly one of: completed or shed.
+func (cs *csim) shedRequest(r *serve.Request, now float64, cause shedCause) {
+	cs.shed++
+	cs.classes[r.Class].shed++
+	switch cause {
+	case shedExpired:
+		cs.shedExpired++
+	case shedKVBudget:
+		cs.shedKV++
+	case shedQueueFull:
+		cs.shedQueueFull++
+	case shedRetries:
+		cs.shedRetries++
+	}
+	if now > cs.makespan {
+		cs.makespan = now
+	}
+}
+
+// onInstanceShed adapts an Instance's shed callback to cluster accounting.
+func (cs *csim) onInstanceShed(r *serve.Request, now float64, reason serve.ShedReason) {
+	if reason == serve.ShedDeadline {
+		cs.shedRequest(r, now, shedExpired)
+	} else {
+		cs.shedRequest(r, now, shedKVBudget)
+	}
+}
+
+// scheduleFault draws member m's next fault from its own stream and
+// schedules it, stamped with the member's life epoch so the event dies if
+// the member leaves service first. Faults land inside the arrival window
+// only; later draws are discarded (they would only stretch the drain
+// tail).
+func (cs *csim) scheduleFault(m *member, now float64) {
+	if !cs.cfg.Faults.Enabled {
+		return
+	}
+	at := now + m.faultRNG.ExpFloat64()*cs.cfg.Faults.MTTFSeconds
+	degrade := m.faultRNG.Float64() < cs.cfg.Faults.DegradedFraction
+	if at > cs.cfg.DurationSeconds {
+		return
+	}
+	cs.pushEvent(&event{at: at, inst: m.inst.ID, kind: evInstanceFault, epoch: m.lifeEpoch, degrade: degrade})
+}
+
+// onFault lands a scheduled fault: a degraded-mode replica loss when the
+// draw said so and a spare replica exists, else a full crash. Lost work
+// requeues; recovery is scheduled with the LUT re-materialization surcharge.
+func (cs *csim) onFault(ev *event, now float64) {
+	m := cs.members[ev.inst]
+	if ev.epoch != m.lifeEpoch || m.state != stateActive {
+		return // the member left service before the fault landed
+	}
+	f := &cs.cfg.Faults
+	if ev.degrade && m.inst.UpReplicas() > 1 {
+		lost, rep := m.inst.FailReplica(now)
+		cs.degradedEvents++
+		active, _, _ := cs.fleetCounts()
+		cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "degrade", Instance: ev.inst, Replica: rep, Active: active})
+		cs.pushEvent(&event{at: now + m.faultRNG.ExpFloat64()*f.MTTRSeconds + cs.rematReplica,
+			inst: ev.inst, kind: evReplicaRepair})
+		for _, r := range lost {
+			cs.requeue(r, now, true)
+		}
+		cs.scheduleFault(m, now) // the instance is still up; next fault
+		return
+	}
+	queued, started := m.inst.Crash(now)
+	m.state = stateCrashed
+	m.lifeEpoch++
+	m.crashAt = now
+	cs.crashes++
+	active, _, _ := cs.fleetCounts()
+	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "crash", Instance: ev.inst, Replica: -1, Active: active})
+	cs.pushEvent(&event{at: now + m.faultRNG.ExpFloat64()*f.MTTRSeconds + cs.rematFull,
+		inst: ev.inst, kind: evInstanceRepair})
+	for _, r := range queued {
+		cs.requeue(r, now, false)
+	}
+	for _, r := range started {
+		cs.requeue(r, now, true)
+	}
+}
+
+// onRepair returns a crashed instance to service: LUT re-materialization
+// is already priced into the event time, so from here the member is
+// routable and picks up queued retries as they fire.
+func (cs *csim) onRepair(ev *event, now float64) error {
+	m := cs.members[ev.inst]
+	m.state = stateActive
+	m.lifeEpoch++
+	rec := now - m.crashAt
+	m.unavail += rec
+	cs.unavailableSeconds += rec
+	cs.recoverTimes = append(cs.recoverTimes, rec)
+	active, _, _ := cs.fleetCounts()
+	if active > cs.peak {
+		cs.peak = active
+	}
+	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "repair", Instance: ev.inst, Replica: -1,
+		Active: active, RecoverSeconds: rec})
+	cs.scheduleFault(m, now)
+	return cs.dispatch(m, now)
+}
+
+// onReplicaRepair restores a degraded member's lowest failed replica. A
+// full crash in the meantime replaced the hardware wholesale, so the
+// repair may find nothing to do.
+func (cs *csim) onReplicaRepair(ev *event, now float64) error {
+	m := cs.members[ev.inst]
+	if m.state == stateCrashed || m.state == stateDown {
+		return nil
+	}
+	rep := m.inst.RepairReplica()
+	if rep < 0 {
+		return nil
+	}
+	active, _, _ := cs.fleetCounts()
+	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "replica-repair", Instance: ev.inst, Replica: rep, Active: active})
+	return cs.dispatch(m, now)
+}
+
+// requeue re-disposes a request displaced by a fault. Queued work on a
+// crashed member reroutes immediately (its service never started); lost
+// work — in-flight prefill, live decode — consumed a service attempt,
+// backs off and will pay full re-prefill on its next admission.
+func (cs *csim) requeue(r *serve.Request, now float64, lost bool) {
+	if lost && r.Attempts >= cs.cfg.Retry.MaxAttempts {
+		cs.shedRequest(r, now, shedRetries)
+		return
+	}
+	if !lost && r.Expired(now) {
+		cs.shedRequest(r, now, shedExpired)
+		return
+	}
+	at := now
+	if lost {
+		at += cs.cfg.Retry.backoff(r.Attempts)
+		if r.Deadline > 0 && at > r.Deadline {
+			cs.shedRequest(r, now, shedExpired)
+			return
+		}
+	}
+	cs.pushEvent(&event{at: at, inst: -1, kind: evRetry, req: r, lost: lost})
+}
+
+// route admits r to the fleet: router pick first, then — under bounded
+// queues — the first member with room in ID order, else the request is
+// shed (or, when a fault emptied the fleet, parked for retry once repairs
+// land). Retried lost work is accounted here: its prompt KV is gone, so
+// the new instance re-prefills from scratch.
+func (cs *csim) route(r *serve.Request, now float64, lost bool) error {
+	avail := cs.routable(cs.scratch)
+	cs.scratch = avail
+	if len(avail) == 0 {
+		if !cs.cfg.Faults.Enabled {
+			// MinInstances >= 1 and drain-only-below-SLO make this
+			// unreachable; guard against a silently dropped request.
+			return fmt.Errorf("cluster: no routable instance at t=%g", now)
+		}
+		if r.Expired(now) {
+			cs.shedRequest(r, now, shedExpired)
+			return nil
+		}
+		// The whole fleet is down; poll again after a backoff (repairs are
+		// always scheduled, so this terminates).
+		cs.pushEvent(&event{at: now + cs.cfg.Retry.backoff(r.Attempts), inst: -1, kind: evRetry, req: r, lost: lost})
+		return nil
+	}
+	m := cs.rt.pick(avail, r)
+	if !m.inst.Admit(r) {
+		m = nil
+		for _, cand := range avail {
+			if cand.inst.Admit(r) {
+				m = cand
+				break
+			}
+		}
+		if m == nil {
+			cs.shedRequest(r, now, shedQueueFull)
+			return nil
+		}
+	}
+	r.Attempts++
+	if lost {
+		cs.retries++
+		cs.classes[r.Class].retries++
+		cs.reprefillTokens += int64(r.Tokens)
+		r.Generated = 0
+	}
+	return cs.dispatch(m, now)
+}

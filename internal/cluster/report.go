@@ -17,6 +17,13 @@ type InstanceReport struct {
 
 	Requests  int // admitted (routed) requests
 	Completed int
+	Shed      int // dropped by the instance (deadline expiry, KV budget)
+
+	// Fault history: full crashes, degraded-mode replica losses, and total
+	// crash-to-repair outage time.
+	Crashes            int
+	Degraded           int
+	UnavailableSeconds float64
 
 	Batches       int
 	DecodeSteps   int
@@ -38,6 +45,21 @@ type ClassReport struct {
 	RatePerSec float64
 
 	Offered, Admitted, Rejected, Completed int
+
+	// Reliability accounting. Good counts completions that met their
+	// deadline (all completions when the class has none); DeadlineMisses
+	// counts late completions; Shed counts admitted requests dropped
+	// (expired, KV pressure, full queues, retry budget); Retries counts
+	// re-admissions of fault-displaced work. DeadlineMissRate is the
+	// fraction of admitted requests that did not complete in time — late,
+	// shed or lost.
+	Good             int
+	GoodputPerSec    float64
+	DeadlineMisses   int
+	Shed             int
+	Retries          int
+	DeadlineSeconds  float64
+	DeadlineMissRate float64
 
 	Latency serve.Stats
 	TTFT    serve.Stats
@@ -70,6 +92,33 @@ type Report struct {
 	ThroughputPerSec float64 // completed / makespan
 	TokensPerSec     float64 // output (or padded prefill) tokens / makespan
 
+	// Reliability rows. Goodput separates useful work from raw throughput:
+	// Good counts completions that met their deadline, GoodputPerSec is
+	// Good over the makespan. Shed decomposes into deadline expiry, KV
+	// budget, full queues and exhausted retry budgets; after the drain
+	// Admitted == Completed + Shed. ReprefillTokens are prompt tokens
+	// re-prefilled by retried work whose KV state a fault destroyed.
+	Good            int
+	GoodputPerSec   float64
+	DeadlineMisses  int // late completions
+	Retries         int
+	ReprefillTokens int64
+	Shed            int
+	ShedExpired     int
+	ShedKV          int
+	ShedQueueFull   int
+	ShedRetries     int
+
+	// Fault plan outcome: crash and degraded-mode counts, summed outage
+	// time across instances, the distribution of crash-to-repair times,
+	// and the modeled LUT re-materialization surcharge each full recovery
+	// paid (zero when fault injection is off).
+	Crashes            int
+	DegradedEvents     int
+	UnavailableSeconds float64
+	TimeToRecover      serve.Stats
+	LUTRematSeconds    float64
+
 	Queue   serve.Stats
 	Service serve.Stats
 	Latency serve.Stats
@@ -91,8 +140,10 @@ type Report struct {
 	Instances []InstanceReport
 	Classes   []ClassReport
 
-	// Scaling is the autoscaler timeline (empty when disabled).
+	// Scaling is the autoscaler timeline (empty when disabled); Faults is
+	// the fault-injection timeline (empty when disabled).
 	Scaling []ScaleEvent `json:",omitempty"`
+	Faults  []FaultEvent `json:",omitempty"`
 }
 
 func (cs *csim) report() *Report {
@@ -113,32 +164,53 @@ func (cs *csim) report() *Report {
 		TTFT:             serve.StatsOf(cs.ttft),
 		TPOT:             serve.StatsOf(cs.tpot),
 		Scaling:          cs.timeline,
+
+		Good:               cs.good,
+		DeadlineMisses:     cs.late,
+		Retries:            cs.retries,
+		ReprefillTokens:    cs.reprefillTokens,
+		Shed:               cs.shed,
+		ShedExpired:        cs.shedExpired,
+		ShedKV:             cs.shedKV,
+		ShedQueueFull:      cs.shedQueueFull,
+		ShedRetries:        cs.shedRetries,
+		Crashes:            cs.crashes,
+		DegradedEvents:     cs.degradedEvents,
+		UnavailableSeconds: cs.unavailableSeconds,
+		TimeToRecover:      serve.StatsOf(cs.recoverTimes),
+		LUTRematSeconds:    cs.rematFull,
+		Faults:             cs.faultTL,
 	}
 	rep.OfferedPerSec = float64(cs.offered) / cs.cfg.DurationSeconds
 	if cs.makespan > 0 {
 		rep.ThroughputPerSec = float64(cs.completed) / cs.makespan
+		rep.GoodputPerSec = float64(cs.good) / cs.makespan
 	}
 
 	for _, m := range cs.members {
 		st := m.inst.Stats()
 		ir := InstanceReport{
-			ID:              m.inst.ID,
-			Design:          m.inst.Cfg.Variant.String(),
-			Replicas:        m.inst.Cfg.Replicas,
-			UpAt:            m.upAt,
-			ActiveAt:        m.activeAt,
-			DrainAt:         m.drainAt,
-			DownAt:          m.downAt,
-			Requests:        st.Admitted,
-			Completed:       st.Finished,
-			Batches:         st.Batches,
-			DecodeSteps:     st.DecodeSteps,
-			TokensIn:        st.TokensIn,
-			TokensPadded:    st.TokensPadded,
-			TokensOut:       st.TokensOut,
-			EnergyJ:         st.EnergyJ,
-			KVPeakBytes:     st.KVPeakBytes,
-			KVCapacityBytes: st.KVCapacityBytes,
+			ID:                 m.inst.ID,
+			UnavailableSeconds: m.unavail,
+			Design:             m.inst.Cfg.Variant.String(),
+			Replicas:           m.inst.Cfg.Replicas,
+			UpAt:               m.upAt,
+			ActiveAt:           m.activeAt,
+			DrainAt:            m.drainAt,
+			DownAt:             m.downAt,
+			Requests:           st.Admitted,
+			Completed:          st.Finished,
+			Shed:               st.Shed,
+			Crashes:            st.Crashes,
+			Degraded:           st.Degraded,
+			Batches:            st.Batches,
+			DecodeSteps:        st.DecodeSteps,
+			TokensIn:           st.TokensIn,
+			TokensPadded:       st.TokensPadded,
+			TokensOut:          st.TokensOut,
+			EnergyJ:            st.EnergyJ,
+			KVPeakBytes:        st.KVPeakBytes,
+			KVCapacityBytes:    st.KVCapacityBytes,
 		}
 		if st.Batches > 0 {
 			ir.MeanBatchSize = float64(st.BatchRequests) / float64(st.Batches)
@@ -189,18 +261,29 @@ func (cs *csim) report() *Report {
 	for i := range cs.classes {
 		c := &cs.classes[i]
 		cr := ClassReport{
-			Name:          c.cfg.Name,
-			RatePerSec:    c.cfg.RatePerSec,
-			Offered:       c.offered,
-			Admitted:      c.admitted,
-			Rejected:      c.rejected,
-			Completed:     c.completed,
-			Latency:       serve.StatsOf(c.tLat),
-			TTFT:          serve.StatsOf(c.ttft),
-			TPOT:          serve.StatsOf(c.tpot),
-			TTFTp99SLO:    c.cfg.TTFTp99SLO,
-			LatencyP99SLO: c.cfg.LatencyP99SLO,
-			TPOTp99SLO:    c.cfg.TPOTp99SLO,
+			Name:            c.cfg.Name,
+			RatePerSec:      c.cfg.RatePerSec,
+			Offered:         c.offered,
+			Admitted:        c.admitted,
+			Rejected:        c.rejected,
+			Completed:       c.completed,
+			Good:            c.good,
+			DeadlineMisses:  c.late,
+			Shed:            c.shed,
+			Retries:         c.retries,
+			DeadlineSeconds: c.deadline,
+			Latency:         serve.StatsOf(c.tLat),
+			TTFT:            serve.StatsOf(c.ttft),
+			TPOT:            serve.StatsOf(c.tpot),
+			TTFTp99SLO:      c.cfg.TTFTp99SLO,
+			LatencyP99SLO:   c.cfg.LatencyP99SLO,
+			TPOTp99SLO:      c.cfg.TPOTp99SLO,
+		}
+		if cs.makespan > 0 {
+			cr.GoodputPerSec = float64(c.good) / cs.makespan
+		}
+		if c.admitted > 0 {
+			cr.DeadlineMissRate = float64(c.admitted-c.good) / float64(c.admitted)
 		}
 		cr.SLOMet = (cr.TTFTp99SLO == 0 || cr.TTFT.P99 <= cr.TTFTp99SLO) &&
 			(cr.LatencyP99SLO == 0 || cr.Latency.P99 <= cr.LatencyP99SLO) &&

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/trace"
+)
+
+// ReliabilityPoint is one (design, MTTF) sample of a reliability sweep:
+// how much goodput a fleet keeps as its appliances fail more often, and
+// what the recovery tax (retries, re-prefilled tokens, outage time)
+// costs. MTTFSeconds == 0 is the fault-free baseline.
+type ReliabilityPoint struct {
+	Design           string
+	MTTFSeconds      float64
+	ThroughputPerSec float64
+	GoodputPerSec    float64
+	// GoodputRatio is goodput relative to the design's fault-free
+	// baseline (1 when MTTFSeconds == 0).
+	GoodputRatio       float64
+	DeadlineMissRate   float64
+	Crashes            int
+	Retries            int
+	ReprefillTokens    int64
+	Shed               int
+	UnavailableSeconds float64
+	RecoverP99         float64
+	LatencyP99         float64
+}
+
+// ReliabilityCurve sweeps mean time to failure for each design and
+// returns one point per (design, MTTF), in input order. An MTTF of 0
+// disables fault injection — the fault-free baseline each design's
+// GoodputRatio is normalized against (designs without a 0 entry get
+// ratio 0). The base config's Variant, Faults.MTTFSeconds and
+// Faults.Enabled are overridden per point; deadlines, retry policy and
+// everything else are shared. Each run is individually deterministic,
+// so the curve is bit-reproducible.
+func ReliabilityCurve(base cluster.Config, designs []kernels.Variant, mttfs []float64) ([]ReliabilityPoint, error) {
+	points := make([]ReliabilityPoint, 0, len(designs)*len(mttfs))
+	for _, d := range designs {
+		baseline := 0.0
+		for _, mttf := range mttfs {
+			cfg := base
+			cfg.Base.Variant = d
+			cfg.Faults.Enabled = mttf > 0
+			cfg.Faults.MTTFSeconds = mttf
+			rep, err := cluster.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if mttf == 0 {
+				baseline = rep.GoodputPerSec
+			}
+			p := ReliabilityPoint{
+				Design:             d.String(),
+				MTTFSeconds:        mttf,
+				ThroughputPerSec:   rep.ThroughputPerSec,
+				GoodputPerSec:      rep.GoodputPerSec,
+				Crashes:            rep.Crashes,
+				Retries:            rep.Retries,
+				ReprefillTokens:    rep.ReprefillTokens,
+				Shed:               rep.Shed,
+				UnavailableSeconds: rep.UnavailableSeconds,
+				RecoverP99:         rep.TimeToRecover.P99,
+				LatencyP99:         rep.Latency.P99,
+			}
+			if rep.Admitted > 0 {
+				p.DeadlineMissRate = float64(rep.Admitted-rep.Good) / float64(rep.Admitted)
+			}
+			if baseline > 0 {
+				p.GoodputRatio = rep.GoodputPerSec / baseline
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// ReliabilityTable renders a reliability sweep as a trace table.
+func ReliabilityTable(title string, points []ReliabilityPoint) *trace.Table {
+	t := trace.NewTable(title,
+		"design", "mttf (s)", "throughput/s", "goodput/s", "goodput ratio",
+		"miss rate", "crashes", "retries", "reprefill", "shed",
+		"unavail (s)", "recover p99 (s)", "p99 (s)")
+	for _, p := range points {
+		t.Add(p.Design, p.MTTFSeconds, p.ThroughputPerSec, p.GoodputPerSec,
+			p.GoodputRatio, p.DeadlineMissRate, p.Crashes, p.Retries,
+			p.ReprefillTokens, p.Shed, p.UnavailableSeconds, p.RecoverP99,
+			p.LatencyP99)
+	}
+	return t
+}

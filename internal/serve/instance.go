@@ -1,5 +1,7 @@
 package serve
 
+import "fmt"
+
 // Request is one inference request moving through a simulator. The serve
 // package's single-appliance loop and the cluster package's fleet loop
 // both construct Requests at their traffic layer (sampling lengths from
@@ -17,7 +19,15 @@ type Request struct {
 	OutLen    int // sampled output tokens (0 = prefill-only serving)
 	Generated int // decode tokens produced so far (beyond the prefill token)
 
+	Deadline float64 // absolute completion deadline in simulated seconds; 0 = none
+	Attempts int     // service attempts so far (admissions to an instance)
+
 	Arrive, Start, FirstTok, Finish float64 // simulated seconds
+}
+
+// Expired reports whether the request's deadline (if any) has passed.
+func (r *Request) Expired(now float64) bool {
+	return r.Deadline > 0 && now > r.Deadline
 }
 
 // Completion kinds: what an Instance schedules when a replica starts a
@@ -32,13 +42,63 @@ const (
 
 // Completion is a forward pass an Instance has started: the caller owns
 // the clock, so it schedules the completion on its own event heap and
-// calls PrefillDone or StepDone when simulated time reaches At.
+// calls PrefillDone or StepDone when simulated time reaches At. Epoch
+// snapshots the replica's fault epoch at launch; a caller injecting
+// faults must drop completions whose epoch no longer matches
+// ReplicaEpoch (the pass was vaporized by a crash or replica failure).
 type Completion struct {
 	At      float64
 	Kind    int // CompletionPrefill or CompletionStep
 	Replica int
+	Epoch   int
 	Batch   []*Request // CompletionPrefill only
 }
+
+// KVPolicy selects how an Instance treats its per-replica KV capacity.
+type KVPolicy int
+
+const (
+	// KVGauge is the legacy passive mode: capacity is reported (peak,
+	// utilization) but never enforced; replicas oversubscribe silently.
+	KVGauge KVPolicy = iota
+	// KVStall enforces the budget by stalling prefill admission: a batch
+	// prefix that fits launches, the rest waits at the head of the queue
+	// until decode retirements free KV.
+	KVStall
+	// KVShed enforces the budget by shedding: requests that don't fit the
+	// replica's remaining KV at batch-forming time are dropped.
+	KVShed
+)
+
+var kvPolicyNames = [...]string{"gauge", "stall", "shed"}
+
+func (p KVPolicy) String() string {
+	if p >= 0 && int(p) < len(kvPolicyNames) {
+		return kvPolicyNames[p]
+	}
+	return "KVPolicy(?)"
+}
+
+// ParseKVPolicy parses "gauge", "stall" or "shed".
+func ParseKVPolicy(s string) (KVPolicy, error) {
+	for i, n := range kvPolicyNames {
+		if s == n {
+			return KVPolicy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown KV policy %q (want gauge, stall or shed)", s)
+}
+
+// ShedReason says why an Instance dropped a request it had admitted.
+type ShedReason int
+
+const (
+	// ShedDeadline: the request's deadline expired while it queued.
+	ShedDeadline ShedReason = iota
+	// ShedKV: the KV budget policy dropped it (KVShed overflow, or a
+	// prompt that cannot fit an empty replica under any policy).
+	ShedKV
+)
 
 // Instance is one appliance's serving state machine: the admission queue,
 // batch-forming scheduler, per-replica prefill/decode service and the
@@ -54,11 +114,13 @@ type Instance struct {
 
 	// OnFirstToken fires at prefill completion of every decode-enabled
 	// request (its TTFT moment). OnFinish fires when a request fully
-	// completes, after its Finish timestamp is set. Both run inline in
-	// event order, so callbacks may aggregate float samples and stay
-	// deterministic. Nil callbacks are skipped.
+	// completes, after its Finish timestamp is set. OnShed fires when the
+	// instance drops an admitted request (deadline expiry, KV pressure).
+	// All run inline in event order, so callbacks may aggregate float
+	// samples and stay deterministic. Nil callbacks are skipped.
 	OnFirstToken func(r *Request, now float64)
 	OnFinish     func(r *Request, now float64)
+	OnShed       func(r *Request, now float64, reason ShedReason)
 
 	oracle *Oracle
 	sched  scheduler
@@ -66,18 +128,35 @@ type Instance struct {
 
 	replicaBusy []bool
 	live        [][]*Request // per-replica decode batch
+	inflight    [][]*Request // per-replica prefill batch whose pass is running
 	busy        []float64    // accumulated service seconds per replica
 	pimBusy     float64      // accumulated PIM-kernel seconds across replicas
 
-	kvPerToken   int64 // KV bytes one cached token occupies
-	kvPeak       int64 // largest per-replica KV footprint seen
-	kvCapacity   int64 // replica DRAM capacity net of the LUT budget
-	queuedTokens int64 // prompt tokens waiting in the queue
-	liveTokens   int64 // context tokens held by live decode requests
+	// Fault bookkeeping. repEpoch bumps whenever a replica loses state
+	// (instance crash, replica failure) so stale completions can be
+	// recognized; repDown marks replicas lost to a degraded-mode fault;
+	// passEnd/passSec/passPIM/passEnergy describe the running pass so an
+	// abort can refund its unelapsed cost.
+	repEpoch   []int
+	repDown    []bool
+	passEnd    []float64
+	passSec    []float64
+	passPIM    []float64
+	passEnergy []float64
+
+	kvPerToken   int64   // KV bytes one cached token occupies
+	kvPeak       int64   // largest per-replica KV footprint seen
+	kvCapacity   int64   // replica DRAM capacity net of the LUT budget
+	repKVTokens  []int64 // KV tokens currently pinned per replica (live contexts + in-flight prefill prompts)
+	queuedTokens int64   // prompt tokens waiting in the queue
+	liveTokens   int64   // context tokens held by live decode requests
 
 	outstanding int // admitted but not yet finished
 	admitted    int
 	finished    int
+	shed        int
+	crashes     int
+	degradedCnt int
 	batches     int
 	batchReqs   int
 	steps       int
@@ -111,6 +190,14 @@ func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
 		replicaBusy: make([]bool, cfg.Replicas),
 		busy:        make([]float64, cfg.Replicas),
 		live:        make([][]*Request, cfg.Replicas),
+		inflight:    make([][]*Request, cfg.Replicas),
+		repEpoch:    make([]int, cfg.Replicas),
+		repDown:     make([]bool, cfg.Replicas),
+		passEnd:     make([]float64, cfg.Replicas),
+		passSec:     make([]float64, cfg.Replicas),
+		passPIM:     make([]float64, cfg.Replicas),
+		passEnergy:  make([]float64, cfg.Replicas),
+		repKVTokens: make([]int64, cfg.Replicas),
 		kvPerToken:  2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem,
 	}
 	// One replica's DRAM capacity net of the LUT budget: the part of the
@@ -124,23 +211,30 @@ func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
 	return inst, nil
 }
 
-// Admit enqueues an arrived request.
-func (inst *Instance) Admit(r *Request) {
+// Admit enqueues an arrived request. It reports false — and leaves all
+// counters untouched — when the admission queue is at its MaxQueue bound,
+// so the caller can reroute or shed.
+func (inst *Instance) Admit(r *Request) bool {
+	if inst.Cfg.MaxQueue > 0 && inst.q.len() >= inst.Cfg.MaxQueue {
+		return false
+	}
 	inst.admitted++
 	inst.outstanding++
 	inst.queuedTokens += int64(r.Tokens)
 	inst.q.push(r)
+	return true
 }
 
-// Dispatch starts work on every idle replica: a prefill pass when
-// requests wait and the replica's decode batch has room (prefill priority
-// keeps TTFT low and is how newly queued requests join the decode batch
-// at step boundaries), else one decode step over the live batch. It
-// returns the completions the caller must schedule, in replica order.
+// Dispatch starts work on every idle, healthy replica: a prefill pass
+// when requests wait and the replica's decode batch has room (prefill
+// priority keeps TTFT low and is how newly queued requests join the
+// decode batch at step boundaries), else one decode step over the live
+// batch. It returns the completions the caller must schedule, in replica
+// order.
 func (inst *Instance) Dispatch(now float64) ([]Completion, error) {
 	var out []Completion
 	for rep := range inst.replicaBusy {
-		if inst.replicaBusy[rep] {
+		if inst.replicaBusy[rep] || inst.repDown[rep] {
 			continue
 		}
 		c, started, err := inst.startWork(rep, now)
@@ -156,14 +250,33 @@ func (inst *Instance) Dispatch(now float64) ([]Completion, error) {
 
 // startWork launches the idle replica's next forward pass, if any.
 func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) {
-	if room := inst.Cfg.MaxBatch - len(inst.live[rep]); room > 0 && inst.q.len() > 0 {
+	for {
+		room := inst.Cfg.MaxBatch - len(inst.live[rep])
+		if room <= 0 || inst.q.len() == 0 {
+			break
+		}
 		batch := inst.sched.pick(&inst.q, room)
+		batch = inst.dropExpired(batch, now)
+		if len(batch) == 0 {
+			continue // expired head shed; re-pick
+		}
+		if inst.Cfg.KVPolicy != KVGauge {
+			var stalled bool
+			batch, stalled = inst.fitKV(rep, batch, now)
+			if stalled {
+				break // overflow waits at the head; decode will free KV
+			}
+			if len(batch) == 0 {
+				continue
+			}
+		}
 		// Members are already quantum-padded, so their sum is the batch's
 		// padded shape; ctx is the longest member (attention span).
-		padTokens, maxPad := 0, 0
+		padTokens, maxPad, kvTok := 0, 0, 0
 		for _, r := range batch {
 			r.Start = now
 			padTokens += r.Padded
+			kvTok += r.Tokens
 			inst.tokensIn += int64(r.Tokens)
 			inst.queuedTokens -= int64(r.Tokens)
 			if r.Padded > maxPad {
@@ -175,13 +288,17 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 			return Completion{}, false, err
 		}
 		inst.tokensPadded += int64(padTokens)
-		inst.energyJ += cost.energyJ
-		inst.busy[rep] += cost.seconds
-		inst.pimBusy += cost.pimSec
 		inst.batches++
 		inst.batchReqs += len(batch)
-		inst.replicaBusy[rep] = true
-		return Completion{At: now + cost.seconds, Kind: CompletionPrefill, Replica: rep, Batch: batch}, true, nil
+		inst.inflight[rep] = batch
+		// The pass materializes every member's prompt KV on this replica;
+		// the gauge must see prefill writes, not just decode contexts.
+		inst.repKVTokens[rep] += int64(kvTok)
+		if kv := inst.repKVTokens[rep] * inst.kvPerToken; kv > inst.kvPeak {
+			inst.kvPeak = kv
+		}
+		inst.notePass(rep, now, cost)
+		return Completion{At: now + cost.seconds, Kind: CompletionPrefill, Replica: rep, Epoch: inst.repEpoch[rep], Batch: batch}, true, nil
 	}
 	if live := inst.live[rep]; len(live) > 0 {
 		// One decode step: each live request's next token attends its
@@ -190,12 +307,11 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 		// is exact; the mean is then bucketed to the token quantum so the
 		// oracle's step memo stays bounded.
 		// ctxSum prices attention over the padded (shape-bucketed) prompt;
-		// kvTokens gauges physical KV state, so it counts the real prompt
-		// lengths — padding is a pricing artifact, not cached memory.
-		ctxSum, kvTokens := 0, 0
+		// the KV gauge counts real prompt lengths (via repKVTokens) —
+		// padding is a pricing artifact, not cached memory.
+		ctxSum := 0
 		for _, r := range live {
 			ctxSum += r.Padded + r.Generated + 1
-			kvTokens += r.Tokens + r.Generated + 1
 		}
 		n := len(live)
 		ctx := roundUp((ctxSum+n-1)/n, inst.Cfg.TokenQuantum)
@@ -203,26 +319,211 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 		if err != nil {
 			return Completion{}, false, err
 		}
-		inst.energyJ += cost.energyJ
-		inst.busy[rep] += cost.seconds
-		inst.pimBusy += cost.pimSec
 		inst.steps++
-		inst.replicaBusy[rep] = true
 		// KV gauge: during the step the replica holds every live context
 		// plus the newly written token per sequence.
-		if kv := int64(kvTokens+n) * inst.kvPerToken; kv > inst.kvPeak {
+		if kv := (inst.repKVTokens[rep] + int64(n)) * inst.kvPerToken; kv > inst.kvPeak {
 			inst.kvPeak = kv
 		}
-		return Completion{At: now + cost.seconds, Kind: CompletionStep, Replica: rep}, true, nil
+		inst.notePass(rep, now, cost)
+		return Completion{At: now + cost.seconds, Kind: CompletionStep, Replica: rep, Epoch: inst.repEpoch[rep]}, true, nil
 	}
 	return Completion{}, false, nil
 }
+
+// dropExpired sheds batch members whose deadline passed while queued.
+func (inst *Instance) dropExpired(batch []*Request, now float64) []*Request {
+	keep := batch[:0]
+	for _, r := range batch {
+		if r.Expired(now) {
+			inst.shedQueued(r, now, ShedDeadline)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	return keep
+}
+
+// fitKV trims a picked prefill batch to the replica's remaining KV
+// budget. The fitting prefix launches; the rest stalls (returns to the
+// head of the queue) or sheds per policy. A prompt that cannot fit even
+// an empty replica is unservable and is shed under either policy. The
+// second result is true when nothing fits and the caller must wait for
+// decode retirements to free KV.
+func (inst *Instance) fitKV(rep int, batch []*Request, now float64) ([]*Request, bool) {
+	budget := inst.kvCapacity/inst.kvPerToken - inst.repKVTokens[rep]
+	n := 0
+	var used int64
+	for _, r := range batch {
+		if used+int64(r.Tokens) > budget {
+			break
+		}
+		used += int64(r.Tokens)
+		n++
+	}
+	if n == len(batch) {
+		return batch, false
+	}
+	rest := batch[n:]
+	if n == 0 && inst.repKVTokens[rep] == 0 {
+		// Empty replica and the head still doesn't fit: no amount of
+		// stalling will ever serve it.
+		inst.shedQueued(rest[0], now, ShedKV)
+		inst.q.pushFront(rest[1:])
+		return nil, false
+	}
+	if inst.Cfg.KVPolicy == KVShed {
+		for _, r := range rest {
+			inst.shedQueued(r, now, ShedKV)
+		}
+		return batch[:n], false
+	}
+	inst.q.pushFront(rest)
+	if n == 0 {
+		return nil, true
+	}
+	return batch[:n], false
+}
+
+// shedQueued drops a request that was picked from the queue but never
+// launched (its tokens are still counted as queued).
+func (inst *Instance) shedQueued(r *Request, now float64, reason ShedReason) {
+	inst.queuedTokens -= int64(r.Tokens)
+	inst.outstanding--
+	inst.shed++
+	if inst.OnShed != nil {
+		inst.OnShed(r, now, reason)
+	}
+}
+
+// notePass charges a launched pass and records it for abort refunds.
+func (inst *Instance) notePass(rep int, now float64, cost batchCost) {
+	inst.busy[rep] += cost.seconds
+	inst.pimBusy += cost.pimSec
+	inst.energyJ += cost.energyJ
+	inst.passEnd[rep] = now + cost.seconds
+	inst.passSec[rep] = cost.seconds
+	inst.passPIM[rep] = cost.pimSec
+	inst.passEnergy[rep] = cost.energyJ
+	inst.replicaBusy[rep] = true
+}
+
+// abortPass refunds the unelapsed fraction of a replica's running pass —
+// a crashed appliance stops consuming time, PIM cycles and energy at the
+// fault instant. The elapsed fraction stays charged: it was really spent.
+func (inst *Instance) abortPass(rep int, now float64) {
+	if !inst.replicaBusy[rep] || inst.passSec[rep] <= 0 || inst.passEnd[rep] <= now {
+		return
+	}
+	left := inst.passEnd[rep] - now
+	frac := left / inst.passSec[rep]
+	inst.busy[rep] -= left
+	inst.pimBusy -= inst.passPIM[rep] * frac
+	inst.energyJ -= inst.passEnergy[rep] * frac
+}
+
+// Crash fail-stops the whole instance: the queue drains (callers reroute
+// those untouched), every in-flight prefill batch and live decode batch
+// is lost (callers retry those — their KV state is gone, so a retry pays
+// full re-prefill), running passes are aborted with a cost refund, and
+// every replica's epoch bumps so already-scheduled completions are
+// recognizably stale. Replica-level degraded faults are healed as a side
+// effect: recovery replaces the appliance's memory wholesale.
+func (inst *Instance) Crash(now float64) (queued, started []*Request) {
+	inst.crashes++
+	for inst.q.len() > 0 {
+		queued = append(queued, inst.q.popHead())
+	}
+	inst.queuedTokens = 0
+	for rep := range inst.replicaBusy {
+		inst.abortPass(rep, now)
+		if b := inst.inflight[rep]; len(b) > 0 {
+			started = append(started, b...)
+			inst.inflight[rep] = nil
+		}
+		started = append(started, inst.live[rep]...)
+		inst.live[rep] = nil
+		inst.replicaBusy[rep] = false
+		inst.repDown[rep] = false
+		inst.repKVTokens[rep] = 0
+		inst.repEpoch[rep]++
+	}
+	inst.liveTokens = 0
+	inst.outstanding -= len(queued) + len(started)
+	return queued, started
+}
+
+// FailReplica injects a degraded-mode fault: the highest-index healthy
+// replica (a rank group, in the paper's terms) drops out of service, its
+// in-flight and live requests are lost, and the instance keeps serving on
+// the survivors. It refuses (-1) when only one replica is healthy — the
+// caller should escalate to a full Crash instead. Queued work is
+// untouched: the queue is instance-level and the survivors absorb it.
+func (inst *Instance) FailReplica(now float64) (lost []*Request, rep int) {
+	rep = -1
+	for i := len(inst.repDown) - 1; i >= 0; i-- {
+		if !inst.repDown[i] {
+			rep = i
+			break
+		}
+	}
+	if rep < 0 || inst.UpReplicas() <= 1 {
+		return nil, -1
+	}
+	inst.degradedCnt++
+	inst.abortPass(rep, now)
+	if b := inst.inflight[rep]; len(b) > 0 {
+		lost = append(lost, b...)
+		inst.inflight[rep] = nil
+	}
+	for _, r := range inst.live[rep] {
+		inst.liveTokens -= int64(r.Tokens + r.Generated + 1)
+	}
+	lost = append(lost, inst.live[rep]...)
+	inst.live[rep] = nil
+	inst.replicaBusy[rep] = false
+	inst.repDown[rep] = true
+	inst.repKVTokens[rep] = 0
+	inst.repEpoch[rep]++
+	inst.outstanding -= len(lost)
+	return lost, rep
+}
+
+// RepairReplica returns the lowest-index failed replica to service and
+// reports it (-1 when none is down — e.g. a full crash already replaced
+// the hardware). The caller should Dispatch afterwards so the replica
+// picks up waiting work.
+func (inst *Instance) RepairReplica() int {
+	for i, down := range inst.repDown {
+		if down {
+			inst.repDown[i] = false
+			return i
+		}
+	}
+	return -1
+}
+
+// UpReplicas counts replicas currently in service.
+func (inst *Instance) UpReplicas() int {
+	n := 0
+	for _, down := range inst.repDown {
+		if !down {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaEpoch reports a replica's fault epoch; completions stamped with
+// an older epoch refer to state that no longer exists.
+func (inst *Instance) ReplicaEpoch(rep int) int { return inst.repEpoch[rep] }
 
 // PrefillDone delivers a CompletionPrefill back to the instance: batch
 // members emit their first token (OnFirstToken), join the replica's live
 // decode batch when more tokens remain, or finish.
 func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 	inst.replicaBusy[replica] = false
+	inst.inflight[replica] = nil
 	for _, r := range batch {
 		r.FirstTok = now
 		if r.OutLen > 0 && inst.OnFirstToken != nil {
@@ -233,7 +534,9 @@ func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 			// remaining OutLen-1 decode at token granularity.
 			inst.live[replica] = append(inst.live[replica], r)
 			inst.liveTokens += int64(r.Tokens + 1)
+			inst.repKVTokens[replica]++ // prompt stays pinned; +1 for the emitted token
 		} else {
+			inst.repKVTokens[replica] -= int64(r.Tokens) // prompt KV released
 			inst.retire(r, now)
 		}
 	}
@@ -249,9 +552,11 @@ func (inst *Instance) StepDone(replica int, now float64) {
 		r.Generated++
 		if r.Generated >= r.OutLen-1 {
 			inst.liveTokens -= int64(r.Tokens + r.Generated)
+			inst.repKVTokens[replica] -= int64(r.Tokens + r.Generated)
 			inst.retire(r, now)
 		} else {
 			inst.liveTokens++
+			inst.repKVTokens[replica]++
 			surv = append(surv, r)
 		}
 	}
@@ -300,6 +605,9 @@ func (inst *Instance) Oracle() *Oracle { return inst.oracle }
 // for per-instance cluster reporting.
 type InstanceStats struct {
 	Admitted, Finished int
+	Shed               int
+	Crashes            int
+	Degraded           int
 	Batches            int
 	BatchRequests      int
 	DecodeSteps        int
@@ -320,6 +628,9 @@ func (inst *Instance) Stats() InstanceStats {
 	return InstanceStats{
 		Admitted:        inst.admitted,
 		Finished:        inst.finished,
+		Shed:            inst.shed,
+		Crashes:         inst.crashes,
+		Degraded:        inst.degradedCnt,
 		Batches:         inst.batches,
 		BatchRequests:   inst.batchReqs,
 		DecodeSteps:     inst.steps,

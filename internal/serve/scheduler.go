@@ -14,6 +14,25 @@ func (q *queue) len() int          { return len(q.items) - q.head }
 func (q *queue) push(r *Request)   { q.items = append(q.items, r) }
 func (q *queue) at(i int) *Request { return q.items[q.head+i] }
 
+// pushFront returns requests to the front of the queue in order (the
+// first element becomes the new head). The KV-budget policies use it to
+// hand back picked-but-unlaunched work without losing its place in line.
+func (q *queue) pushFront(rs []*Request) {
+	if len(rs) == 0 {
+		return
+	}
+	if q.head >= len(rs) {
+		q.head -= len(rs)
+		copy(q.items[q.head:], rs)
+		return
+	}
+	items := make([]*Request, 0, len(rs)+q.len())
+	items = append(items, rs...)
+	items = append(items, q.items[q.head:]...)
+	q.items = items
+	q.head = 0
+}
+
 func (q *queue) popHead() *Request {
 	r := q.items[q.head]
 	q.items[q.head] = nil

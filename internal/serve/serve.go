@@ -65,6 +65,13 @@ type Config struct {
 	// PackWindow bounds how deep the packing scheduler scans the queue
 	// (default 8*MaxBatch).
 	PackWindow int
+	// MaxQueue bounds the admission queue; Admit refuses (and the traffic
+	// layer reroutes or sheds) beyond it (default 0: unbounded).
+	MaxQueue int
+	// KVPolicy selects how the per-replica KV budget is treated: KVGauge
+	// (the zero value) reports only, KVStall stalls prefill admission at
+	// the budget, KVShed drops what does not fit.
+	KVPolicy KVPolicy
 
 	// MinTokens/MaxTokens/MeanTokens parameterize the request length
 	// distribution (defaults 16 / 256 / the model's SeqLen, clamped).
@@ -148,6 +155,10 @@ func (c Config) NormalizeInstance() (Config, error) {
 	switch {
 	case c.Replicas < 0 || c.MaxBatch < 0 || c.TokenQuantum < 0 || c.PackWindow < 0:
 		return c, fmt.Errorf("serve: negative replica/batch/quantum/window configuration")
+	case c.MaxQueue < 0:
+		return c, fmt.Errorf("serve: negative queue bound %d", c.MaxQueue)
+	case c.KVPolicy < KVGauge || c.KVPolicy > KVShed:
+		return c, fmt.Errorf("serve: unknown KV policy %d", int(c.KVPolicy))
 	case c.Replicas > c.Engine.Cfg.Ranks:
 		return c, fmt.Errorf("serve: %d replicas exceed the appliance's %d ranks",
 			c.Replicas, c.Engine.Cfg.Ranks)
@@ -230,7 +241,11 @@ type Report struct {
 
 	Requests  int // admitted during the arrival window
 	Completed int // all admitted requests are drained
-	Batches   int // prefill passes
+	// Shed counts admitted requests the appliance dropped (bounded-queue
+	// refusals, deadline expiry, KV-budget sheds); zero in the default
+	// unbounded/gauge configuration.
+	Shed    int
+	Batches int // prefill passes
 	// DecodeSteps counts token-level decode forward passes across replicas.
 	DecodeSteps int
 
@@ -339,6 +354,7 @@ type sim struct {
 
 	nextID   int
 	requests int
+	shed     int
 
 	qLat, sLat, tLat []float64
 	ttft, tpot       []float64
@@ -467,7 +483,9 @@ func Run(cfg Config) (*Report, error) {
 			}
 			r := s.newRequest(now, client)
 			s.requests++
-			s.inst.Admit(r)
+			if !s.inst.Admit(r) {
+				s.shed++ // single appliance: nowhere to reroute
+			}
 			if s.arrivals != nil {
 				if t := now + s.arrivals.Next(); t <= cfg.DurationSeconds {
 					s.pushEvent(&event{at: t, kind: evArrival})
@@ -498,6 +516,7 @@ func (s *sim) report() *Report {
 
 		Requests:        s.requests,
 		Completed:       len(s.tLat),
+		Shed:            s.shed + inst.shed,
 		Batches:         inst.batches,
 		DecodeSteps:     inst.steps,
 		DurationSeconds: cfg.DurationSeconds,
