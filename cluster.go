@@ -222,6 +222,10 @@ type ClusterConfig struct {
 	Faults    ClusterFaults
 	Deadlines ClusterDeadlines
 	Retry     ClusterRetry
+
+	// Obs attaches the observability layer: fleet trace export and
+	// interval time-series metrics. The zero value records nothing.
+	Obs ObsConfig
 }
 
 // ClusterInstanceReport summarizes one fleet member.
@@ -256,6 +260,10 @@ type ClusterInstanceReport struct {
 	EnergyJ         float64 `json:"energy_j"`
 	KVPeakBytes     int64   `json:"kv_peak_bytes"`
 	KVCapacityBytes int64   `json:"kv_capacity_bytes"`
+	// KVMeanBytes is the time-weighted mean KV footprint per replica over
+	// this member's life; KVMeanUtilization is its share of capacity.
+	KVMeanBytes       float64 `json:"kv_mean_bytes"`
+	KVMeanUtilization float64 `json:"kv_mean_utilization"`
 }
 
 // ClusterClassReport summarizes one SLO class.
@@ -286,30 +294,28 @@ type ClusterClassReport struct {
 	SLOMet        bool    `json:"slo_met"`
 }
 
-// ClusterFaultEvent is one fault-injection timeline entry.
-type ClusterFaultEvent struct {
+// ClusterTimelineEvent is one entry of the unified fleet timeline:
+// autoscaler actions ("tick", "up-start", "up-active", "drain-start",
+// "down" under kind "scale"), fault injection and recovery ("crash",
+// "repair", "degrade", "replica-repair" under kind "fault") and
+// KV-pressure sheds ("kv-shed" under kind "kv"), in event order.
+type ClusterTimelineEvent struct {
 	Seconds float64 `json:"t_s"`
-	// Action is "crash", "repair", "degrade" (one replica lost) or
-	// "replica-repair".
-	Action   string `json:"action"`
-	Instance int    `json:"instance"`
-	// Replica is the replica index a degrade/replica-repair touched.
-	Replica int `json:"replica,omitempty"`
+	Kind    string  `json:"kind"`
+	Action  string  `json:"action"`
+	// Instance is the affected member (-1 for fleet-level entries such as
+	// autoscaler ticks); Replica is the replica a degraded-mode fault
+	// touched (-1 otherwise).
+	Instance int `json:"instance"`
+	Replica  int `json:"replica"`
 	// Active counts routable instances after the event.
 	Active int `json:"active"`
+	// P99 and Samples describe the autoscaler window behind a tick.
+	P99     float64 `json:"p99_s,omitempty"`
+	Samples int     `json:"samples,omitempty"`
 	// RecoverSeconds is the crash-to-repair outage a "repair" closed,
 	// including the LUT re-materialization surcharge.
 	RecoverSeconds float64 `json:"recover_s,omitempty"`
-}
-
-// ClusterScaleEvent is one autoscaler timeline entry.
-type ClusterScaleEvent struct {
-	Seconds  float64 `json:"t_s"`
-	Action   string  `json:"action"`
-	Instance int     `json:"instance"`
-	Active   int     `json:"active"`
-	P99      float64 `json:"p99_s,omitempty"`
-	Samples  int     `json:"samples,omitempty"`
 }
 
 // ClusterReport is the outcome of one cluster simulation. Like
@@ -373,13 +379,17 @@ type ClusterReport struct {
 
 	KVPeakBytes     int64 `json:"kv_peak_bytes"`
 	KVCapacityBytes int64 `json:"kv_capacity_bytes"`
+	// Fleet KV pressure, time-weighted across member lifetimes.
+	KVMeanBytes       float64 `json:"kv_mean_bytes"`
+	KVMeanUtilization float64 `json:"kv_mean_utilization"`
 
 	DistinctForwardSims int `json:"distinct_forward_sims"`
 
 	Instances []ClusterInstanceReport `json:"instances"`
 	Classes   []ClusterClassReport    `json:"classes"`
-	Scaling   []ClusterScaleEvent     `json:"scaling,omitempty"`
-	Faults    []ClusterFaultEvent     `json:"faults,omitempty"`
+	// Timeline is the unified fleet event stream (autoscaler, faults,
+	// KV sheds), empty when neither subsystem is enabled.
+	Timeline []ClusterTimelineEvent `json:"timeline,omitempty"`
 }
 
 // ServeCluster runs a cluster-scale serving simulation: a routed,
@@ -392,6 +402,7 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	if seed == 0 {
 		seed = s.seed
 	}
+	rec, met := cfg.Obs.build()
 	ccfg := cluster.Config{
 		Base: serve.Config{
 			Model:   cfg.Model.config(),
@@ -450,6 +461,9 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			BackoffCapSeconds: cfg.Retry.BackoffCapSeconds,
 		},
 		DeadlineSeconds: cfg.Deadlines.DefaultSeconds,
+
+		Recorder: rec,
+		Metrics:  met,
 	}
 	for _, d := range cfg.Designs {
 		ccfg.Designs = append(ccfg.Designs, d.variant())
@@ -474,6 +488,9 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	}
 	rep, err := cluster.Run(ccfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Obs.export(rec, met); err != nil {
 		return nil, err
 	}
 	return clusterReport(cfg, rep), nil
@@ -536,8 +553,10 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 		EnergyJ:           r.EnergyJ,
 		EnergyPerRequestJ: r.EnergyPerRequestJ,
 
-		KVPeakBytes:     r.KVPeakBytes,
-		KVCapacityBytes: r.KVCapacityBytes,
+		KVPeakBytes:       r.KVPeakBytes,
+		KVCapacityBytes:   r.KVCapacityBytes,
+		KVMeanBytes:       r.KVMeanBytes,
+		KVMeanUtilization: r.KVMeanUtilization,
 
 		DistinctForwardSims: r.DistinctForwardSims,
 	}
@@ -567,6 +586,8 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 			EnergyJ:            ir.EnergyJ,
 			KVPeakBytes:        ir.KVPeakBytes,
 			KVCapacityBytes:    ir.KVCapacityBytes,
+			KVMeanBytes:        ir.KVMeanBytes,
+			KVMeanUtilization:  ir.KVMeanUtilization,
 		})
 	}
 	for _, cr := range r.Classes {
@@ -595,16 +616,11 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 			SLOMet:        cr.SLOMet,
 		})
 	}
-	for _, ev := range r.Scaling {
-		out.Scaling = append(out.Scaling, ClusterScaleEvent{
-			Seconds: ev.T, Action: ev.Action, Instance: ev.Instance,
-			Active: ev.Active, P99: ev.P99, Samples: ev.Samples,
-		})
-	}
-	for _, ev := range r.Faults {
-		out.Faults = append(out.Faults, ClusterFaultEvent{
-			Seconds: ev.T, Action: ev.Action, Instance: ev.Instance,
-			Replica: ev.Replica, Active: ev.Active, RecoverSeconds: ev.RecoverSeconds,
+	for _, ev := range r.Timeline {
+		out.Timeline = append(out.Timeline, ClusterTimelineEvent{
+			Seconds: ev.T, Kind: ev.Kind, Action: ev.Action,
+			Instance: ev.Instance, Replica: ev.Replica, Active: ev.Active,
+			P99: ev.P99, Samples: ev.Samples, RecoverSeconds: ev.RecoverSeconds,
 		})
 	}
 	return out

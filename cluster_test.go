@@ -80,8 +80,8 @@ func TestServeClusterParallelismInvariant(t *testing.T) {
 	if err := json.Unmarshal(base, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.InstancesPeak <= 1 || len(rep.Scaling) == 0 {
-		t.Fatalf("scenario never scaled (peak %d, %d events)", rep.InstancesPeak, len(rep.Scaling))
+	if rep.InstancesPeak <= 1 || len(rep.Timeline) == 0 {
+		t.Fatalf("scenario never scaled (peak %d, %d events)", rep.InstancesPeak, len(rep.Timeline))
 	}
 }
 

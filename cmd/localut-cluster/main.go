@@ -86,10 +86,16 @@ func main() {
 	mttfSweep := flag.String("mttf-sweep", "", "comma-separated MTTF values (seconds; 0 = fault-free baseline) for a reliability sweep")
 	jsonOut := flag.Bool("json", false, "emit JSON")
 	csvOut := flag.Bool("csv", false, "emit CSV")
-	timeline := flag.Bool("timeline", false, "print the autoscaler timeline (table output only)")
+	timeline := flag.Bool("timeline", false, "print the unified fleet timeline (table output only)")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+	traceSample := flag.Int("trace-sample", 1, "keep every N-th request's lifecycle span in the trace")
+	metricsOut := flag.String("metrics-out", "", "write interval time-series metrics to this file (.json = JSON, else CSV)")
+	metricsInterval := flag.Duration("metrics-interval", time.Second, "time-series sampling interval")
 	benchJSON := flag.String("bench-json", "", "run the cluster self-benchmark and write JSON to this path")
 	benchFaultsJSON := flag.String("bench-faults-json", "", "run the faulted-fleet self-benchmark and write JSON to this path")
+	benchObsJSON := flag.String("bench-obs-json", "", "run the observability-overhead self-benchmark and write JSON to this path")
+	maxObsOverheadUS := flag.Float64("max-obs-overhead-us", 0, "fail -bench-obs-json when full recording costs more than this per admitted request, in microseconds (0 = no gate)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
 	flag.Parse()
@@ -119,6 +125,12 @@ func main() {
 	}
 	if *benchFaultsJSON != "" {
 		if err := runBenchFaultsJSON(*benchFaultsJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchObsJSON != "" {
+		if err := runBenchObsJSON(*benchObsJSON, *maxObsOverheadUS); err != nil {
 			fatal(err)
 		}
 		return
@@ -197,6 +209,11 @@ func main() {
 	}
 	sys := localut.NewSystem(opts...)
 
+	obsCfg, closeObs, err := buildObs(*traceOut, *traceSample, *metricsOut, metricsInterval.Seconds())
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
 	rep, err := sys.ServeCluster(localut.ClusterConfig{
 		Model: m, Format: f, Design: d, Designs: designs,
@@ -239,8 +256,12 @@ func main() {
 			WarmupSeconds:   warmup.Seconds(),
 			DrainSeconds:    drain.Seconds(),
 		},
+		Obs: obsCfg,
 	})
 	if err != nil {
+		fatal(err)
+	}
+	if err := closeObs(); err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start).Seconds()
@@ -269,13 +290,8 @@ func main() {
 			}
 			fmt.Fprintln(w)
 		}
-		if *timeline && len(rep.Scaling) > 0 {
+		if *timeline && len(rep.Timeline) > 0 {
 			if err := timelineTable(rep).Render(w); err != nil {
-				fatal(err)
-			}
-		}
-		if *timeline && len(rep.Faults) > 0 {
-			if err := faultTable(rep).Render(w); err != nil {
 				fatal(err)
 			}
 		}
@@ -325,6 +341,10 @@ func summaryTable(r *localut.ClusterReport) *trace.Table {
 			r.TPOT.P50, r.TPOT.P95, r.TPOT.P99))
 	}
 	t.Add("tokens in/padded/out", fmt.Sprintf("%d / %d / %d", r.TokensIn, r.TokensPadded, r.TokensOut))
+	if r.KVMeanBytes > 0 {
+		t.Add("kv mean per replica (bytes)", fmt.Sprintf("%.4g (%.4g of capacity)",
+			r.KVMeanBytes, r.KVMeanUtilization))
+	}
 	t.Add("energy/request (J)", r.EnergyPerRequestJ)
 	t.Add("distinct forward sims", r.DistinctForwardSims)
 	return t
@@ -359,24 +379,53 @@ func classTable(r *localut.ClusterReport) *trace.Table {
 	return t
 }
 
-// timelineTable lists the autoscaler timeline.
+// timelineTable lists the unified fleet timeline: autoscaler actions,
+// fault injections/repairs and KV-pressure sheds through one rendering
+// path, in event order.
 func timelineTable(r *localut.ClusterReport) *trace.Table {
-	t := trace.NewTable("Autoscaler timeline",
-		"t (s)", "action", "instance", "active", "p99 (s)", "samples")
-	for _, ev := range r.Scaling {
-		t.Add(ev.Seconds, ev.Action, ev.Instance, ev.Active, ev.P99, ev.Samples)
+	t := trace.NewTable("Fleet timeline",
+		"t (s)", "kind", "action", "instance", "replica", "active",
+		"p99 (s)", "samples", "recover (s)")
+	for _, ev := range r.Timeline {
+		t.Add(ev.Seconds, ev.Kind, ev.Action, ev.Instance, ev.Replica,
+			ev.Active, ev.P99, ev.Samples, ev.RecoverSeconds)
 	}
 	return t
 }
 
-// faultTable lists the fault-injection timeline.
-func faultTable(r *localut.ClusterReport) *trace.Table {
-	t := trace.NewTable("Fault timeline",
-		"t (s)", "action", "instance", "replica", "active", "recover (s)")
-	for _, ev := range r.Faults {
-		t.Add(ev.Seconds, ev.Action, ev.Instance, ev.Replica, ev.Active, ev.RecoverSeconds)
+// buildObs opens the requested trace/metrics outputs and returns the
+// observability config plus a closer for the opened files.
+func buildObs(tracePath string, sampleN int, metricsPath string, intervalSeconds float64) (localut.ObsConfig, func() error, error) {
+	var cfg localut.ObsConfig
+	var files []*os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return cfg, nil, err
+		}
+		files = append(files, f)
+		cfg.TraceWriter = f
+		cfg.TraceSampleN = sampleN
 	}
-	return t
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return cfg, nil, err
+		}
+		files = append(files, f)
+		cfg.MetricsWriter = f
+		cfg.MetricsIntervalSeconds = intervalSeconds
+		cfg.MetricsJSON = strings.HasSuffix(metricsPath, ".json")
+	}
+	closer := func() error {
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return cfg, closer, nil
 }
 
 // parseClasses parses "name:rate[:admitRate]" pairs.
@@ -766,6 +815,90 @@ func runBenchFaultsJSON(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d requests, %d crashes, %d retries in %.2fs)\n",
 		path, rep.Admitted, rep.Crashes, rep.Retries, wall)
+	return nil
+}
+
+// obsBenchReport times the same faulted fleet with recording off and
+// fully on (trace + metrics to discarded writers). DisabledWallSeconds
+// is the hot path with nil-recorder no-ops — tracked across revisions,
+// it catches recording costs leaking into the disabled path.
+// PerRequestOverheadUS is full recording's marginal cost per admitted
+// request, the gated number: the simulated fleet is so fast that a
+// wall-clock ratio would amplify nanosecond noise.
+type obsBenchReport struct {
+	Requests             int     `json:"requests"`
+	DisabledWallSeconds  float64 `json:"disabled_wall_s"`
+	EnabledWallSeconds   float64 `json:"enabled_wall_s"`
+	OverheadFraction     float64 `json:"overhead_fraction"`
+	PerRequestOverheadUS float64 `json:"per_request_overhead_us"`
+}
+
+// runBenchObsJSON times the observability layer: one faulted
+// eight-instance fleet run with a zero ObsConfig, one with trace and
+// one-second metrics enabled, byte sinks for both outputs. A positive
+// maxOverheadUS turns the per-request recording cost into a hard gate.
+func runBenchObsJSON(path string, maxOverheadUS float64) error {
+	cfg := localut.ClusterConfig{
+		Model: localut.BERTBase, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       8,
+		RatePerSec:      2000,
+		DurationSeconds: 60,
+		Router:          localut.RouteLeastOutstanding,
+		Deadlines:       localut.ClusterDeadlines{DefaultSeconds: 5},
+		Faults:          localut.ClusterFaults{Enabled: true, MTTFSeconds: 120, MTTRSeconds: 2},
+	}
+	run := func(obs localut.ObsConfig) (float64, *localut.ClusterReport, error) {
+		c := cfg
+		c.Obs = obs
+		sys := localut.NewSystem(localut.WithSeed(1))
+		start := time.Now()
+		rep, err := sys.ServeCluster(c)
+		if err != nil {
+			return 0, nil, err
+		}
+		return time.Since(start).Seconds(), rep, nil
+	}
+	// Warm-up run so neither timed run pays one-time costs (code paging,
+	// allocator growth) the other doesn't.
+	if _, _, err := run(localut.ObsConfig{}); err != nil {
+		return err
+	}
+	disabledWall, rep, err := run(localut.ObsConfig{})
+	if err != nil {
+		return err
+	}
+	enabledWall, _, err := run(localut.ObsConfig{
+		TraceWriter:            io.Discard,
+		MetricsWriter:          io.Discard,
+		MetricsIntervalSeconds: 1,
+	})
+	if err != nil {
+		return err
+	}
+	out := obsBenchReport{
+		Requests:            rep.Admitted,
+		DisabledWallSeconds: disabledWall,
+		EnabledWallSeconds:  enabledWall,
+	}
+	if disabledWall > 0 {
+		out.OverheadFraction = (enabledWall - disabledWall) / disabledWall
+	}
+	if rep.Admitted > 0 {
+		out.PerRequestOverheadUS = (enabledWall - disabledWall) / float64(rep.Admitted) * 1e6
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d requests; disabled %.2fs, enabled %.2fs, %.1fus/request recording cost)\n",
+		path, out.Requests, disabledWall, enabledWall, out.PerRequestOverheadUS)
+	if maxOverheadUS > 0 && out.PerRequestOverheadUS > maxOverheadUS {
+		return fmt.Errorf("recording overhead regression: %.1fus per request exceeds the %.1fus gate",
+			out.PerRequestOverheadUS, maxOverheadUS)
+	}
 	return nil
 }
 

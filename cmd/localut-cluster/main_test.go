@@ -98,7 +98,13 @@ func TestClusterGoldenHasFaults(t *testing.T) {
 	if rep.Crashes == 0 {
 		t.Error("golden scenario produced no crashes")
 	}
-	if len(rep.Faults) == 0 {
+	faults := 0
+	for _, ev := range rep.Timeline {
+		if ev.Kind == "fault" {
+			faults++
+		}
+	}
+	if faults == 0 {
 		t.Error("golden scenario produced no fault timeline")
 	}
 	if rep.Admitted != rep.Completed+rep.Shed {
@@ -127,14 +133,156 @@ func TestSummaryTableReliabilityRows(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	if err := faultTable(rep).Render(&buf); err != nil {
+	if err := timelineTable(rep).Render(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, cell := range []string{"crash", "repair"} {
+	for _, cell := range []string{"fault", "crash", "repair"} {
 		if !bytes.Contains(buf.Bytes(), []byte(cell)) {
-			t.Errorf("fault timeline missing %q:\n%s", cell, buf.String())
+			t.Errorf("fleet timeline missing %q:\n%s", cell, buf.String())
 		}
 	}
+}
+
+// obsRun runs one cluster workload with tracing and metrics captured
+// in memory, returning the two exports.
+func obsRun(t *testing.T, cfg localut.ClusterConfig, sampleN int, interval float64) (traceJSON, metricsCSV []byte) {
+	t.Helper()
+	var tb, mb bytes.Buffer
+	cfg.Obs = localut.ObsConfig{
+		TraceWriter: &tb, TraceSampleN: sampleN,
+		MetricsWriter: &mb, MetricsIntervalSeconds: interval,
+	}
+	sys := localut.NewSystem(localut.WithSeed(1))
+	if _, err := sys.ServeCluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+// traceFile is the Chrome trace-event JSON envelope the export writes.
+type traceFile struct {
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	TraceEvents     []map[string]any `json:"traceEvents"`
+}
+
+// TestTraceGolden pins the Chrome trace export byte for byte on the
+// faulted golden workload, and checks it is a well-formed trace-event
+// file. Re-bless with -update after deliberate changes.
+func TestTraceGolden(t *testing.T) {
+	got, _ := obsRun(t, goldenConfig(), 1, 1)
+	path := filepath.Join("testdata", "cluster_bert_w1a3_faults.trace.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace export drifted from %s (re-bless with -update if intentional)", path)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(got, &tf); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" || len(tf.TraceEvents) == 0 {
+		t.Fatalf("malformed trace file: unit %q, %d events", tf.DisplayTimeUnit, len(tf.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph] = true
+	}
+	for _, ph := range []string{"M", "X", "i", "b", "e"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events (metadata/span/instant/async expected)", ph)
+		}
+	}
+}
+
+// TestObsDeterministic pins both exports byte for byte across fresh
+// systems: observability must be a pure function of config and seed.
+func TestObsDeterministic(t *testing.T) {
+	tr1, m1 := obsRun(t, goldenConfig(), 1, 1)
+	tr2, m2 := obsRun(t, goldenConfig(), 1, 1)
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("trace export diverged across runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics export diverged across runs")
+	}
+}
+
+// TestTraceSampling checks 1-in-N request sampling: a sampled trace
+// must carry strictly fewer request-lifecycle (async begin) events, and
+// fewer total bytes, than a full one.
+func TestTraceSampling(t *testing.T) {
+	full, _ := obsRun(t, goldenConfig(), 1, 1)
+	sampled, _ := obsRun(t, goldenConfig(), 8, 1)
+	count := func(b []byte) int { return bytes.Count(b, []byte(`"ph":"b"`)) }
+	if nf, ns := count(full), count(sampled); ns == 0 || ns >= nf {
+		t.Errorf("sampling did not thin request spans: full %d, 1-in-8 %d", nf, ns)
+	}
+	if len(sampled) >= len(full) {
+		t.Errorf("sampled trace (%d bytes) not smaller than full (%d bytes)", len(sampled), len(full))
+	}
+}
+
+// TestObsEdgeCases covers the degenerate runs the exporters must not
+// choke on: an arrival window with (almost) no traffic, a run where
+// everything is shed, and a metrics interval longer than the run.
+func TestObsEdgeCases(t *testing.T) {
+	t.Run("near-empty-window", func(t *testing.T) {
+		cfg := goldenConfig()
+		cfg.Faults = localut.ClusterFaults{}
+		cfg.RatePerSec = 0.001
+		cfg.DurationSeconds = 5
+		tr, mc := obsRun(t, cfg, 1, 1)
+		var tf traceFile
+		if err := json.Unmarshal(tr, &tf); err != nil {
+			t.Fatalf("trace invalid on near-empty window: %v", err)
+		}
+		if lines := bytes.Count(mc, []byte("\n")); lines < 2 {
+			t.Errorf("metrics export missing header or t=0 row:\n%s", mc)
+		}
+	})
+	t.Run("all-shed", func(t *testing.T) {
+		// Deadline sheds fire for work that expires while queued, so the
+		// fleet must be driven far past saturation.
+		cfg := goldenConfig()
+		cfg.Faults = localut.ClusterFaults{}
+		cfg.RatePerSec = 2000
+		cfg.DurationSeconds = 2
+		cfg.Deadlines = localut.ClusterDeadlines{DefaultSeconds: 1e-6}
+		var tb, mb bytes.Buffer
+		cfg.Obs = localut.ObsConfig{TraceWriter: &tb, MetricsWriter: &mb}
+		sys := localut.NewSystem(localut.WithSeed(1))
+		rep, err := sys.ServeCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Good != 0 || rep.Shed == 0 {
+			t.Fatalf("deadline 1µs still produced %d good (%d shed)", rep.Good, rep.Shed)
+		}
+		var tf traceFile
+		if err := json.Unmarshal(tb.Bytes(), &tf); err != nil {
+			t.Fatalf("trace invalid on all-shed run: %v", err)
+		}
+	})
+	t.Run("interval-longer-than-run", func(t *testing.T) {
+		cfg := goldenConfig()
+		cfg.Faults = localut.ClusterFaults{}
+		_, mc := obsRun(t, cfg, 1, 1e6)
+		// Header, the t=0 row, and the final flush at the makespan.
+		if lines := bytes.Count(mc, []byte("\n")); lines != 3 {
+			t.Errorf("want header + 2 rows when the interval exceeds the run, got:\n%s", mc)
+		}
+	})
 }
 
 // TestParseClasses covers the class-flag parser.

@@ -68,6 +68,10 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	hist := flag.Bool("hist", false, "print the latency histogram (table output only)")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+	traceSample := flag.Int("trace-sample", 1, "keep every N-th request's lifecycle span in the trace")
+	metricsOut := flag.String("metrics-out", "", "write interval time-series metrics to this file (.json = JSON, else CSV)")
+	metricsInterval := flag.Duration("metrics-interval", time.Second, "time-series sampling interval")
 	benchJSON := flag.String("bench-json", "", "run the simulator self-benchmark and write JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
@@ -130,6 +134,11 @@ func main() {
 	}
 	sys := localut.NewSystem(opts...)
 
+	obsCfg, closeObs, err := buildObs(*traceOut, *traceSample, *metricsOut, metricsInterval.Seconds())
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
 	rep, err := sys.Serve(localut.ServeConfig{
 		Model: m, Format: f, Design: d,
@@ -147,8 +156,12 @@ func main() {
 		OutTokens:       *outTok,
 		OutTokensMean:   *outTokMean,
 		OutTokensMax:    *outTokMax,
+		Obs:             obsCfg,
 	})
 	if err != nil {
+		fatal(err)
+	}
+	if err := closeObs(); err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start).Seconds()
@@ -180,6 +193,41 @@ func main() {
 		rep.Requests, rep.Batches, rep.DistinctForwardSims, wall)
 }
 
+// buildObs opens the requested trace/metrics outputs and returns the
+// observability config plus a closer for the opened files.
+func buildObs(tracePath string, sampleN int, metricsPath string, intervalSeconds float64) (localut.ObsConfig, func() error, error) {
+	var cfg localut.ObsConfig
+	var files []*os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return cfg, nil, err
+		}
+		files = append(files, f)
+		cfg.TraceWriter = f
+		cfg.TraceSampleN = sampleN
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return cfg, nil, err
+		}
+		files = append(files, f)
+		cfg.MetricsWriter = f
+		cfg.MetricsIntervalSeconds = intervalSeconds
+		cfg.MetricsJSON = strings.HasSuffix(metricsPath, ".json")
+	}
+	closer := func() error {
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return cfg, closer, nil
+}
+
 // reportTable flattens a serving report into a two-column table.
 func reportTable(r *localut.ServeReport) *trace.Table {
 	t := trace.NewTable(
@@ -204,6 +252,8 @@ func reportTable(r *localut.ServeReport) *trace.Table {
 		t.Add("decode steps", r.DecodeSteps)
 		t.Add("kv peak/capacity (bytes)", fmt.Sprintf("%d / %d (%.4g)",
 			r.KVPeakBytes, r.KVCapacityBytes, r.KVPeakUtilization))
+		t.Add("kv mean per replica (bytes)", fmt.Sprintf("%.4g (%.4g of capacity)",
+			r.KVMeanBytes, r.KVMeanUtilization))
 	}
 	t.Add("rank utilization", r.RankUtilization)
 	t.Add("pim share of busy time", r.PIMUtilization)

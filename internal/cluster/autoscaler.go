@@ -77,25 +77,9 @@ func (a AutoscalerConfig) withDefaults(initial int) (AutoscalerConfig, error) {
 	return a, nil
 }
 
-// ScaleEvent is one entry of the scaling timeline: every autoscaler tick
-// plus every fleet transition, in simulated-time order.
-type ScaleEvent struct {
-	T float64
-	// Action is "tick", "up-start" (instance launched, warming),
-	// "up-active" (warm-up done, routable), "drain-start" (stopped
-	// routing) or "down" (retired).
-	Action   string
-	Instance int // -1 for ticks
-	// Active counts routable instances after the action.
-	Active int
-	// P99 is the window response-start p99 a tick observed (0 when the
-	// window was empty).
-	P99 float64
-	// Samples is the window size behind P99 (ticks only).
-	Samples int
-}
-
-// scaleTick runs one autoscaler evaluation at simulated time now.
+// scaleTick runs one autoscaler evaluation at simulated time now. Ticks
+// and fleet transitions ("up-start", "up-active", "drain-start", "down")
+// land on the unified timeline with Kind KindScale.
 func (cs *csim) scaleTick(now float64) {
 	as := &cs.cfg.Autoscaler
 	n := len(cs.window)
@@ -105,8 +89,9 @@ func (cs *csim) scaleTick(now float64) {
 	}
 	cs.window = cs.window[:0]
 	active, warming, draining := cs.fleetCounts()
-	cs.timeline = append(cs.timeline, ScaleEvent{
-		T: now, Action: "tick", Instance: -1, Active: active, P99: p99, Samples: n,
+	cs.timeline = append(cs.timeline, TimelineEvent{
+		T: now, Kind: KindScale, Action: "tick", Instance: -1, Replica: -1,
+		Active: active, P99: p99, Samples: n,
 	})
 	switch {
 	case n > 0 && p99 > as.SLOSeconds && active+warming < as.MaxInstances:
@@ -129,7 +114,7 @@ func (cs *csim) launch(now float64) {
 	}
 	cs.members = append(cs.members, m)
 	active, _, _ := cs.fleetCounts()
-	cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "up-start", Instance: id, Active: active})
+	cs.scaleEvent(now, "up-start", id, active)
 	cs.pushEvent(&event{at: now + cs.cfg.Autoscaler.WarmupSeconds, inst: id, kind: evInstanceUp})
 }
 
@@ -151,7 +136,7 @@ func (cs *csim) drainOne(now float64) {
 	// events die with the epoch bump.
 	victim.bumpEpoch()
 	active, _, _ := cs.fleetCounts()
-	cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "drain-start", Instance: victim.inst.ID, Active: active})
+	cs.scaleEvent(now, "drain-start", victim.inst.ID, active)
 	cs.maybeRetire(victim, now)
 }
 

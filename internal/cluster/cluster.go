@@ -6,7 +6,9 @@ import (
 	"math/rand"
 
 	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/obs"
 	"github.com/ais-snu/localut/internal/serve"
+	"github.com/ais-snu/localut/internal/trace"
 	"github.com/ais-snu/localut/internal/workload"
 )
 
@@ -114,6 +116,13 @@ type Config struct {
 	// DeadlineSeconds is the default completion deadline for classes that
 	// don't set their own (0 = no deadline).
 	DeadlineSeconds float64
+
+	// Recorder receives request-lifecycle spans and fleet instants
+	// (crash/repair/scale/KV events); Metrics samples fleet gauges on a
+	// fixed simulated-time interval. Both are nil by default; a nil hook
+	// costs one nil check. The caller owns export after Run.
+	Recorder *obs.Recorder
+	Metrics  *obs.Metrics
 }
 
 // withDefaults fills and validates the cluster-level fields; Base is
@@ -278,7 +287,7 @@ type classState struct {
 	offered, admitted, rejected, completed int
 	good, late, retries, shed              int
 
-	tLat, ttft, tpot []float64
+	tLat, ttft, tpot *trace.LogHistogram
 }
 
 // csim is the mutable state of one cluster run.
@@ -296,15 +305,20 @@ type csim struct {
 	classes  []classState
 	nextID   int
 
-	// Cluster-wide latency populations, appended in event order.
-	qLat, sLat, tLat []float64
-	ttft, tpot       []float64
+	// Cluster-wide latency populations, streamed into bounded-memory
+	// histograms in event order. The autoscaler window stays a raw vector:
+	// it resets every tick, so it is small by construction and its p99
+	// must be exact for scaling decisions.
+	qLat, sLat, tLat *trace.LogHistogram
+	ttft, tpot       *trace.LogHistogram
 	window           []float64 // autoscaler samples since the last tick
 	makespan         float64
 
 	offered, admitted, rejected, completed int
 
-	timeline []ScaleEvent
+	// timeline is the unified fleet event stream: scale, fault and KV
+	// events in event-loop order.
+	timeline []TimelineEvent
 	peak     int // peak routable-instance count
 
 	scratch []*member // routable-member scratch, reused per event
@@ -321,7 +335,6 @@ type csim struct {
 	crashes, degradedEvents int
 	unavailableSeconds      float64
 	recoverTimes            []float64
-	faultTL                 []FaultEvent
 }
 
 func (cs *csim) pushEvent(e *event) {
@@ -353,7 +366,12 @@ func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) 
 	}
 	inst.OnFirstToken = cs.onFirstToken
 	inst.OnFinish = cs.onFinish
-	inst.OnShed = cs.onInstanceShed
+	// The closure pins the member's ID so instance-level sheds carry their
+	// origin into the unified timeline and the trace.
+	inst.OnShed = func(r *serve.Request, now float64, reason serve.ShedReason) {
+		cs.onInstanceShed(id, r, now, reason)
+	}
+	inst.SetRecorder(cs.cfg.Recorder)
 	m := &member{inst: inst, state: st, upAt: now}
 	if st == stateActive {
 		m.activeAt = now
@@ -368,8 +386,8 @@ func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) 
 // and into the autoscaler window.
 func (cs *csim) onFirstToken(r *serve.Request, now float64) {
 	t := now - r.Arrive
-	cs.ttft = append(cs.ttft, t)
-	cs.classes[r.Class].ttft = append(cs.classes[r.Class].ttft, t)
+	cs.ttft.Add(t)
+	cs.classes[r.Class].ttft.Add(t)
 	cs.window = append(cs.window, t)
 }
 
@@ -388,17 +406,20 @@ func (cs *csim) onFinish(r *serve.Request, now float64) {
 		c.late++
 	}
 	lat := r.Finish - r.Arrive
-	cs.qLat = append(cs.qLat, r.Start-r.Arrive)
-	cs.sLat = append(cs.sLat, r.Finish-r.Start)
-	cs.tLat = append(cs.tLat, lat)
-	c.tLat = append(c.tLat, lat)
+	cs.qLat.Add(r.Start - r.Arrive)
+	cs.sLat.Add(r.Finish - r.Start)
+	cs.tLat.Add(lat)
+	c.tLat.Add(lat)
 	if r.OutLen > 1 {
 		tp := (r.Finish - r.FirstTok) / float64(r.OutLen-1)
-		cs.tpot = append(cs.tpot, tp)
-		c.tpot = append(c.tpot, tp)
+		cs.tpot.Add(tp)
+		c.tpot.Add(tp)
 	}
 	if r.OutLen == 0 {
 		cs.window = append(cs.window, lat)
+	}
+	if rec := cs.cfg.Recorder; rec.Sampled(r.ID) {
+		rec.EndAsync(0, "req", r.ID, "request", now)
 	}
 	if now > cs.makespan {
 		cs.makespan = now
@@ -557,10 +578,16 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	base.Seed = cfg.Seed
-	cs := &csim{cfg: cfg, base: base, oracles: make(map[kernels.Variant]*serve.Oracle)}
+	cs := &csim{
+		cfg: cfg, base: base, oracles: make(map[kernels.Variant]*serve.Oracle),
+		qLat: trace.NewLogHistogram(), sLat: trace.NewLogHistogram(),
+		tLat: trace.NewLogHistogram(),
+		ttft: trace.NewLogHistogram(), tpot: trace.NewLogHistogram(),
+	}
 	if cs.rt, err = newRouter(cfg.Router); err != nil {
 		return nil, err
 	}
+	cfg.Recorder.Process(0, "fleet")
 	if cfg.Admission != AdmitAll && cfg.Admission != TokenBucket {
 		return nil, fmt.Errorf("cluster: unknown admission policy %d", int(cfg.Admission))
 	}
@@ -574,7 +601,12 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := classState{cfg: cc, deadline: cc.DeadlineSeconds}
+		st := classState{
+			cfg: cc, deadline: cc.DeadlineSeconds,
+			tLat: trace.NewLogHistogram(),
+			ttft: trace.NewLogHistogram(),
+			tpot: trace.NewLogHistogram(),
+		}
 		if st.deadline == 0 {
 			st.deadline = cfg.DeadlineSeconds
 		}
@@ -628,11 +660,17 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Autoscaler.Enabled {
 		cs.pushEvent(&event{at: cfg.Autoscaler.IntervalSeconds, inst: -1, kind: evScaleTick})
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Bind(cs.metricsCols(), cs.sampleMetrics)
+	}
 
 	// The shared-clock event loop.
 	for cs.events.Len() > 0 {
 		ev := heap.Pop(&cs.events).(*event)
 		now := ev.at
+		// Metrics sample before the event applies: the pre-event state is
+		// exactly the fleet's state at every boundary since the last event.
+		cfg.Metrics.Advance(now)
 		switch ev.kind {
 		case evArrival:
 			cs.offered++
@@ -641,10 +679,18 @@ func Run(cfg Config) (*Report, error) {
 			if c.bucket != nil && !c.bucket.admit(now) {
 				cs.rejected++
 				c.rejected++
+				if rec := cfg.Recorder; rec.Sampled(cs.offered) {
+					rec.Instant(0, 0, "reject", now, obs.Str("class", c.cfg.Name))
+				}
 			} else {
 				r := cs.newRequest(now, ev.class)
 				cs.admitted++
 				c.admitted++
+				if rec := cfg.Recorder; rec.Sampled(r.ID) {
+					rec.BeginAsync(0, "req", r.ID, "request", now,
+						obs.Str("class", c.cfg.Name),
+						obs.Num("tokens", float64(r.Tokens)), obs.Num("out", float64(r.OutLen)))
+				}
 				if err := cs.route(r, now, false); err != nil {
 					return nil, err
 				}
@@ -699,15 +745,63 @@ func Run(cfg Config) (*Report, error) {
 			if active > cs.peak {
 				cs.peak = active
 			}
-			cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "up-active", Instance: ev.inst, Active: active})
+			cs.scaleEvent(now, "up-active", ev.inst, active)
 		case evInstanceDown:
 			m := cs.members[ev.inst]
 			m.state = stateDown
 			m.downAt = now
 			m.bumpEpoch()
 			active, _, _ := cs.fleetCounts()
-			cs.timeline = append(cs.timeline, ScaleEvent{T: now, Action: "down", Instance: ev.inst, Active: active})
+			cs.scaleEvent(now, "down", ev.inst, active)
 		}
 	}
+	cfg.Metrics.Finish(cs.makespan)
 	return cs.report(), nil
+}
+
+// scaleEvent appends an autoscaler lifecycle entry to the unified
+// timeline and mirrors it into the trace as a fleet-track instant.
+func (cs *csim) scaleEvent(now float64, action string, inst, active int) {
+	cs.timeline = append(cs.timeline, TimelineEvent{
+		T: now, Kind: KindScale, Action: action, Instance: inst, Replica: -1, Active: active,
+	})
+	cs.cfg.Recorder.Instant(0, 0, action, now,
+		obs.Num("instance", float64(inst)), obs.Num("active", float64(active)))
+}
+
+// metricsCols names the fleet metrics columns: fleet size and summed
+// queue/batch/KV gauges, then per-class cumulative admit/shed/good
+// counters (rates are first differences over the sampling interval).
+func (cs *csim) metricsCols() []string {
+	cols := []string{"fleet_active", "fleet_total", "queue_depth", "live", "busy_replicas", "kv_bytes"}
+	for i := range cs.classes {
+		name := cs.classes[i].cfg.Name
+		cols = append(cols, "admitted_"+name, "shed_"+name, "good_"+name)
+	}
+	return cols
+}
+
+// sampleMetrics reads the gauges metricsCols names from current state.
+func (cs *csim) sampleMetrics(now float64) []float64 {
+	active, warming, draining := cs.fleetCounts()
+	queue, live, busy := 0, 0, 0
+	var kv int64
+	for _, m := range cs.members {
+		if m.state == stateDown || m.state == stateCrashed {
+			continue
+		}
+		queue += m.inst.QueueLen()
+		live += m.inst.LiveCount()
+		busy += m.inst.BusyReplicas()
+		kv += m.inst.KVPinnedBytes()
+	}
+	vals := []float64{
+		float64(active), float64(active + warming + draining),
+		float64(queue), float64(live), float64(busy), float64(kv),
+	}
+	for i := range cs.classes {
+		c := &cs.classes[i]
+		vals = append(vals, float64(c.admitted), float64(c.shed), float64(c.good))
+	}
+	return vals
 }

@@ -199,7 +199,10 @@ func TestClusterAutoscaler(t *testing.T) {
 	}
 	var ups, downs, lastTickP99 float64
 	var sawTick bool
-	for _, ev := range rep.Scaling {
+	for _, ev := range rep.Timeline {
+		if ev.Kind != KindScale {
+			continue
+		}
 		switch ev.Action {
 		case "up-active":
 			ups++
@@ -213,7 +216,7 @@ func TestClusterAutoscaler(t *testing.T) {
 		}
 	}
 	if !sawTick || ups == 0 || downs == 0 {
-		t.Fatalf("timeline missing phases (ticks=%v ups=%g downs=%g): %+v", sawTick, ups, downs, rep.Scaling)
+		t.Fatalf("timeline missing phases (ticks=%v ups=%g downs=%g): %+v", sawTick, ups, downs, rep.Timeline)
 	}
 	if ups != downs {
 		t.Errorf("%g scale-ups but %g retirements (every extra instance must drain)", ups, downs)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"github.com/ais-snu/localut/internal/obs"
 	"github.com/ais-snu/localut/internal/serve"
 )
 
@@ -114,21 +115,19 @@ func (r RetryConfig) backoff(attempt int) float64 {
 	return d
 }
 
-// FaultEvent is one entry of the fault timeline, in simulated-time order.
-type FaultEvent struct {
-	T float64
-	// Action is "crash" (instance fail-stop), "repair" (instance back in
-	// service), "degrade" (one replica lost) or "replica-repair".
-	Action   string
-	Instance int
-	// Replica is the failed/repaired replica for degraded-mode events, -1
-	// for whole-instance events.
-	Replica int
-	// Active counts routable instances after the event.
-	Active int
-	// RecoverSeconds is the crash-to-repair outage length ("repair" only),
-	// including the exponential repair delay and LUT re-materialization.
-	RecoverSeconds float64 `json:",omitempty"`
+// faultEvent appends a fault-injection entry ("crash", "repair",
+// "degrade", "replica-repair") to the unified timeline and mirrors it
+// into the trace as an instant on the instance's track.
+func (cs *csim) faultEvent(now float64, action string, inst, rep, active int, recover float64) {
+	cs.timeline = append(cs.timeline, TimelineEvent{
+		T: now, Kind: KindFault, Action: action, Instance: inst, Replica: rep,
+		Active: active, RecoverSeconds: recover,
+	})
+	tid := 0
+	if rep >= 0 {
+		tid = rep + 1
+	}
+	cs.cfg.Recorder.Instant(inst+1, tid, action, now, obs.Num("active", float64(active)))
 }
 
 // Per-member fault streams: seeds are decoupled per instance ID so the
@@ -149,6 +148,19 @@ const (
 	shedRetries                    // retry budget exhausted
 )
 
+func (c shedCause) String() string {
+	switch c {
+	case shedExpired:
+		return "expired"
+	case shedKVBudget:
+		return "kv"
+	case shedQueueFull:
+		return "queue-full"
+	default:
+		return "retries"
+	}
+}
+
 // shedRequest accounts a dropped request. After the drain, every admitted
 // request is exactly one of: completed or shed.
 func (cs *csim) shedRequest(r *serve.Request, now float64, cause shedCause) {
@@ -164,18 +176,30 @@ func (cs *csim) shedRequest(r *serve.Request, now float64, cause shedCause) {
 	case shedRetries:
 		cs.shedRetries++
 	}
+	if rec := cs.cfg.Recorder; rec.Sampled(r.ID) {
+		rec.Instant(0, 0, "shed", now,
+			obs.Num("id", float64(r.ID)), obs.Str("cause", cause.String()))
+		rec.EndAsync(0, "req", r.ID, "request", now)
+	}
 	if now > cs.makespan {
 		cs.makespan = now
 	}
 }
 
-// onInstanceShed adapts an Instance's shed callback to cluster accounting.
-func (cs *csim) onInstanceShed(r *serve.Request, now float64, reason serve.ShedReason) {
+// onInstanceShed adapts an Instance's shed callback to cluster accounting;
+// inst is the shedding member's ID (pinned by the per-member closure).
+// KV-pressure sheds are fleet-health signals, so they also land on the
+// unified timeline.
+func (cs *csim) onInstanceShed(inst int, r *serve.Request, now float64, reason serve.ShedReason) {
 	if reason == serve.ShedDeadline {
 		cs.shedRequest(r, now, shedExpired)
-	} else {
-		cs.shedRequest(r, now, shedKVBudget)
+		return
 	}
+	active, _, _ := cs.fleetCounts()
+	cs.timeline = append(cs.timeline, TimelineEvent{
+		T: now, Kind: KindKV, Action: "kv-shed", Instance: inst, Replica: -1, Active: active,
+	})
+	cs.shedRequest(r, now, shedKVBudget)
 }
 
 // scheduleFault draws member m's next fault from its own stream and
@@ -208,7 +232,7 @@ func (cs *csim) onFault(ev *event, now float64) {
 		lost, rep := m.inst.FailReplica(now)
 		cs.degradedEvents++
 		active, _, _ := cs.fleetCounts()
-		cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "degrade", Instance: ev.inst, Replica: rep, Active: active})
+		cs.faultEvent(now, "degrade", ev.inst, rep, active, 0)
 		cs.pushEvent(&event{at: now + m.faultRNG.ExpFloat64()*f.MTTRSeconds + cs.rematReplica,
 			inst: ev.inst, kind: evReplicaRepair})
 		for _, r := range lost {
@@ -223,7 +247,7 @@ func (cs *csim) onFault(ev *event, now float64) {
 	m.crashAt = now
 	cs.crashes++
 	active, _, _ := cs.fleetCounts()
-	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "crash", Instance: ev.inst, Replica: -1, Active: active})
+	cs.faultEvent(now, "crash", ev.inst, -1, active, 0)
 	cs.pushEvent(&event{at: now + m.faultRNG.ExpFloat64()*f.MTTRSeconds + cs.rematFull,
 		inst: ev.inst, kind: evInstanceRepair})
 	for _, r := range queued {
@@ -249,8 +273,7 @@ func (cs *csim) onRepair(ev *event, now float64) error {
 	if active > cs.peak {
 		cs.peak = active
 	}
-	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "repair", Instance: ev.inst, Replica: -1,
-		Active: active, RecoverSeconds: rec})
+	cs.faultEvent(now, "repair", ev.inst, -1, active, rec)
 	cs.scheduleFault(m, now)
 	return cs.dispatch(m, now)
 }
@@ -268,7 +291,7 @@ func (cs *csim) onReplicaRepair(ev *event, now float64) error {
 		return nil
 	}
 	active, _, _ := cs.fleetCounts()
-	cs.faultTL = append(cs.faultTL, FaultEvent{T: now, Action: "replica-repair", Instance: ev.inst, Replica: rep, Active: active})
+	cs.faultEvent(now, "replica-repair", ev.inst, rep, active, 0)
 	return cs.dispatch(m, now)
 }
 

@@ -73,7 +73,10 @@ func TestClusterFaultDemo(t *testing.T) {
 	// repair events closed.
 	var crashEvents, repairEvents int
 	var recSum float64
-	for _, ev := range rep.Faults {
+	for _, ev := range rep.Timeline {
+		if ev.Kind != KindFault {
+			continue
+		}
 		switch ev.Action {
 		case "crash":
 			crashEvents++
@@ -98,8 +101,14 @@ func TestClusterFaultDemo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cleanRep.Crashes != 0 || len(cleanRep.Faults) != 0 {
-		t.Fatalf("fault-free twin reported faults: %+v", cleanRep.Faults)
+	cleanFaults := 0
+	for _, ev := range cleanRep.Timeline {
+		if ev.Kind == KindFault {
+			cleanFaults++
+		}
+	}
+	if cleanRep.Crashes != 0 || cleanFaults != 0 {
+		t.Fatalf("fault-free twin reported faults: %+v", cleanRep.Timeline)
 	}
 	if rep.GoodputPerSec < 0.95*cleanRep.GoodputPerSec {
 		t.Errorf("goodput %g dropped more than 5%% below fault-free %g",
@@ -191,7 +200,10 @@ func TestClusterDegradedMode(t *testing.T) {
 		t.Fatal("no degraded-mode faults landed")
 	}
 	var degrades, repairs int
-	for _, ev := range rep.Faults {
+	for _, ev := range rep.Timeline {
+		if ev.Kind != KindFault {
+			continue
+		}
 		switch ev.Action {
 		case "degrade":
 			degrades++

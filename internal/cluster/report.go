@@ -37,6 +37,11 @@ type InstanceReport struct {
 	TokensIn, TokensPadded, TokensOut int64
 	EnergyJ                           float64
 	KVPeakBytes, KVCapacityBytes      int64
+	// KVMeanBytes is the time-weighted mean KV footprint per replica over
+	// the member's routable life; KVMeanUtilization is its share of
+	// capacity. The peak alone hides sustained pressure.
+	KVMeanBytes       float64
+	KVMeanUtilization float64
 }
 
 // ClassReport summarizes one SLO class's population.
@@ -140,10 +145,15 @@ type Report struct {
 	Instances []InstanceReport
 	Classes   []ClassReport
 
-	// Scaling is the autoscaler timeline (empty when disabled); Faults is
-	// the fault-injection timeline (empty when disabled).
-	Scaling []ScaleEvent `json:",omitempty"`
-	Faults  []FaultEvent `json:",omitempty"`
+	// Fleet KV pressure, time-weighted across member lifetimes: mean bytes
+	// pinned per replica and its share of per-replica capacity.
+	KVMeanBytes       float64
+	KVMeanUtilization float64
+
+	// Timeline is the unified event stream: autoscaler actions, fault
+	// injections/repairs and KV-pressure sheds in event order (empty when
+	// neither subsystem is enabled).
+	Timeline []TimelineEvent `json:",omitempty"`
 }
 
 func (cs *csim) report() *Report {
@@ -158,12 +168,12 @@ func (cs *csim) report() *Report {
 		Completed:        cs.completed,
 		DurationSeconds:  cs.cfg.DurationSeconds,
 		MakespanSeconds:  cs.makespan,
-		Queue:            serve.StatsOf(cs.qLat),
-		Service:          serve.StatsOf(cs.sLat),
-		Latency:          serve.StatsOf(cs.tLat),
-		TTFT:             serve.StatsOf(cs.ttft),
-		TPOT:             serve.StatsOf(cs.tpot),
-		Scaling:          cs.timeline,
+		Queue:            serve.HistStats(cs.qLat),
+		Service:          serve.HistStats(cs.sLat),
+		Latency:          serve.HistStats(cs.tLat),
+		TTFT:             serve.HistStats(cs.ttft),
+		TPOT:             serve.HistStats(cs.tpot),
+		Timeline:         cs.timeline,
 
 		Good:               cs.good,
 		DeadlineMisses:     cs.late,
@@ -179,7 +189,6 @@ func (cs *csim) report() *Report {
 		UnavailableSeconds: cs.unavailableSeconds,
 		TimeToRecover:      serve.StatsOf(cs.recoverTimes),
 		LUTRematSeconds:    cs.rematFull,
-		Faults:             cs.faultTL,
 	}
 	rep.OfferedPerSec = float64(cs.offered) / cs.cfg.DurationSeconds
 	if cs.makespan > 0 {
@@ -187,6 +196,7 @@ func (cs *csim) report() *Report {
 		rep.GoodputPerSec = float64(cs.good) / cs.makespan
 	}
 
+	var kvByteSecSum, kvReplicaSecSum float64
 	for _, m := range cs.members {
 		st := m.inst.Stats()
 		ir := InstanceReport{
@@ -229,6 +239,15 @@ func (cs *csim) report() *Report {
 		if busyTotal > 0 {
 			ir.PIMShare = st.PIMBusySeconds / busyTotal
 		}
+		kvByteSec := m.inst.KVByteSeconds(end)
+		if span := end - ir.UpAt; span > 0 && ir.Replicas > 0 {
+			ir.KVMeanBytes = kvByteSec / (span * float64(ir.Replicas))
+			if st.KVCapacityBytes > 0 {
+				ir.KVMeanUtilization = ir.KVMeanBytes / float64(st.KVCapacityBytes)
+			}
+			kvByteSecSum += kvByteSec
+			kvReplicaSecSum += span * float64(ir.Replicas)
+		}
 		rep.TokensIn += st.TokensIn
 		rep.TokensPadded += st.TokensPadded
 		rep.TokensOut += st.TokensOut
@@ -243,6 +262,12 @@ func (cs *csim) report() *Report {
 			rep.InstancesFinal++
 		}
 		rep.Instances = append(rep.Instances, ir)
+	}
+	if kvReplicaSecSum > 0 {
+		rep.KVMeanBytes = kvByteSecSum / kvReplicaSecSum
+		if rep.KVCapacityBytes > 0 {
+			rep.KVMeanUtilization = rep.KVMeanBytes / float64(rep.KVCapacityBytes)
+		}
 	}
 	if cs.completed > 0 {
 		rep.EnergyPerRequestJ = rep.EnergyJ / float64(cs.completed)
@@ -272,9 +297,9 @@ func (cs *csim) report() *Report {
 			Shed:            c.shed,
 			Retries:         c.retries,
 			DeadlineSeconds: c.deadline,
-			Latency:         serve.StatsOf(c.tLat),
-			TTFT:            serve.StatsOf(c.ttft),
-			TPOT:            serve.StatsOf(c.tpot),
+			Latency:         serve.HistStats(c.tLat),
+			TTFT:            serve.HistStats(c.ttft),
+			TPOT:            serve.HistStats(c.tpot),
 			TTFTp99SLO:      c.cfg.TTFTp99SLO,
 			LatencyP99SLO:   c.cfg.LatencyP99SLO,
 			TPOTp99SLO:      c.cfg.TPOTp99SLO,

@@ -1,0 +1,37 @@
+package cluster
+
+// Timeline event kinds. One ordered stream carries autoscaler actions,
+// fault injections/repairs and KV-pressure sheds, replacing the separate
+// scaling and fault timelines: a crash and the scale-up it triggers read
+// in order, from one schema, through one rendering path.
+const (
+	// KindScale marks autoscaler activity: "tick", "up-start",
+	// "up-active", "drain-start", "down".
+	KindScale = "scale"
+	// KindFault marks fault injection and recovery: "crash", "repair",
+	// "degrade", "replica-repair".
+	KindFault = "fault"
+	// KindKV marks KV-pressure sheds under the KVShed policy ("kv-shed").
+	KindKV = "kv"
+)
+
+// TimelineEvent is one entry of the unified fleet timeline. Events are
+// appended in event-loop order, so the slice is time-ordered and
+// deterministic.
+type TimelineEvent struct {
+	T      float64
+	Kind   string // KindScale, KindFault, KindKV
+	Action string
+	// Instance is the affected member (-1 for fleet-level entries such as
+	// autoscaler ticks); Replica is the affected replica for degraded-mode
+	// faults (-1 otherwise).
+	Instance int
+	Replica  int
+	// Active is the routable-instance count after the event.
+	Active int
+	// P99 and Samples describe the autoscaler window behind a tick.
+	P99     float64 `json:",omitempty"`
+	Samples int     `json:",omitempty"`
+	// RecoverSeconds is the crash-to-repair outage a "repair" entry ends.
+	RecoverSeconds float64 `json:",omitempty"`
+}

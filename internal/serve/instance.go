@@ -1,6 +1,10 @@
 package serve
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/obs"
+)
 
 // Request is one inference request moving through a simulator. The serve
 // package's single-appliance loop and the cluster package's fleet loop
@@ -122,6 +126,10 @@ type Instance struct {
 	OnFinish     func(r *Request, now float64)
 	OnShed       func(r *Request, now float64, reason ShedReason)
 
+	// rec receives batch spans (prefill/decode passes) and KV-stall
+	// instants. Nil — the default — makes every hook a single nil check.
+	rec *obs.Recorder
+
 	oracle *Oracle
 	sched  scheduler
 	q      queue
@@ -150,6 +158,13 @@ type Instance struct {
 	repKVTokens  []int64 // KV tokens currently pinned per replica (live contexts + in-flight prefill prompts)
 	queuedTokens int64   // prompt tokens waiting in the queue
 	liveTokens   int64   // context tokens held by live decode requests
+
+	// Time integral of the KV gauge, for the time-weighted mean the peak
+	// alone hides: kvByteSec accumulates bytes*seconds across replicas,
+	// with kvLast the last accumulation instant per replica. Maintained by
+	// touchKV before every repKVTokens mutation.
+	kvByteSec float64
+	kvLast    []float64
 
 	outstanding int // admitted but not yet finished
 	admitted    int
@@ -198,6 +213,7 @@ func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
 		passPIM:     make([]float64, cfg.Replicas),
 		passEnergy:  make([]float64, cfg.Replicas),
 		repKVTokens: make([]int64, cfg.Replicas),
+		kvLast:      make([]float64, cfg.Replicas),
 		kvPerToken:  2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem,
 	}
 	// One replica's DRAM capacity net of the LUT budget: the part of the
@@ -209,6 +225,41 @@ func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
 	}
 	inst.kvCapacity = int64(rankShare*pcfg.BanksPerRank) * (pcfg.MRAMBytes - pcfg.MRAMLUTBudget())
 	return inst, nil
+}
+
+// SetRecorder attaches a trace recorder and registers the instance's
+// tracks: pid ID+1, tid 0 for instance-level events and tid r+1 per
+// replica. Safe to call with nil (tracing off) and after lifecycle churn
+// (re-registration dedups).
+func (inst *Instance) SetRecorder(rec *obs.Recorder) {
+	inst.rec = rec
+	pid := inst.ID + 1
+	rec.Process(pid, fmt.Sprintf("instance %d (%s)", inst.ID, inst.Cfg.Variant))
+	for r := 0; r < inst.Cfg.Replicas; r++ {
+		rec.Thread(pid, r+1, fmt.Sprintf("replica %d", r))
+	}
+}
+
+// touchKV integrates the replica's KV footprint up to now. It must run
+// before every repKVTokens mutation so kvByteSec is the exact time
+// integral of the gauge. The pre-first-prefill stretch integrates zero
+// bytes, so the zero-initialized kvLast is correct even for instances
+// launched mid-run.
+func (inst *Instance) touchKV(rep int, now float64) {
+	if dt := now - inst.kvLast[rep]; dt > 0 {
+		inst.kvByteSec += float64(inst.repKVTokens[rep]*inst.kvPerToken) * dt
+	}
+	inst.kvLast[rep] = now
+}
+
+// KVByteSeconds flushes every replica's gauge to end and returns the
+// accumulated bytes*seconds integral across replicas. Divide by
+// span*replicas for the time-weighted mean KV footprint per replica.
+func (inst *Instance) KVByteSeconds(end float64) float64 {
+	for rep := range inst.repKVTokens {
+		inst.touchKV(rep, end)
+	}
+	return inst.kvByteSec
 }
 
 // Admit enqueues an arrived request. It reports false — and leaves all
@@ -293,11 +344,14 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 		inst.inflight[rep] = batch
 		// The pass materializes every member's prompt KV on this replica;
 		// the gauge must see prefill writes, not just decode contexts.
+		inst.touchKV(rep, now)
 		inst.repKVTokens[rep] += int64(kvTok)
 		if kv := inst.repKVTokens[rep] * inst.kvPerToken; kv > inst.kvPeak {
 			inst.kvPeak = kv
 		}
 		inst.notePass(rep, now, cost)
+		inst.rec.Span(inst.ID+1, rep+1, "prefill", now, cost.seconds,
+			obs.Num("reqs", float64(len(batch))), obs.Num("tokens", float64(padTokens)))
 		return Completion{At: now + cost.seconds, Kind: CompletionPrefill, Replica: rep, Epoch: inst.repEpoch[rep], Batch: batch}, true, nil
 	}
 	if live := inst.live[rep]; len(live) > 0 {
@@ -326,6 +380,8 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 			inst.kvPeak = kv
 		}
 		inst.notePass(rep, now, cost)
+		inst.rec.Span(inst.ID+1, rep+1, "decode", now, cost.seconds,
+			obs.Num("n", float64(n)), obs.Num("ctx", float64(ctx)))
 		return Completion{At: now + cost.seconds, Kind: CompletionStep, Replica: rep, Epoch: inst.repEpoch[rep]}, true, nil
 	}
 	return Completion{}, false, nil
@@ -380,6 +436,8 @@ func (inst *Instance) fitKV(rep int, batch []*Request, now float64) ([]*Request,
 	}
 	inst.q.pushFront(rest)
 	if n == 0 {
+		inst.rec.Instant(inst.ID+1, rep+1, "kv-stall", now,
+			obs.Num("waiting", float64(len(rest))))
 		return nil, true
 	}
 	return batch[:n], false
@@ -445,6 +503,7 @@ func (inst *Instance) Crash(now float64) (queued, started []*Request) {
 		inst.live[rep] = nil
 		inst.replicaBusy[rep] = false
 		inst.repDown[rep] = false
+		inst.touchKV(rep, now)
 		inst.repKVTokens[rep] = 0
 		inst.repEpoch[rep]++
 	}
@@ -483,6 +542,7 @@ func (inst *Instance) FailReplica(now float64) (lost []*Request, rep int) {
 	inst.live[rep] = nil
 	inst.replicaBusy[rep] = false
 	inst.repDown[rep] = true
+	inst.touchKV(rep, now)
 	inst.repKVTokens[rep] = 0
 	inst.repEpoch[rep]++
 	inst.outstanding -= len(lost)
@@ -524,6 +584,7 @@ func (inst *Instance) ReplicaEpoch(rep int) int { return inst.repEpoch[rep] }
 func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 	inst.replicaBusy[replica] = false
 	inst.inflight[replica] = nil
+	inst.touchKV(replica, now)
 	for _, r := range batch {
 		r.FirstTok = now
 		if r.OutLen > 0 && inst.OnFirstToken != nil {
@@ -546,6 +607,7 @@ func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 // gained one token; finished requests retire, survivors stay live.
 func (inst *Instance) StepDone(replica int, now float64) {
 	inst.replicaBusy[replica] = false
+	inst.touchKV(replica, now)
 	live := inst.live[replica]
 	surv := live[:0]
 	for _, r := range live {
@@ -600,6 +662,43 @@ func (inst *Instance) KVFreeBytes() int64 { return inst.kvCapacity - inst.KVDema
 // Oracle returns the instance's pricing oracle (shared across a fleet of
 // identical appliances).
 func (inst *Instance) Oracle() *Oracle { return inst.oracle }
+
+// LiveCount reports requests currently in a decode batch, across replicas
+// — the live-batch-occupancy metrics gauge.
+func (inst *Instance) LiveCount() int {
+	n := 0
+	for _, l := range inst.live {
+		n += len(l)
+	}
+	return n
+}
+
+// BusyReplicas counts replicas with a pass in flight.
+func (inst *Instance) BusyReplicas() int {
+	n := 0
+	for _, b := range inst.replicaBusy {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// KVPinnedBytes reports the KV bytes currently pinned across replicas —
+// the instantaneous value of the gauge Peak/Mean summarize.
+func (inst *Instance) KVPinnedBytes() int64 {
+	var tok int64
+	for _, t := range inst.repKVTokens {
+		tok += t
+	}
+	return tok * inst.kvPerToken
+}
+
+// Admitted, Finished and ShedCount expose the cumulative service counters
+// metrics sampling reads between events.
+func (inst *Instance) Admitted() int  { return inst.admitted }
+func (inst *Instance) Finished() int  { return inst.finished }
+func (inst *Instance) ShedCount() int { return inst.shed }
 
 // InstanceStats is a snapshot of an instance's service counters, taken
 // for per-instance cluster reporting.

@@ -9,6 +9,7 @@ import (
 	"github.com/ais-snu/localut/internal/energy"
 	"github.com/ais-snu/localut/internal/gemm"
 	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/obs"
 	"github.com/ais-snu/localut/internal/quant"
 	"github.com/ais-snu/localut/internal/trace"
 	"github.com/ais-snu/localut/internal/workload"
@@ -91,6 +92,13 @@ type Config struct {
 	OutTokensMean float64
 	// OutTokensMax caps sampled output lengths (default 4*OutTokensMean).
 	OutTokensMax int
+
+	// Recorder receives request-lifecycle and batch-pass trace events;
+	// Metrics samples gauges on a fixed simulated-time interval. Both are
+	// observability hooks, nil by default — a nil hook costs one nil check
+	// per call site. The caller owns export (WriteJSON/WriteCSV) after Run.
+	Recorder *obs.Recorder
+	Metrics  *obs.Metrics
 }
 
 // NormalizeInstance fills and validates the per-instance (service-side)
@@ -230,6 +238,23 @@ func StatsOf(vals []float64) Stats {
 	return s
 }
 
+// HistStats summarizes a streaming log-bucket histogram: quantiles come
+// from the buckets (within one bucket width of the sorted estimate), Mean
+// and Max are exact. This is the bounded-memory replacement for keeping
+// every latency sample and sorting at report time.
+func HistStats(h *trace.LogHistogram) Stats {
+	if h == nil || h.N == 0 {
+		return Stats{}
+	}
+	return Stats{
+		P50:  h.Quantile(0.5),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		Mean: h.Mean(),
+		Max:  h.Max(),
+	}
+}
+
 // Report is the outcome of one serving simulation. Same config + seed =>
 // bit-identical Report.
 type Report struct {
@@ -292,6 +317,11 @@ type Report struct {
 	KVPeakBytes       int64
 	KVCapacityBytes   int64
 	KVPeakUtilization float64
+	// KVMeanBytes is the time-weighted mean KV footprint per replica over
+	// the makespan (the peak alone hides sustained pressure);
+	// KVMeanUtilization is its share of capacity.
+	KVMeanBytes       float64
+	KVMeanUtilization float64
 
 	// DistinctForwardSims counts the planner executions behind the whole
 	// run — the memoization that makes million-request simulation cheap.
@@ -356,8 +386,12 @@ type sim struct {
 	requests int
 	shed     int
 
-	qLat, sLat, tLat []float64
-	ttft, tpot       []float64
+	// Latency populations aggregate into bounded-memory streaming
+	// histograms as requests complete — exact count/mean/max, quantiles
+	// from the buckets.
+	qLat, sLat, tLat *trace.LogHistogram
+	ttft, tpot       *trace.LogHistogram
+	completed        int
 	makespan         float64
 }
 
@@ -406,19 +440,31 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &sim{cfg: cfg}
+	s := &sim{
+		cfg:  cfg,
+		qLat: trace.NewLogHistogram(), sLat: trace.NewLogHistogram(),
+		tLat: trace.NewLogHistogram(),
+		ttft: trace.NewLogHistogram(), tpot: trace.NewLogHistogram(),
+	}
 	if s.inst, err = NewInstance(cfg, 0, nil); err != nil {
 		return nil, err
 	}
+	rec := cfg.Recorder
+	s.inst.SetRecorder(rec)
+	rec.Process(0, "traffic")
 	s.inst.OnFirstToken = func(r *Request, now float64) {
-		s.ttft = append(s.ttft, now-r.Arrive)
+		s.ttft.Add(now - r.Arrive)
 	}
 	s.inst.OnFinish = func(r *Request, now float64) {
-		s.qLat = append(s.qLat, r.Start-r.Arrive)
-		s.sLat = append(s.sLat, r.Finish-r.Start)
-		s.tLat = append(s.tLat, r.Finish-r.Arrive)
+		s.qLat.Add(r.Start - r.Arrive)
+		s.sLat.Add(r.Finish - r.Start)
+		s.tLat.Add(r.Finish - r.Arrive)
+		s.completed++
 		if r.OutLen > 1 {
-			s.tpot = append(s.tpot, (r.Finish-r.FirstTok)/float64(r.OutLen-1))
+			s.tpot.Add((r.Finish - r.FirstTok) / float64(r.OutLen-1))
+		}
+		if rec.Sampled(r.ID) {
+			rec.EndAsync(0, "req", r.ID, "request", now)
 		}
 		if now > s.makespan {
 			s.makespan = now
@@ -428,6 +474,18 @@ func Run(cfg Config) (*Report, error) {
 				s.pushEvent(&event{at: t, kind: evArrival, req: &Request{Client: r.Client}})
 			}
 		}
+	}
+	s.inst.OnShed = func(r *Request, now float64, reason ShedReason) {
+		if rec.Sampled(r.ID) {
+			rec.Instant(0, 0, "shed", now, obs.Num("id", float64(r.ID)), obs.Num("reason", float64(reason)))
+			rec.EndAsync(0, "req", r.ID, "request", now)
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Bind(
+			serveMetricsCols(cfg.Replicas),
+			func(now float64) []float64 { return s.sampleMetrics() },
+		)
 	}
 	if s.lengths, err = workload.NewLengthSampler(cfg.MinTokens, cfg.MaxTokens, cfg.MeanTokens, cfg.Seed+1); err != nil {
 		return nil, err
@@ -475,6 +533,10 @@ func Run(cfg Config) (*Report, error) {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		now := ev.at
+		// Metrics sample before the event applies: the pre-event state is
+		// exactly the simulator's state at every boundary since the last
+		// event.
+		cfg.Metrics.Advance(now)
 		switch ev.kind {
 		case evArrival:
 			client := -1
@@ -483,7 +545,16 @@ func Run(cfg Config) (*Report, error) {
 			}
 			r := s.newRequest(now, client)
 			s.requests++
-			if !s.inst.Admit(r) {
+			admitted := s.inst.Admit(r)
+			if rec.Sampled(r.ID) {
+				rec.BeginAsync(0, "req", r.ID, "request", now,
+					obs.Num("tokens", float64(r.Tokens)), obs.Num("out", float64(r.OutLen)))
+				if !admitted {
+					rec.Instant(0, 0, "reject", now, obs.Num("id", float64(r.ID)))
+					rec.EndAsync(0, "req", r.ID, "request", now)
+				}
+			}
+			if !admitted {
 				s.shed++ // single appliance: nowhere to reroute
 			}
 			if s.arrivals != nil {
@@ -500,7 +571,40 @@ func Run(cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
+	cfg.Metrics.Finish(s.makespan)
 	return s.report(), nil
+}
+
+// serveMetricsCols names the single-appliance metrics columns: queue and
+// batch gauges, per-replica KV bytes, busy fraction and the cumulative
+// service counters.
+func serveMetricsCols(replicas int) []string {
+	cols := []string{"queue_depth", "live", "busy_frac", "admitted", "completed", "shed"}
+	for r := 0; r < replicas; r++ {
+		cols = append(cols, fmt.Sprintf("kv_bytes_r%d", r))
+	}
+	return cols
+}
+
+// sampleMetrics reads the gauges serveMetricsCols names.
+func (s *sim) sampleMetrics() []float64 {
+	inst := s.inst
+	busy := 0.0
+	if s.cfg.Replicas > 0 {
+		busy = float64(inst.BusyReplicas()) / float64(s.cfg.Replicas)
+	}
+	vals := []float64{
+		float64(inst.QueueLen()),
+		float64(inst.LiveCount()),
+		busy,
+		float64(inst.Admitted()),
+		float64(inst.Finished()),
+		float64(s.shed + inst.ShedCount()),
+	}
+	for r := 0; r < s.cfg.Replicas; r++ {
+		vals = append(vals, float64(inst.repKVTokens[r]*inst.kvPerToken))
+	}
+	return vals
 }
 
 // report assembles the final metrics.
@@ -515,18 +619,18 @@ func (s *sim) report() *Report {
 		Replicas:  cfg.Replicas,
 
 		Requests:        s.requests,
-		Completed:       len(s.tLat),
+		Completed:       s.completed,
 		Shed:            s.shed + inst.shed,
 		Batches:         inst.batches,
 		DecodeSteps:     inst.steps,
 		DurationSeconds: cfg.DurationSeconds,
 		MakespanSeconds: s.makespan,
 
-		Queue:   StatsOf(s.qLat),
-		Service: StatsOf(s.sLat),
-		Latency: StatsOf(s.tLat),
-		TTFT:    StatsOf(s.ttft),
-		TPOT:    StatsOf(s.tpot),
+		Queue:   HistStats(s.qLat),
+		Service: HistStats(s.sLat),
+		Latency: HistStats(s.tLat),
+		TTFT:    HistStats(s.ttft),
+		TPOT:    HistStats(s.tpot),
 
 		TokensIn:     inst.tokensIn,
 		TokensPadded: inst.tokensPadded,
@@ -558,15 +662,16 @@ func (s *sim) report() *Report {
 		if totalBusy > 0 {
 			r.PIMUtilization = inst.pimBusy / totalBusy
 		}
+		r.KVMeanBytes = inst.KVByteSeconds(s.makespan) / (s.makespan * float64(cfg.Replicas))
+		if r.KVCapacityBytes > 0 {
+			r.KVMeanUtilization = r.KVMeanBytes / float64(r.KVCapacityBytes)
+		}
 	}
 	if r.Completed > 0 {
 		r.EnergyPerRequestJ = inst.energyJ / float64(r.Completed)
 		// Nextafter keeps the maximum inside the half-open top bucket.
 		hi := math.Nextafter(r.Latency.Max, math.Inf(1))
-		if hist, err := trace.NewHistogram(0, hi, 20); err == nil {
-			for _, v := range s.tLat {
-				hist.Add(v)
-			}
+		if hist, err := s.tLat.ToFixed(0, hi, 20); err == nil {
 			r.LatencyHist = hist
 		}
 	}

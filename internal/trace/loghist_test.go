@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortFloat64s(v []float64) { sort.Float64s(v) }
+
+// TestLogHistogramExactAggregates pins the exact side of the aggregate:
+// count, sum, min and max must match the raw samples bit for bit.
+func TestLogHistogramExactAggregates(t *testing.T) {
+	h := NewLogHistogram()
+	vals := []float64{0.5, 0.001, 3.25, 0.5, 12, 0.25}
+	var sum float64
+	for _, v := range vals {
+		h.Add(v)
+		sum += v
+	}
+	if h.N != int64(len(vals)) {
+		t.Errorf("N = %d, want %d", h.N, len(vals))
+	}
+	if h.Sum != sum {
+		t.Errorf("Sum = %g, want %g", h.Sum, sum)
+	}
+	if h.MinV != 0.001 || h.MaxV != 12 {
+		t.Errorf("Min/Max = %g/%g, want 0.001/12", h.MinV, h.MaxV)
+	}
+	if got := h.Mean(); got != sum/float64(len(vals)) {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+// TestLogHistogramQuantileVsSorted is the satellite cross-check: on random
+// workload-shaped samples, bucket quantiles must match the sorted-sample
+// estimator within one bucket width (a factor of Base in either direction).
+func TestLogHistogramQuantileVsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 10, 1000, 20000} {
+		h := NewLogHistogram()
+		vals := make([]float64, n)
+		for i := range vals {
+			// Lognormal-ish latencies spanning several decades.
+			vals[i] = math.Exp(rng.NormFloat64()*1.5 - 3)
+			h.Add(vals[i])
+		}
+		sorted := append([]float64(nil), vals...)
+		sortFloat64s(sorted)
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			got := h.Quantile(q)
+			// The sorted estimator interpolates between two order
+			// statistics; the bucket estimator must land within one
+			// bucket width of that bracketing range (for dense samples
+			// the range collapses and this is the strict "within one
+			// bucket of the sorted value" check).
+			pos := q * float64(n-1)
+			lo := sorted[int(math.Floor(pos))] / h.Base
+			hi := sorted[int(math.Ceil(pos))] * h.Base
+			if got < lo || got > hi {
+				t.Errorf("n=%d q=%g: bucket quantile %g outside [%g, %g] (sorted %g)",
+					n, q, got, lo, hi, Quantile(sorted, q))
+			}
+		}
+	}
+}
+
+// TestLogHistogramEdgeBuckets exercises the index math at bucket edges and
+// below the resolvable floor.
+func TestLogHistogramEdgeBuckets(t *testing.T) {
+	h := NewLogHistogram()
+	h.Add(0) // underflow
+	h.Add(h.Min)
+	h.Add(h.Min * h.Base)
+	h.Add(h.Min * h.Base * h.Base)
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("bucketed %d samples, want 3", total)
+	}
+	if h.Quantile(0) != 0 {
+		t.Errorf("Quantile(0) = %g, want exact min 0", h.Quantile(0))
+	}
+}
+
+// TestLogHistogramMerge checks that merging shards equals feeding one
+// histogram all the samples.
+func TestLogHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole, a, b := NewLogHistogram(), NewLogHistogram(), NewLogHistogram()
+	for i := 0; i < 2000; i++ {
+		v := math.Exp(rng.NormFloat64())
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != whole.N || a.MinV != whole.MinV || a.MaxV != whole.MaxV {
+		t.Errorf("merged aggregates differ: %+v vs %+v", a, whole)
+	}
+	// Sum is added in shard order, so it may differ from the in-order sum
+	// by float associativity — but only by ulps, never materially.
+	if math.Abs(a.Sum-whole.Sum) > 1e-9*whole.Sum {
+		t.Errorf("merged Sum %g drifted from %g", a.Sum, whole.Sum)
+	}
+	for i, c := range whole.Counts {
+		if a.Counts[i] != c {
+			t.Errorf("bucket %d: merged %d, whole %d", i, a.Counts[i], c)
+		}
+	}
+	bad := &LogHistogram{Base: 2, Min: 1}
+	if err := a.Merge(bad); err == nil {
+		t.Error("merge across bucketings accepted")
+	}
+}
+
+// TestLogHistogramEmpty pins the zero-sample behavior the report layer
+// relies on: everything reads back as zero.
+func TestLogHistogramEmpty(t *testing.T) {
+	h := NewLogHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not all-zero: q50=%g mean=%g max=%g",
+			h.Quantile(0.5), h.Mean(), h.Max())
+	}
+}
+
+// TestLogHistogramToFixed checks the export path is total-preserving.
+func TestLogHistogramToFixed(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0, 0.1, 0.5, 0.9, 2.5} {
+		h.Add(v)
+	}
+	f, err := h.ToFixed(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Total() != h.N {
+		t.Errorf("fixed view holds %d samples, want %d", f.Total(), h.N)
+	}
+	if f.Over != 1 {
+		t.Errorf("Over = %d, want 1 (the 2.5 sample)", f.Over)
+	}
+}
+
+// TestFixedHistogramMergeQuantile covers the satellite additions on the
+// equal-width histogram: shards compose, and bucket quantiles track the
+// sorted estimator within one bucket width.
+func TestFixedHistogramMergeQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	whole, _ := NewHistogram(0, 1, 50)
+	a, _ := NewHistogram(0, 1, 50)
+	b, _ := NewHistogram(0, 1, 50)
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		whole.Add(vals[i])
+		if i%2 == 0 {
+			a.Add(vals[i])
+		} else {
+			b.Add(vals[i])
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() {
+		t.Errorf("merged total %d, want %d", a.Total(), whole.Total())
+	}
+	for i := range whole.Counts {
+		if a.Counts[i] != whole.Counts[i] {
+			t.Fatalf("bucket %d differs after merge", i)
+		}
+	}
+	w := (whole.Hi - whole.Lo) / float64(len(whole.Counts))
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := Quantiles(vals, q)[0]
+		got := whole.Quantile(q)
+		if math.Abs(got-want) > w {
+			t.Errorf("q=%g: bucket quantile %g vs sorted %g differs by more than bucket width %g",
+				q, got, want, w)
+		}
+	}
+	mismatched, _ := NewHistogram(0, 2, 50)
+	if err := a.Merge(mismatched); err == nil {
+		t.Error("merge across bounds accepted")
+	}
+	empty, _ := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty Quantile = %g, want 0", empty.Quantile(0.5))
+	}
+}

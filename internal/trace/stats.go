@@ -83,6 +83,24 @@ func (h *Histogram) Add(v float64) {
 	}
 }
 
+// addCount counts c identical samples at value v in one step.
+func (h *Histogram) addCount(v float64, c int64) {
+	switch {
+	case c <= 0:
+		return
+	case v < h.Lo:
+		h.Under += c
+	case v >= h.Hi:
+		h.Over += c
+	default:
+		i := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard the v ~ Hi rounding edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i] += c
+	}
+}
+
 // Total returns the number of samples added, including out-of-range ones.
 func (h *Histogram) Total() int64 {
 	t := h.Under + h.Over
@@ -90,6 +108,63 @@ func (h *Histogram) Total() int64 {
 		t += c
 	}
 	return t
+}
+
+// Merge adds other's counts into h. The histograms must share bounds and
+// bucket count — merged aggregations only compose when every shard
+// bucketed identically.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.Lo != h.Lo || other.Hi != h.Hi || len(other.Counts) != len(h.Counts) {
+		return fmt.Errorf("trace: merging histogram [%g, %g)x%d into [%g, %g)x%d",
+			other.Lo, other.Hi, len(other.Counts), h.Lo, h.Hi, len(h.Counts))
+	}
+	h.Under += other.Under
+	h.Over += other.Over
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts:
+// the sample at fractional rank q*(Total-1) is located by cumulative count
+// and interpolated linearly inside its bucket. Under-range samples
+// evaluate to Lo and over-range samples to Hi (their true values were not
+// retained), so the estimate is exact to within one bucket width for
+// in-range data. An empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total-1)
+	cum := float64(h.Under)
+	if rank < cum {
+		return h.Lo
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+float64(c) {
+			// The bucket's c samples sit at fractional positions
+			// (k+0.5)/c across its width; interpolate the rank among them.
+			frac := (rank - cum + 0.5) / float64(c)
+			if frac > 1 {
+				frac = 1
+			}
+			return h.Lo + float64(i)*w + frac*w
+		}
+		cum += float64(c)
+	}
+	return h.Hi
 }
 
 // BucketBounds returns bucket i's half-open interval [lo, hi).

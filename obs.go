@@ -1,0 +1,68 @@
+package localut
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ais-snu/localut/internal/obs"
+)
+
+// ObsConfig attaches the deterministic observability layer to a serving
+// or cluster run. Recording is enabled per output: a non-nil TraceWriter
+// captures request spans, batch/decode passes and fleet events as Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing); a non-nil
+// MetricsWriter captures interval time-series metrics as CSV or JSON.
+// Both exports are pure functions of the run's configuration and seed —
+// byte-identical across runs and engine parallelism levels — and a zero
+// ObsConfig records nothing at near-zero cost.
+type ObsConfig struct {
+	// TraceWriter receives the Chrome trace-event JSON export after the
+	// run completes (nil = tracing off).
+	TraceWriter io.Writer
+	// TraceSampleN keeps every N-th request's lifecycle span (by request
+	// ID; default 1 = every request). Batch-level spans are always kept.
+	TraceSampleN int
+
+	// MetricsWriter receives the time-series export after the run
+	// completes (nil = metrics off).
+	MetricsWriter io.Writer
+	// MetricsIntervalSeconds is the sampling interval (default 1).
+	MetricsIntervalSeconds float64
+	// MetricsJSON switches the metrics encoding from CSV to JSON.
+	MetricsJSON bool
+}
+
+// build constructs the internal recorder and metrics sampler for the
+// enabled outputs (nil when disabled, which the hooks treat as no-ops).
+func (o ObsConfig) build() (*obs.Recorder, *obs.Metrics) {
+	var rec *obs.Recorder
+	if o.TraceWriter != nil {
+		rec = obs.NewRecorder(o.TraceSampleN)
+	}
+	var met *obs.Metrics
+	if o.MetricsWriter != nil {
+		met = obs.NewMetrics(o.MetricsIntervalSeconds)
+	}
+	return rec, met
+}
+
+// export writes the enabled outputs to their writers.
+func (o ObsConfig) export(rec *obs.Recorder, met *obs.Metrics) error {
+	if rec != nil {
+		if err := rec.WriteJSON(o.TraceWriter); err != nil {
+			return fmt.Errorf("localut: trace export: %w", err)
+		}
+	}
+	if met != nil {
+		var err error
+		if o.MetricsJSON {
+			err = met.WriteJSON(o.MetricsWriter)
+		} else {
+			err = met.WriteCSV(o.MetricsWriter)
+		}
+		if err != nil {
+			return fmt.Errorf("localut: metrics export: %w", err)
+		}
+	}
+	return nil
+}

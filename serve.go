@@ -106,6 +106,10 @@ type ServeConfig struct {
 	OutTokensMean float64
 	// OutTokensMax caps sampled output lengths (default 4*OutTokensMean).
 	OutTokensMax int
+
+	// Obs attaches the observability layer: request/batch trace export
+	// and interval time-series metrics. The zero value records nothing.
+	Obs ObsConfig
 }
 
 // LatencyStats summarizes a latency population in seconds.
@@ -165,6 +169,10 @@ type ServeReport struct {
 	KVPeakBytes       int64   `json:"kv_peak_bytes"`
 	KVCapacityBytes   int64   `json:"kv_capacity_bytes"`
 	KVPeakUtilization float64 `json:"kv_peak_utilization"`
+	// KVMeanBytes is the time-weighted mean KV footprint per replica over
+	// the makespan; KVMeanUtilization is its share of capacity.
+	KVMeanBytes       float64 `json:"kv_mean_bytes"`
+	KVMeanUtilization float64 `json:"kv_mean_utilization"`
 
 	EnergyJ           float64 `json:"energy_j"`
 	EnergyPerRequestJ float64 `json:"energy_per_request_j"`
@@ -189,6 +197,7 @@ func (s *System) Serve(cfg ServeConfig) (*ServeReport, error) {
 	if seed == 0 {
 		seed = s.seed
 	}
+	rec, met := cfg.Obs.build()
 	rep, err := serve.Run(serve.Config{
 		Model:   cfg.Model.config(),
 		Fmt:     cfg.Format.inner,
@@ -218,8 +227,14 @@ func (s *System) Serve(cfg ServeConfig) (*ServeReport, error) {
 		OutTokens:     cfg.OutTokens,
 		OutTokensMean: cfg.OutTokensMean,
 		OutTokensMax:  cfg.OutTokensMax,
+
+		Recorder: rec,
+		Metrics:  met,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Obs.export(rec, met); err != nil {
 		return nil, err
 	}
 	return serveReport(rep), nil
@@ -266,6 +281,8 @@ func serveReport(r *serve.Report) *ServeReport {
 		KVPeakBytes:       r.KVPeakBytes,
 		KVCapacityBytes:   r.KVCapacityBytes,
 		KVPeakUtilization: r.KVPeakUtilization,
+		KVMeanBytes:       r.KVMeanBytes,
+		KVMeanUtilization: r.KVMeanUtilization,
 
 		EnergyJ:           r.EnergyJ,
 		EnergyPerRequestJ: r.EnergyPerRequestJ,
