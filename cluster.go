@@ -103,6 +103,52 @@ type ClusterFaults struct {
 	LUTRematGBps float64
 }
 
+// ClusterDomains is the correlated-failure plan: instances are grouped
+// into Count failure domains (racks, power feeds) by ID modulo Count, and
+// every active member of a domain fail-stops at the same instant when the
+// domain's seeded outage stream fires, sharing one repair window. A
+// member already down has its repair extended, never shortened — the
+// overlapping windows merge into one outage span counted once.
+type ClusterDomains struct {
+	Enabled bool
+	// Count is the number of failure domains (default 2).
+	Count int
+	// MTBFSeconds is the per-domain mean time between outages (required
+	// when enabled).
+	MTBFSeconds float64
+	// MTTRSeconds is the mean domain repair delay (default 10); full LUT
+	// re-materialization is added on top, as for instance faults.
+	MTTRSeconds float64
+}
+
+// ClusterStragglers is the gray-failure plan: members draw seeded
+// slowdown windows during which every pass they launch costs Slowdown
+// times its healthy pricing — they keep serving and stay routable, which
+// is exactly the tail hazard request hedging exists for.
+type ClusterStragglers struct {
+	Enabled bool
+	// MTBFSeconds is the per-member mean time between slowdown windows
+	// (required when enabled).
+	MTBFSeconds float64
+	// MeanDurationSeconds is the mean window length (default 5).
+	MeanDurationSeconds float64
+	// Slowdown is the cost multiplier inside a window; must exceed 1
+	// (default 4).
+	Slowdown float64
+}
+
+// ClusterHedge duplicates requests still waiting for their first token
+// DelaySeconds after arrival onto a second member (fewest outstanding,
+// excluding the current one). First token wins; the loser is cancelled
+// with the unelapsed share of its pass refunded and the spent share
+// reported as hedge waste. Each request hedges at most once.
+type ClusterHedge struct {
+	Enabled bool
+	// DelaySeconds is the default hedge trigger (required when enabled);
+	// classes can override it via ClusterClass.HedgeDelaySeconds.
+	DelaySeconds float64
+}
+
 // ClusterRetry governs re-service of work lost to faults: capped
 // exponential backoff with a bounded number of attempts.
 type ClusterRetry struct {
@@ -153,6 +199,10 @@ type ClusterClass struct {
 	// DeadlineSeconds is this class's completion deadline (0 inherits
 	// Deadlines.DefaultSeconds).
 	DeadlineSeconds float64
+
+	// HedgeDelaySeconds overrides Hedge.DelaySeconds for this class when
+	// hedging is enabled (0 = inherit the fleet default).
+	HedgeDelaySeconds float64
 }
 
 // ClusterAutoscaler parameterizes the reactive autoscaler: every
@@ -219,9 +269,17 @@ type ClusterConfig struct {
 
 	Autoscaler ClusterAutoscaler
 
-	Faults    ClusterFaults
-	Deadlines ClusterDeadlines
-	Retry     ClusterRetry
+	Faults     ClusterFaults
+	Domains    ClusterDomains
+	Stragglers ClusterStragglers
+	Hedge      ClusterHedge
+	Deadlines  ClusterDeadlines
+	Retry      ClusterRetry
+
+	// Audit runs the conservation auditor after the drain: request,
+	// busy-time, KV and outage-window ledgers must balance exactly, and
+	// any violation turns the run into an error instead of a report.
+	Audit bool
 
 	// Obs attaches the observability layer: fleet trace export and
 	// interval time-series metrics. The zero value records nothing.
@@ -239,15 +297,29 @@ type ClusterInstanceReport struct {
 	DrainSeconds  float64 `json:"drain_s,omitempty"`
 	DownSeconds   float64 `json:"down_s,omitempty"`
 
-	Requests    int `json:"requests"`
-	Completed   int `json:"completed"`
-	Shed        int `json:"shed,omitempty"`
+	// Domain is the member's failure domain under correlated fault
+	// injection (-1 when failure domains are off).
+	Domain int `json:"domain"`
+
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed,omitempty"`
+	// Canceled counts hedge losers cancelled here; Displaced counts
+	// requests a fault handed back. With them the member's ledger closes:
+	// requests == completed + shed + canceled + displaced after the drain.
+	Canceled    int `json:"canceled,omitempty"`
+	Displaced   int `json:"displaced,omitempty"`
 	Batches     int `json:"batches"`
 	DecodeSteps int `json:"decode_steps"`
 
 	Crashes            int     `json:"crashes,omitempty"`
 	Degraded           int     `json:"degraded,omitempty"`
+	StragglerWindows   int     `json:"straggler_windows,omitempty"`
 	UnavailableSeconds float64 `json:"unavailable_s,omitempty"`
+
+	// BusySeconds sums per-replica service time with hedge-cancel refunds
+	// applied — the denominator for hedge-waste fractions.
+	BusySeconds float64 `json:"busy_s"`
 
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	Utilization   float64 `json:"utilization"`
@@ -297,8 +369,11 @@ type ClusterClassReport struct {
 // ClusterTimelineEvent is one entry of the unified fleet timeline:
 // autoscaler actions ("tick", "up-start", "up-active", "drain-start",
 // "down" under kind "scale"), fault injection and recovery ("crash",
-// "repair", "degrade", "replica-repair" under kind "fault") and
-// KV-pressure sheds ("kv-shed" under kind "kv"), in event order.
+// "repair", "degrade", "replica-repair" under kind "fault"),
+// correlated outages ("outage", "repair" under kind "domain-outage"),
+// gray-failure windows ("start", "end" under kind "straggler"), hedge
+// traffic ("issue", "win" under kind "hedge") and KV-pressure sheds
+// ("kv-shed" under kind "kv"), in event order.
 type ClusterTimelineEvent struct {
 	Seconds float64 `json:"t_s"`
 	Kind    string  `json:"kind"`
@@ -316,6 +391,9 @@ type ClusterTimelineEvent struct {
 	// RecoverSeconds is the crash-to-repair outage a "repair" closed,
 	// including the LUT re-materialization surcharge.
 	RecoverSeconds float64 `json:"recover_s,omitempty"`
+	// Domain is the failure domain behind a kind "domain-outage" entry
+	// (meaningful only there; domain 0 omits the field).
+	Domain int `json:"domain,omitempty"`
 }
 
 // ClusterReport is the outcome of one cluster simulation. Like
@@ -363,6 +441,25 @@ type ClusterReport struct {
 	UnavailableSeconds float64      `json:"unavailable_s"`
 	TimeToRecover      LatencyStats `json:"time_to_recover"`
 	LUTRematSeconds    float64      `json:"lut_remat_s"`
+
+	// Correlated-failure rows: domain-wide outages, and member repairs an
+	// overlapping outage extended (merged into one window, counted once).
+	DomainOutages           int `json:"domain_outages,omitempty"`
+	DomainOverlapExtensions int `json:"domain_overlap_extensions,omitempty"`
+
+	// Gray-failure and hedging rows. Hedges balance exactly: issued ==
+	// cancels + drops, wins are resolutions the duplicate won, and
+	// hedge_waste_s is busy time spent on cancelled losers (compare with
+	// busy_s for the waste fraction).
+	StragglerWindows   int     `json:"straggler_windows,omitempty"`
+	HedgesIssued       int     `json:"hedges_issued,omitempty"`
+	HedgeWins          int     `json:"hedge_wins,omitempty"`
+	HedgeCancels       int     `json:"hedge_cancels,omitempty"`
+	HedgeDrops         int     `json:"hedge_drops,omitempty"`
+	HedgeWastedSeconds float64 `json:"hedge_waste_s,omitempty"`
+
+	// BusySeconds is fleet-wide replica service time, refunds applied.
+	BusySeconds float64 `json:"busy_s"`
 
 	Queue   LatencyStats `json:"queue"`
 	Service LatencyStats `json:"service"`
@@ -455,11 +552,28 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 			DegradedFraction: cfg.Faults.DegradedFraction,
 			LUTRematGBps:     cfg.Faults.LUTRematGBps,
 		},
+		Domains: cluster.DomainConfig{
+			Enabled:     cfg.Domains.Enabled,
+			Count:       cfg.Domains.Count,
+			MTBFSeconds: cfg.Domains.MTBFSeconds,
+			MTTRSeconds: cfg.Domains.MTTRSeconds,
+		},
+		Stragglers: cluster.StragglerConfig{
+			Enabled:             cfg.Stragglers.Enabled,
+			MTBFSeconds:         cfg.Stragglers.MTBFSeconds,
+			MeanDurationSeconds: cfg.Stragglers.MeanDurationSeconds,
+			Slowdown:            cfg.Stragglers.Slowdown,
+		},
+		Hedge: cluster.HedgeConfig{
+			Enabled:      cfg.Hedge.Enabled,
+			DelaySeconds: cfg.Hedge.DelaySeconds,
+		},
 		Retry: cluster.RetryConfig{
 			MaxAttempts:       cfg.Retry.MaxAttempts,
 			BackoffSeconds:    cfg.Retry.BackoffSeconds,
 			BackoffCapSeconds: cfg.Retry.BackoffCapSeconds,
 		},
+		Audit:           cfg.Audit,
 		DeadlineSeconds: cfg.Deadlines.DefaultSeconds,
 
 		Recorder: rec,
@@ -470,20 +584,21 @@ func (s *System) ServeCluster(cfg ClusterConfig) (*ClusterReport, error) {
 	}
 	for _, c := range cfg.Classes {
 		ccfg.Classes = append(ccfg.Classes, cluster.ClassConfig{
-			Name:            c.Name,
-			RatePerSec:      c.RatePerSec,
-			AdmitRatePerSec: c.AdmitRatePerSec,
-			AdmitBurst:      c.AdmitBurst,
-			MinTokens:       c.MinTokens,
-			MaxTokens:       c.MaxTokens,
-			MeanTokens:      c.MeanTokens,
-			OutTokens:       c.OutTokens,
-			OutTokensMean:   c.OutTokensMean,
-			OutTokensMax:    c.OutTokensMax,
-			TTFTp99SLO:      c.TTFTp99SLO,
-			LatencyP99SLO:   c.LatencyP99SLO,
-			TPOTp99SLO:      c.TPOTp99SLO,
-			DeadlineSeconds: c.DeadlineSeconds,
+			Name:              c.Name,
+			RatePerSec:        c.RatePerSec,
+			AdmitRatePerSec:   c.AdmitRatePerSec,
+			AdmitBurst:        c.AdmitBurst,
+			MinTokens:         c.MinTokens,
+			MaxTokens:         c.MaxTokens,
+			MeanTokens:        c.MeanTokens,
+			OutTokens:         c.OutTokens,
+			OutTokensMean:     c.OutTokensMean,
+			OutTokensMax:      c.OutTokensMax,
+			TTFTp99SLO:        c.TTFTp99SLO,
+			LatencyP99SLO:     c.LatencyP99SLO,
+			TPOTp99SLO:        c.TPOTp99SLO,
+			DeadlineSeconds:   c.DeadlineSeconds,
+			HedgeDelaySeconds: c.HedgeDelaySeconds,
 		})
 	}
 	rep, err := cluster.Run(ccfg)
@@ -540,6 +655,16 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 		TimeToRecover:      stats(r.TimeToRecover),
 		LUTRematSeconds:    r.LUTRematSeconds,
 
+		DomainOutages:           r.DomainOutages,
+		DomainOverlapExtensions: r.DomainOverlapExtensions,
+		StragglerWindows:        r.StragglerWindows,
+		HedgesIssued:            r.HedgesIssued,
+		HedgeWins:               r.HedgeWins,
+		HedgeCancels:            r.HedgeCancels,
+		HedgeDrops:              r.HedgeDrops,
+		HedgeWastedSeconds:      r.HedgeWastedSeconds,
+		BusySeconds:             r.BusySeconds,
+
 		Queue:   stats(r.Queue),
 		Service: stats(r.Service),
 		Latency: stats(r.Latency),
@@ -569,12 +694,17 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 			ActiveSeconds:      ir.ActiveAt,
 			DrainSeconds:       ir.DrainAt,
 			DownSeconds:        ir.DownAt,
+			Domain:             ir.Domain,
 			Requests:           ir.Requests,
 			Completed:          ir.Completed,
 			Shed:               ir.Shed,
+			Canceled:           ir.Canceled,
+			Displaced:          ir.Displaced,
 			Crashes:            ir.Crashes,
 			Degraded:           ir.Degraded,
+			StragglerWindows:   ir.StragglerWindows,
 			UnavailableSeconds: ir.UnavailableSeconds,
+			BusySeconds:        ir.BusySeconds,
 			Batches:            ir.Batches,
 			DecodeSteps:        ir.DecodeSteps,
 			MeanBatchSize:      ir.MeanBatchSize,
@@ -621,6 +751,7 @@ func clusterReport(cfg ClusterConfig, r *cluster.Report) *ClusterReport {
 			Seconds: ev.T, Kind: ev.Kind, Action: ev.Action,
 			Instance: ev.Instance, Replica: ev.Replica, Active: ev.Active,
 			P99: ev.P99, Samples: ev.Samples, RecoverSeconds: ev.RecoverSeconds,
+			Domain: ev.Domain,
 		})
 	}
 	return out

@@ -73,6 +73,16 @@ func main() {
 	drain := flag.Duration("drain", 0, "retirement delay after an instance empties (0 = 1s)")
 	mttf := flag.Float64("mttf", 0, "per-instance mean time to failure in seconds (0 = no fault injection)")
 	mttr := flag.Float64("mttr", 0, "mean repair delay in seconds (0 = 5)")
+	domains := flag.Int("domains", 0, "correlated failure domains; instances map to domains by ID modulo this count (0 = off)")
+	domainMTBF := flag.Float64("domain-mtbf", 0, "per-domain mean time between correlated outages in seconds (required with -domains)")
+	domainMTTR := flag.Float64("domain-mttr", 0, "mean domain repair delay in seconds (0 = 10)")
+	stragglerMTBF := flag.Float64("straggler-mtbf", 0, "per-member mean time between gray-failure straggler windows in seconds (0 = off)")
+	stragglerDur := flag.Float64("straggler-duration", 0, "mean straggler window length in seconds (0 = 5)")
+	stragglerSlow := flag.Float64("straggler-slowdown", 0, "pass-cost multiplier inside a straggler window (0 = 4)")
+	hedgeDelay := flag.Float64("hedge-delay", 0, "duplicate a request still waiting for its first token after this many seconds (0 = hedging off)")
+	auditFlag := flag.Bool("audit", false, "run the conservation auditor on the final report and fail on any violation")
+	chaosN := flag.Int("chaos", 0, "chaos seed sweep: run N seeds across three failure scenarios with the auditor on, failing on any violation")
+	hedgeSweepFlag := flag.String("hedge-sweep", "", "comma-separated hedge delays (seconds; 0 = no-hedge baseline) for a tail-latency sweep under straggler injection")
 	degraded := flag.Float64("degraded", 0, "fraction of faults that degrade one replica instead of crashing")
 	rematGBps := flag.Float64("remat-gbps", 0, "LUT re-materialization write bandwidth in GB/s (0 = 16)")
 	deadline := flag.Float64("deadline", 0, "default per-request completion deadline in seconds (0 = none)")
@@ -95,6 +105,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the cluster self-benchmark and write JSON to this path")
 	benchFaultsJSON := flag.String("bench-faults-json", "", "run the faulted-fleet self-benchmark and write JSON to this path")
 	benchObsJSON := flag.String("bench-obs-json", "", "run the observability-overhead self-benchmark and write JSON to this path")
+	benchChaosJSON := flag.String("bench-chaos-json", "", "run the chaos-fleet self-benchmark (domains + stragglers + hedging, audited) and write JSON to this path")
 	maxObsOverheadUS := flag.Float64("max-obs-overhead-us", 0, "fail -bench-obs-json when full recording costs more than this per admitted request, in microseconds (0 = no gate)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
@@ -131,6 +142,32 @@ func main() {
 	}
 	if *benchObsJSON != "" {
 		if err := runBenchObsJSON(*benchObsJSON, *maxObsOverheadUS); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchChaosJSON != "" {
+		if err := runBenchChaosJSON(*benchChaosJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *chaosN > 0 {
+		if err := runChaos(w, *chaosN, *par, *jsonOut, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *hedgeSweepFlag != "" {
+		err := runHedgeSweep(w, *hedgeSweepFlag, *model, *fmtName, *design,
+			*instances, *replicas, *ranks, *routerName, *admissionName,
+			*rate, *duration, *seed, *maxBatch, *sched, *quantum,
+			*minTok, *maxTok, *meanTok, *outTok, *outTokMean, *outTokMax,
+			*deadline, *stragglerMTBF, *stragglerDur, *stragglerSlow,
+			*auditFlag, *csvOut)
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -242,6 +279,23 @@ func main() {
 			DegradedFraction: *degraded,
 			LUTRematGBps:     *rematGBps,
 		},
+		Domains: localut.ClusterDomains{
+			Enabled:     *domains > 0,
+			Count:       *domains,
+			MTBFSeconds: *domainMTBF,
+			MTTRSeconds: *domainMTTR,
+		},
+		Stragglers: localut.ClusterStragglers{
+			Enabled:             *stragglerMTBF > 0,
+			MTBFSeconds:         *stragglerMTBF,
+			MeanDurationSeconds: *stragglerDur,
+			Slowdown:            *stragglerSlow,
+		},
+		Hedge: localut.ClusterHedge{
+			Enabled:      *hedgeDelay > 0,
+			DelaySeconds: *hedgeDelay,
+		},
+		Audit:     *auditFlag,
 		Deadlines: localut.ClusterDeadlines{DefaultSeconds: *deadline},
 		Retry: localut.ClusterRetry{
 			MaxAttempts:    *retries,
@@ -329,6 +383,21 @@ func summaryTable(r *localut.ClusterReport) *trace.Table {
 			r.TimeToRecover.P50, r.TimeToRecover.P99))
 		t.Add("lut remat per recovery (s)", r.LUTRematSeconds)
 	}
+	if r.DomainOutages > 0 {
+		t.Add("domain outages / overlap extensions", fmt.Sprintf("%d / %d",
+			r.DomainOutages, r.DomainOverlapExtensions))
+	}
+	if r.StragglerWindows > 0 {
+		t.Add("straggler windows", r.StragglerWindows)
+	}
+	if r.HedgesIssued > 0 {
+		t.Add("hedges issued/wins/cancels/drops", fmt.Sprintf("%d / %d / %d / %d",
+			r.HedgesIssued, r.HedgeWins, r.HedgeCancels, r.HedgeDrops))
+		if r.BusySeconds > 0 {
+			t.Add("hedge waste (s)", fmt.Sprintf("%.4g (%.4g of busy)",
+				r.HedgeWastedSeconds, r.HedgeWastedSeconds/r.BusySeconds))
+		}
+	}
 	t.Add("tokens/s", r.TokensPerSec)
 	t.Add("arrival window (s)", r.DurationSeconds)
 	t.Add("makespan (s)", r.MakespanSeconds)
@@ -384,10 +453,10 @@ func classTable(r *localut.ClusterReport) *trace.Table {
 // path, in event order.
 func timelineTable(r *localut.ClusterReport) *trace.Table {
 	t := trace.NewTable("Fleet timeline",
-		"t (s)", "kind", "action", "instance", "replica", "active",
+		"t (s)", "kind", "action", "instance", "replica", "domain", "active",
 		"p99 (s)", "samples", "recover (s)")
 	for _, ev := range r.Timeline {
-		t.Add(ev.Seconds, ev.Kind, ev.Action, ev.Instance, ev.Replica,
+		t.Add(ev.Seconds, ev.Kind, ev.Action, ev.Instance, ev.Replica, ev.Domain,
 			ev.Active, ev.P99, ev.Samples, ev.RecoverSeconds)
 	}
 	return t
@@ -664,6 +733,234 @@ func runMTTFSweep(w io.Writer, mttfs, model, fmtName, design, designsList string
 	return nil
 }
 
+// chaosScenario is one named failure mix for the -chaos seed sweep.
+type chaosScenario struct {
+	name   string
+	mutate func(*localut.ClusterConfig)
+}
+
+// chaosBase is the fixed fleet behind the -chaos sweep: a decode fleet
+// small enough that N seeds x 3 scenarios stay cheap, busy enough that
+// every failure mechanism fires.
+func chaosBase(seed int64) localut.ClusterConfig {
+	return localut.ClusterConfig{
+		Model: localut.OPT125M, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       8,
+		Replicas:        2,
+		OutTokens:       4,
+		RatePerSec:      30,
+		DurationSeconds: 30,
+		Seed:            seed,
+		Audit:           true,
+		Deadlines:       localut.ClusterDeadlines{DefaultSeconds: 8},
+	}
+}
+
+// chaosScenarios are the three failure mixes every seed runs through:
+// everything at once, correlated domain outages alone, and gray-failure
+// stragglers with hedging but no crashes.
+func chaosScenarios() []chaosScenario {
+	faults := localut.ClusterFaults{Enabled: true, MTTFSeconds: 120, MTTRSeconds: 2}
+	doms := localut.ClusterDomains{Enabled: true, Count: 4, MTBFSeconds: 60, MTTRSeconds: 2}
+	strag := localut.ClusterStragglers{Enabled: true, MTBFSeconds: 60, MeanDurationSeconds: 5, Slowdown: 4}
+	hedge := localut.ClusterHedge{Enabled: true, DelaySeconds: 0.5}
+	return []chaosScenario{
+		{"full", func(c *localut.ClusterConfig) {
+			c.Faults, c.Domains, c.Stragglers, c.Hedge = faults, doms, strag, hedge
+		}},
+		{"domains-only", func(c *localut.ClusterConfig) { c.Domains = doms }},
+		{"gray-hedged", func(c *localut.ClusterConfig) { c.Stragglers, c.Hedge = strag, hedge }},
+	}
+}
+
+// chaosRow is one (scenario, seed) outcome of the sweep, also the JSON
+// record shape.
+type chaosRow struct {
+	Scenario           string  `json:"scenario"`
+	Seed               int64   `json:"seed"`
+	Admitted           int     `json:"admitted"`
+	Completed          int     `json:"completed"`
+	Good               int     `json:"good"`
+	Shed               int     `json:"shed"`
+	Crashes            int     `json:"crashes"`
+	DomainOutages      int     `json:"domain_outages"`
+	StragglerWindows   int     `json:"straggler_windows"`
+	HedgesIssued       int     `json:"hedges_issued"`
+	HedgeWins          int     `json:"hedge_wins"`
+	HedgeWastedSeconds float64 `json:"hedge_waste_s"`
+	UnavailableSeconds float64 `json:"unavailable_s"`
+}
+
+// runChaos is the chaos seed sweep: n seeds x 3 failure scenarios, every
+// run with the conservation auditor on. Any auditor violation surfaces
+// as a run error and a nonzero exit; a clean sweep prints one row per
+// run, byte-identical for a given n at any -j.
+func runChaos(w io.Writer, n, par int, jsonOut, csvOut bool) error {
+	scenarios := chaosScenarios()
+	rows := make([]chaosRow, 0, n*len(scenarios))
+	start := time.Now()
+	for _, sc := range scenarios {
+		for seed := int64(1); seed <= int64(n); seed++ {
+			cfg := chaosBase(seed)
+			sc.mutate(&cfg)
+			sys := localut.NewSystem(localut.WithSeed(seed), localut.WithParallelism(par))
+			rep, err := sys.ServeCluster(cfg)
+			if err != nil {
+				return fmt.Errorf("scenario %s seed %d: %w", sc.name, seed, err)
+			}
+			rows = append(rows, chaosRow{
+				Scenario:           sc.name,
+				Seed:               seed,
+				Admitted:           rep.Admitted,
+				Completed:          rep.Completed,
+				Good:               rep.Good,
+				Shed:               rep.Shed,
+				Crashes:            rep.Crashes,
+				DomainOutages:      rep.DomainOutages,
+				StragglerWindows:   rep.StragglerWindows,
+				HedgesIssued:       rep.HedgesIssued,
+				HedgeWins:          rep.HedgeWins,
+				HedgeWastedSeconds: rep.HedgeWastedSeconds,
+				UnavailableSeconds: rep.UnavailableSeconds,
+			})
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		t := trace.NewTable(fmt.Sprintf("Chaos sweep: %d seeds x %d scenarios, auditor on", n, len(scenarios)),
+			"scenario", "seed", "admitted", "completed", "good", "shed", "crashes",
+			"domain outages", "straggler windows", "hedges", "wins", "waste (s)", "unavail (s)")
+		for _, r := range rows {
+			t.Add(r.Scenario, r.Seed, r.Admitted, r.Completed, r.Good, r.Shed, r.Crashes,
+				r.DomainOutages, r.StragglerWindows, r.HedgesIssued, r.HedgeWins,
+				r.HedgeWastedSeconds, r.UnavailableSeconds)
+		}
+		if csvOut {
+			if err := t.CSV(w); err != nil {
+				return err
+			}
+		} else if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d chaos runs audited clean in %.2fs host wall-clock\n",
+		len(rows), time.Since(start).Seconds())
+	return nil
+}
+
+// runHedgeSweep drives the experiments hedging driver: TTFT tail and
+// hedge waste per trigger delay under straggler injection, with delay 0
+// as the no-hedge baseline. Straggler flags default to the canonical
+// gray-failure scenario (MTBF 80s, 5s windows, 4x slowdown) when unset.
+func runHedgeSweep(w io.Writer, delays, model, fmtName, design string,
+	instances, replicas, ranks int, routerName, admissionName string,
+	rate float64, duration time.Duration, seed int64, maxBatch int, sched string,
+	quantum, minTok, maxTok int, meanTok float64, outTok int,
+	outTokMean float64, outTokMax int, deadline float64,
+	stragMTBF, stragDur, stragSlow float64, audit, csvOut bool) error {
+
+	var delayVals []float64
+	for _, p := range strings.Split(delays, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("bad -hedge-sweep value %q (want non-negative seconds, 0 = no hedging)", p)
+		}
+		delayVals = append(delayVals, v)
+	}
+	if stragMTBF == 0 {
+		stragMTBF = 80
+	}
+	if stragDur == 0 {
+		stragDur = 5
+	}
+	if stragSlow == 0 {
+		stragSlow = 4
+	}
+	mc, err := modelConfig(model)
+	if err != nil {
+		return err
+	}
+	f, err := quant.ParseFormat(fmtName)
+	if err != nil {
+		return err
+	}
+	v, err := variantByName(design)
+	if err != nil {
+		return err
+	}
+	pol, err := serve.ParsePolicy(strings.ToLower(sched))
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.ParseRouterPolicy(strings.ToLower(routerName))
+	if err != nil {
+		return err
+	}
+	adm, err := cluster.ParseAdmissionPolicy(strings.ToLower(admissionName))
+	if err != nil {
+		return err
+	}
+
+	base := cluster.Config{
+		Base: serve.Config{
+			Model: mc, Fmt: f, Variant: v,
+			Replicas:      replicas,
+			MaxBatch:      maxBatch,
+			Scheduler:     pol,
+			MinTokens:     minTok,
+			MaxTokens:     maxTok,
+			MeanTokens:    meanTok,
+			TokenQuantum:  quantum,
+			OutTokens:     outTok,
+			OutTokensMean: outTokMean,
+			OutTokensMax:  outTokMax,
+		},
+		Instances:       instances,
+		Router:          rt,
+		Admission:       adm,
+		RatePerSec:      rate,
+		DurationSeconds: duration.Seconds(),
+		Seed:            seed,
+		DeadlineSeconds: deadline,
+		Audit:           audit,
+		Stragglers: cluster.StragglerConfig{
+			Enabled:             true,
+			MTBFSeconds:         stragMTBF,
+			MeanDurationSeconds: stragDur,
+			Slowdown:            stragSlow,
+		},
+	}
+	if ranks > 0 {
+		eng := gemm.NewEngine()
+		eng.Cfg.Ranks = ranks
+		base.Base.Engine = eng
+	}
+
+	start := time.Now()
+	points, err := experiments.HedgeCurve(base, delayVals)
+	if err != nil {
+		return err
+	}
+	table := experiments.HedgeTable(
+		fmt.Sprintf("Hedging: %s %s, %d instances at %g req/s, stragglers %gx every %gs",
+			mc.Name, f.Name(), instances, rate, stragSlow, stragMTBF), points)
+	if csvOut {
+		if err := table.CSV(w); err != nil {
+			return err
+		}
+	} else if err := table.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d hedging points in %.2fs host wall-clock\n",
+		len(points), time.Since(start).Seconds())
+	return nil
+}
+
 // benchScenario is one timed cluster self-benchmark workload.
 type benchScenario struct {
 	Model            string  `json:"model"`
@@ -815,6 +1112,74 @@ func runBenchFaultsJSON(path string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d requests, %d crashes, %d retries in %.2fs)\n",
 		path, rep.Admitted, rep.Crashes, rep.Retries, wall)
+	return nil
+}
+
+// chaosBenchScenario extends the timed scenario with the chaos outcome
+// counters, so regressions in the domain/straggler/hedge paths' cost or
+// behavior show up.
+type chaosBenchScenario struct {
+	benchScenario
+	GoodputPerSec           float64 `json:"goodput_per_s"`
+	Crashes                 int     `json:"crashes"`
+	DomainOutages           int     `json:"domain_outages"`
+	DomainOverlapExtensions int     `json:"domain_overlap_extensions"`
+	StragglerWindows        int     `json:"straggler_windows"`
+	HedgesIssued            int     `json:"hedges_issued"`
+	HedgeWins               int     `json:"hedge_wins"`
+	HedgeWastedSeconds      float64 `json:"hedge_waste_s"`
+	UnavailableSeconds      float64 `json:"unavailable_s"`
+}
+
+// runBenchChaosJSON times the chaos-fleet acceptance workload: an
+// eight-instance decode fleet with independent faults, correlated domain
+// outages, gray-failure stragglers and hedging all on, audited.
+func runBenchChaosJSON(path string) error {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	cfg := chaosBase(1)
+	cfg.RatePerSec = 200
+	cfg.DurationSeconds = 60
+	chaosScenarios()[0].mutate(&cfg)
+	start := time.Now()
+	rep, err := sys.ServeCluster(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	out := chaosBenchScenario{
+		benchScenario: benchScenario{
+			Model:           rep.Model,
+			Instances:       cfg.Instances,
+			RatePerSec:      cfg.RatePerSec,
+			DurationSeconds: cfg.DurationSeconds,
+			Requests:        rep.Admitted,
+			PeakInstances:   rep.InstancesPeak,
+			DistinctSims:    rep.DistinctForwardSims,
+			WallSeconds:     wall,
+		},
+		GoodputPerSec:           rep.GoodputPerSec,
+		Crashes:                 rep.Crashes,
+		DomainOutages:           rep.DomainOutages,
+		DomainOverlapExtensions: rep.DomainOverlapExtensions,
+		StragglerWindows:        rep.StragglerWindows,
+		HedgesIssued:            rep.HedgesIssued,
+		HedgeWins:               rep.HedgeWins,
+		HedgeWastedSeconds:      rep.HedgeWastedSeconds,
+		UnavailableSeconds:      rep.UnavailableSeconds,
+	}
+	if wall > 0 {
+		out.RequestsPerSec = float64(rep.Admitted) / wall
+		out.SimSecondsPerSec = rep.MakespanSeconds / wall
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d requests, %d domain outages, %d straggler windows, %d hedges in %.2fs)\n",
+		path, rep.Admitted, rep.DomainOutages, rep.StragglerWindows, rep.HedgesIssued, wall)
 	return nil
 }
 

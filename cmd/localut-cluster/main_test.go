@@ -76,6 +76,85 @@ func TestClusterJSONGolden(t *testing.T) {
 	}
 }
 
+// chaosGoldenConfig is the fixed workload behind the chaos -json
+// regression test: the full failure mix — independent faults, correlated
+// domain outages, gray-failure stragglers and hedging — with the
+// conservation auditor on, touching every chaos counter and timeline
+// kind in the report schema.
+func chaosGoldenConfig() localut.ClusterConfig {
+	return localut.ClusterConfig{
+		Model: localut.OPT125M, Format: localut.W1A3, Design: localut.DesignLoCaLUT,
+		Instances:       8,
+		Replicas:        2,
+		OutTokens:       4,
+		RatePerSec:      30,
+		DurationSeconds: 30,
+		Seed:            2,
+		Audit:           true,
+		Deadlines:       localut.ClusterDeadlines{DefaultSeconds: 8},
+		Faults:          localut.ClusterFaults{Enabled: true, MTTFSeconds: 120, MTTRSeconds: 2},
+		Domains:         localut.ClusterDomains{Enabled: true, Count: 4, MTBFSeconds: 60, MTTRSeconds: 2},
+		Stragglers:      localut.ClusterStragglers{Enabled: true, MTBFSeconds: 60, MeanDurationSeconds: 5, Slowdown: 4},
+		Hedge:           localut.ClusterHedge{Enabled: true, DelaySeconds: 0.5},
+	}
+}
+
+// TestClusterChaosJSONGolden pins the -json output byte for byte on a
+// chaos fleet: domain outages, straggler windows and hedge resolutions
+// all land in the report and the timeline. Re-bless with -update.
+func TestClusterChaosJSONGolden(t *testing.T) {
+	got := renderJSON(t, chaosGoldenConfig())
+	path := filepath.Join("testdata", "cluster_opt125m_w1a3_chaos.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("chaos JSON report drifted from %s (re-bless with -update if intentional)", path)
+	}
+}
+
+// TestClusterChaosGoldenHasChaos guards the chaos golden scenario: every
+// failure mechanism must actually fire, or the regression test pins a
+// fleet that never exercised the chaos paths.
+func TestClusterChaosGoldenHasChaos(t *testing.T) {
+	sys := localut.NewSystem(localut.WithSeed(1))
+	rep, err := sys.ServeCluster(chaosGoldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DomainOutages == 0 {
+		t.Error("chaos golden produced no domain outages")
+	}
+	if rep.StragglerWindows == 0 {
+		t.Error("chaos golden produced no straggler windows")
+	}
+	if rep.HedgesIssued == 0 {
+		t.Error("chaos golden produced no hedges")
+	}
+	if rep.HedgesIssued != rep.HedgeCancels+rep.HedgeDrops {
+		t.Errorf("hedge ledger leak: %d issued != %d cancels + %d drops",
+			rep.HedgesIssued, rep.HedgeCancels, rep.HedgeDrops)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range rep.Timeline {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"fault", "domain-outage", "straggler", "hedge"} {
+		if !kinds[k] {
+			t.Errorf("chaos golden timeline has no %q events", k)
+		}
+	}
+}
+
 // TestClusterJSONGoldenStable guards the golden test itself: two fresh
 // systems must render identical bytes, or the golden file would flake.
 func TestClusterJSONGoldenStable(t *testing.T) {

@@ -22,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"github.com/ais-snu/localut"
+	"github.com/ais-snu/localut/internal/audit"
 	"github.com/ais-snu/localut/internal/dnn"
 	"github.com/ais-snu/localut/internal/experiments"
 	"github.com/ais-snu/localut/internal/gemm"
@@ -72,6 +74,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "keep every N-th request's lifecycle span in the trace")
 	metricsOut := flag.String("metrics-out", "", "write interval time-series metrics to this file (.json = JSON, else CSV)")
 	metricsInterval := flag.Duration("metrics-interval", time.Second, "time-series sampling interval")
+	auditFlag := flag.Bool("audit", false, "run the conservation auditor on the final report and fail on any violation")
 	benchJSON := flag.String("bench-json", "", "run the simulator self-benchmark and write JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a post-GC pprof heap profile to this file at exit")
@@ -165,6 +168,11 @@ func main() {
 		fatal(err)
 	}
 	wall := time.Since(start).Seconds()
+	if *auditFlag {
+		if err := auditServe(rep); err != nil {
+			fatal(err)
+		}
+	}
 
 	switch {
 	case *jsonOut:
@@ -191,6 +199,35 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "simulated %d requests (%d batches, %d distinct forward sims) in %.2fs host wall-clock\n",
 		rep.Requests, rep.Batches, rep.DistinctForwardSims, wall)
+}
+
+// auditServe reconstructs the appliance's conservation ledger from the
+// public report — the utilizations are ratios of the underlying busy
+// seconds, so multiplying them back out recovers the raw quantities —
+// and fails on any violated invariant.
+func auditServe(r *localut.ServeReport) error {
+	busy := r.RankUtilization * float64(r.Replicas) * r.MakespanSeconds
+	a := &audit.Appliance{
+		Requests:        r.Requests,
+		Completed:       r.Completed,
+		Shed:            r.Requests - r.Completed,
+		Replicas:        r.Replicas,
+		MakespanSeconds: r.MakespanSeconds,
+		BusySeconds:     busy,
+		PIMBusySeconds:  r.PIMUtilization * busy,
+		EnergyJ:         r.EnergyPerRequestJ * float64(r.Completed),
+	}
+	if vs := audit.CheckAppliance(a); len(vs) > 0 {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "conservation audit found %d violation(s)", len(vs))
+		for _, v := range vs {
+			sb.WriteString("\n  ")
+			sb.WriteString(v.String())
+		}
+		return errors.New(sb.String())
+	}
+	fmt.Fprintln(os.Stderr, "conservation audit clean")
+	return nil
 }
 
 // buildObs opens the requested trace/metrics outputs and returns the

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/audit"
+)
+
+// auditRun rebuilds the run's conservation ledger from first-hand
+// evidence — per-instance stats and the timeline's repair entries — and
+// cross-checks it against the fleet counters. A violation means the
+// simulator leaked a request, double-counted an outage, or refunded more
+// than it charged: a bug, not a scenario outcome, so Run turns it into
+// an error.
+func (cs *csim) auditRun() error {
+	f := &audit.Fleet{
+		Offered:   cs.offered,
+		Admitted:  cs.admitted,
+		Rejected:  cs.rejected,
+		Completed: cs.completed,
+		Good:      cs.good,
+		Late:      cs.late,
+
+		Shed:          cs.shed,
+		ShedExpired:   cs.shedExpired,
+		ShedKV:        cs.shedKV,
+		ShedQueueFull: cs.shedQueueFull,
+		ShedRetries:   cs.shedRetries,
+
+		HedgesIssued:       cs.hedges,
+		HedgeWins:          cs.hedgeWins,
+		HedgeCancels:       cs.hedgeCancels,
+		HedgeDrops:         cs.hedgeDrops,
+		HedgeWastedSeconds: cs.hedgeWaste,
+
+		UnavailableSeconds: cs.unavailableSeconds,
+	}
+	// The run's true end: completions bound the makespan, but repairs and
+	// straggler windows can land later during the drain, and capacity
+	// accounting must cover them.
+	simEnd := cs.makespan
+	for _, t := range cs.timeline {
+		if t.T > simEnd {
+			simEnd = t.T
+		}
+		if t.Kind == KindFault && t.Action == "repair" {
+			f.RepairWindowSeconds += t.RecoverSeconds
+		}
+	}
+	for _, m := range cs.members {
+		st := m.inst.Stats()
+		end := m.downAt
+		if m.state != stateDown {
+			end = simEnd
+		}
+		var busy float64
+		for _, b := range st.BusySeconds {
+			busy += b
+		}
+		f.Instances = append(f.Instances, audit.Instance{
+			ID:                 m.inst.ID,
+			Replicas:           m.inst.Cfg.Replicas,
+			ActiveAt:           m.activeAt,
+			End:                end,
+			UnavailableSeconds: m.unavail,
+			BusySeconds:        busy,
+			PIMBusySeconds:     st.PIMBusySeconds,
+			EnergyJ:            st.EnergyJ,
+			KVPinnedEndBytes:   m.inst.KVPinnedBytes(),
+			Admitted:           st.Admitted,
+			Finished:           st.Finished,
+			Shed:               st.Shed,
+			Canceled:           st.Canceled,
+			Displaced:          st.Displaced,
+			Outstanding:        m.inst.Outstanding(),
+		})
+	}
+	vs := audit.CheckFleet(f)
+	if len(vs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: conservation audit found %d violation(s)", len(vs))
+	for _, v := range vs {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -47,6 +47,10 @@ type ClassConfig struct {
 	// the report separates goodput (deadline-met completions) from raw
 	// throughput (0 = inherit Config.DeadlineSeconds).
 	DeadlineSeconds float64
+
+	// HedgeDelaySeconds overrides Config.Hedge.DelaySeconds for this class
+	// when hedging is enabled (0 = inherit the fleet default).
+	HedgeDelaySeconds float64
 }
 
 // validate rejects nonsensical class fields early — before inheritance
@@ -72,6 +76,8 @@ func (c ClassConfig) validate(idx int) error {
 		return fmt.Errorf("cluster: class %q has a negative SLO", name)
 	case c.DeadlineSeconds < 0:
 		return fmt.Errorf("cluster: class %q has a negative deadline", name)
+	case c.HedgeDelaySeconds < 0:
+		return fmt.Errorf("cluster: class %q has a negative hedge delay", name)
 	}
 	return nil
 }
@@ -111,8 +117,21 @@ type Config struct {
 	// Faults injects deterministic instance failures (crashes and
 	// degraded-mode replica losses) with modeled recovery.
 	Faults FaultConfig
+	// Domains injects correlated outages: every member of a failure
+	// domain crashes at once under a shared repair window.
+	Domains DomainConfig
+	// Stragglers injects gray failures: seeded slowdown windows on
+	// members that stay routable.
+	Stragglers StragglerConfig
+	// Hedge duplicates slow requests onto a second member after a delay;
+	// first token wins, the loser is cancelled with a pro-rata refund.
+	Hedge HedgeConfig
 	// Retry governs re-service of work lost to faults.
 	Retry RetryConfig
+	// Audit runs the conservation auditor after the drain and turns any
+	// violated invariant into a Run error. Tests keep it on; the CLIs
+	// expose it behind -audit.
+	Audit bool
 	// DeadlineSeconds is the default completion deadline for classes that
 	// don't set their own (0 = no deadline).
 	DeadlineSeconds float64
@@ -167,10 +186,26 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Faults, err = c.Faults.withDefaults(); err != nil {
 		return c, err
 	}
+	if c.Domains, err = c.Domains.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Stragglers, err = c.Stragglers.withDefaults(); err != nil {
+		return c, err
+	}
+	if c.Hedge, err = c.Hedge.withDefaults(); err != nil {
+		return c, err
+	}
 	if c.Retry, err = c.Retry.withDefaults(); err != nil {
 		return c, err
 	}
 	return c, nil
+}
+
+// faultsPossible reports whether any injection subsystem can empty the
+// fleet, in which case unroutable requests park for retry instead of
+// being a config error.
+func (c *Config) faultsPossible() bool {
+	return c.Faults.Enabled || c.Domains.Enabled
 }
 
 // member is one fleet slot: an instance plus its lifecycle state.
@@ -188,11 +223,22 @@ type member struct {
 	// Fault state. lifeEpoch bumps on every lifecycle transition so
 	// scheduled fault events recognize a member that left service first;
 	// faultRNG is the member's own seeded failure stream (nil when fault
-	// injection is off); crashAt/unavail track outage windows.
+	// injection is off); crashAt/unavail track outage windows; repairAt is
+	// the pending repair time while crashed, so an overlapping domain
+	// outage can tell whether it extends the window.
 	lifeEpoch int
 	faultRNG  *rand.Rand
 	crashAt   float64
+	repairAt  float64
 	unavail   float64
+
+	// Correlated/gray-failure state: the member's failure domain (-1 when
+	// domains are off), its seeded straggler stream (nil when straggler
+	// injection is off), and whether a slowdown window is open.
+	domain           int
+	stragRNG         *rand.Rand
+	straggling       bool
+	stragglerWindows int
 }
 
 type memberState int
@@ -223,6 +269,11 @@ const (
 	evInstanceRepair = 7
 	evReplicaRepair  = 8
 	evRetry          = 9
+	evDomainOutage   = 10
+	evDomainRepair   = 11
+	evStragglerStart = 12
+	evStragglerEnd   = 13
+	evHedge          = 14
 )
 
 // event is one heap entry. The heap merges every instance's completions
@@ -241,15 +292,17 @@ type event struct {
 	replica int // completions
 	batch   []*serve.Request
 
-	// epoch stamps completions (replica fault epoch at launch) and fault
-	// events (member life epoch at scheduling); a mismatch at pop time
-	// means the state the event refers to was lost and the event is
-	// dropped. degrade marks a fault draw as degraded-mode; req/lost carry
-	// an evRetry's displaced request.
+	// epoch stamps completions (replica fault epoch at launch) and fault,
+	// repair and straggler events (member life epoch at scheduling); a
+	// mismatch at pop time means the state the event refers to was lost
+	// and the event is dropped. degrade marks a fault draw as
+	// degraded-mode; req/lost carry an evRetry's displaced request (req
+	// also carries an evHedge's candidate); domain tags domain events.
 	epoch   int
 	degrade bool
 	req     *serve.Request
 	lost    bool
+	domain  int
 }
 
 type eventHeap []*event
@@ -282,7 +335,8 @@ type classState struct {
 	outLens *workload.LengthSampler // nil = fixed OutTokens
 	bucket  *bucket                 // nil under AdmitAll
 
-	deadline float64 // resolved completion deadline (0 = none)
+	deadline   float64 // resolved completion deadline (0 = none)
+	hedgeDelay float64 // resolved hedge delay (0 = hedging off)
 
 	offered, admitted, rejected, completed int
 	good, late, retries, shed              int
@@ -335,6 +389,17 @@ type csim struct {
 	crashes, degradedEvents int
 	unavailableSeconds      float64
 	recoverTimes            []float64
+
+	// Correlated/gray-failure and hedging accounting.
+	domains          []domainState
+	domainOutages    int
+	domainOverlaps   int // repairs extended by an overlapping outage
+	stragglerWindows int
+	hedges           int
+	hedgeWins        int // hedged pairs the duplicate copy won
+	hedgeCancels     int // losers cancelled on their instance
+	hedgeDrops       int // copies retired without an instance-side cancel
+	hedgeWaste       float64
 }
 
 func (cs *csim) pushEvent(e *event) {
@@ -372,19 +437,27 @@ func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) 
 		cs.onInstanceShed(id, r, now, reason)
 	}
 	inst.SetRecorder(cs.cfg.Recorder)
-	m := &member{inst: inst, state: st, upAt: now}
+	m := &member{inst: inst, state: st, upAt: now, domain: cs.domainOf(id)}
 	if st == stateActive {
 		m.activeAt = now
 	}
 	if cs.cfg.Faults.Enabled {
 		m.faultRNG = rand.New(rand.NewSource(cs.cfg.Seed + faultSeedOffset + int64(id)*faultSeedStride))
 	}
+	if cs.cfg.Stragglers.Enabled {
+		m.stragRNG = rand.New(rand.NewSource(cs.cfg.Seed + stragglerSeedOffset + int64(id)*stragglerSeedStride))
+	}
 	return m, nil
 }
 
 // onFirstToken aggregates a decode request's TTFT cluster-wide, per class
-// and into the autoscaler window.
+// and into the autoscaler window. The first token of either copy of a
+// hedged pair settles the race (the loser is cancelled before it can
+// produce one), so TTFT is recorded exactly once per logical request.
 func (cs *csim) onFirstToken(r *serve.Request, now float64) {
+	if r.Twin != nil {
+		cs.resolveHedge(r, now)
+	}
 	t := now - r.Arrive
 	cs.ttft.Add(t)
 	cs.classes[r.Class].ttft.Add(t)
@@ -393,8 +466,11 @@ func (cs *csim) onFirstToken(r *serve.Request, now float64) {
 
 // onFinish aggregates a completed request's latencies; prefill-only
 // requests feed the autoscaler window here (their completion is their
-// response start).
+// response start, which also settles a hedge race).
 func (cs *csim) onFinish(r *serve.Request, now float64) {
+	if r.Twin != nil {
+		cs.resolveHedge(r, now)
+	}
 	cs.completed++
 	c := &cs.classes[r.Class]
 	c.completed++
@@ -477,6 +553,7 @@ func (cs *csim) newRequest(t float64, class int) *serve.Request {
 		Tokens: tok,
 		Padded: roundUp(tok, cs.base.TokenQuantum),
 		OutLen: out,
+		Member: -1,
 		Arrive: t,
 	}
 	if c.deadline > 0 {
@@ -610,6 +687,11 @@ func Run(cfg Config) (*Report, error) {
 		if st.deadline == 0 {
 			st.deadline = cfg.DeadlineSeconds
 		}
+		if cfg.Hedge.Enabled {
+			if st.hedgeDelay = cc.HedgeDelaySeconds; st.hedgeDelay == 0 {
+				st.hedgeDelay = cfg.Hedge.DelaySeconds
+			}
+		}
 		seed := cfg.Seed + int64(i)*1009
 		if st.lengths, err = workload.NewLengthSampler(cc.MinTokens, cc.MaxTokens, cc.MeanTokens, seed+1); err != nil {
 			return nil, fmt.Errorf("cluster: class %q: %w", cc.Name, err)
@@ -632,11 +714,17 @@ func Run(cfg Config) (*Report, error) {
 	// LUT re-materialization surcharge on recovery: the whole appliance's
 	// LUT budget rewritten at the modeled bandwidth (one replica's share
 	// for degraded-mode repairs). This is the capacity-computation
-	// tradeoff's availability face: bigger tables recover slower.
-	if cfg.Faults.Enabled {
+	// tradeoff's availability face: bigger tables recover slower. Domain
+	// outages pay it too, at the fault plan's bandwidth (or its default
+	// when only domains are enabled).
+	if cfg.Faults.Enabled || cfg.Domains.Enabled {
+		gbps := cfg.Faults.LUTRematGBps
+		if gbps == 0 {
+			gbps = 16
+		}
 		pcfg := &base.Engine.Cfg
 		lutBytes := int64(pcfg.Ranks*pcfg.BanksPerRank) * pcfg.MRAMLUTBudget()
-		cs.rematFull = float64(lutBytes) / (cfg.Faults.LUTRematGBps * 1e9)
+		cs.rematFull = float64(lutBytes) / (gbps * 1e9)
 		cs.rematReplica = cs.rematFull / float64(base.Replicas)
 	}
 
@@ -651,7 +739,9 @@ func Run(cfg Config) (*Report, error) {
 	cs.peak = cfg.Instances
 	for _, m := range cs.members {
 		cs.scheduleFault(m, 0)
+		cs.scheduleStraggler(m, 0)
 	}
+	cs.initDomains()
 
 	// Seed the merged arrival stream and the autoscaler clock.
 	if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
@@ -694,6 +784,9 @@ func Run(cfg Config) (*Report, error) {
 				if err := cs.route(r, now, false); err != nil {
 					return nil, err
 				}
+				if d := c.hedgeDelay; d > 0 {
+					cs.pushEvent(&event{at: now + d, inst: -1, kind: evHedge, req: r})
+				}
 			}
 			if t, class := cs.arrivals.Next(); t <= cfg.DurationSeconds {
 				cs.pushEvent(&event{at: t, inst: -1, kind: evArrival, class: class})
@@ -726,6 +819,18 @@ func Run(cfg Config) (*Report, error) {
 			if err := cs.onReplicaRepair(ev, now); err != nil {
 				return nil, err
 			}
+		case evDomainOutage:
+			cs.onDomainOutage(ev, now)
+		case evDomainRepair:
+			cs.onDomainRepair(ev, now)
+		case evStragglerStart:
+			cs.onStragglerStart(ev, now)
+		case evStragglerEnd:
+			cs.onStragglerEnd(ev, now)
+		case evHedge:
+			if err := cs.onHedgeTimer(ev, now); err != nil {
+				return nil, err
+			}
 		case evScaleTick:
 			cs.scaleTick(now)
 			// Ticks outlive the arrival window while work or excess fleet
@@ -741,6 +846,7 @@ func Run(cfg Config) (*Report, error) {
 			m.activeAt = now
 			m.bumpEpoch()
 			cs.scheduleFault(m, now)
+			cs.scheduleStraggler(m, now)
 			active, _, _ := cs.fleetCounts()
 			if active > cs.peak {
 				cs.peak = active
@@ -756,7 +862,13 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	cfg.Metrics.Finish(cs.makespan)
-	return cs.report(), nil
+	rep := cs.report()
+	if cfg.Audit {
+		if err := cs.auditRun(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
 }
 
 // scaleEvent appends an autoscaler lifecycle entry to the unified

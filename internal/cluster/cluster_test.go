@@ -24,6 +24,7 @@ func testConfig() Config {
 		RatePerSec:      100,
 		DurationSeconds: 5,
 		Seed:            1,
+		Audit:           true,
 	}
 }
 

@@ -162,8 +162,15 @@ func (c shedCause) String() string {
 }
 
 // shedRequest accounts a dropped request. After the drain, every admitted
-// request is exactly one of: completed or shed.
+// request is exactly one of: completed or shed — hedge duplicates are
+// copies of an already-admitted request, so losing one while its twin
+// lives is hedge bookkeeping, not a shed.
 func (cs *csim) shedRequest(r *serve.Request, now float64, cause shedCause) {
+	if r.Twin != nil {
+		cs.dropHedgeCopy(r, now)
+		return
+	}
+	r.Dropped = true
 	cs.shed++
 	cs.classes[r.Class].shed++
 	switch cause {
@@ -241,15 +248,24 @@ func (cs *csim) onFault(ev *event, now float64) {
 		cs.scheduleFault(m, now) // the instance is still up; next fault
 		return
 	}
+	cs.crashMember(m, now, now+m.faultRNG.ExpFloat64()*f.MTTRSeconds+cs.rematFull)
+}
+
+// crashMember fail-stops an active member at now: its queue reroutes, its
+// lost work requeues with retry accounting, and the epoch-stamped repair
+// is scheduled at repairAt. Shared between independent faults and domain
+// outages.
+func (cs *csim) crashMember(m *member, now, repairAt float64) {
 	queued, started := m.inst.Crash(now)
 	m.state = stateCrashed
 	m.lifeEpoch++
 	m.crashAt = now
+	m.repairAt = repairAt
+	m.straggling = false // the replacement hardware starts healthy
 	cs.crashes++
 	active, _, _ := cs.fleetCounts()
-	cs.faultEvent(now, "crash", ev.inst, -1, active, 0)
-	cs.pushEvent(&event{at: now + m.faultRNG.ExpFloat64()*f.MTTRSeconds + cs.rematFull,
-		inst: ev.inst, kind: evInstanceRepair})
+	cs.faultEvent(now, "crash", m.inst.ID, -1, active, 0)
+	cs.pushEvent(&event{at: repairAt, inst: m.inst.ID, kind: evInstanceRepair, epoch: m.lifeEpoch})
 	for _, r := range queued {
 		cs.requeue(r, now, false)
 	}
@@ -260,9 +276,15 @@ func (cs *csim) onFault(ev *event, now float64) {
 
 // onRepair returns a crashed instance to service: LUT re-materialization
 // is already priced into the event time, so from here the member is
-// routable and picks up queued retries as they fire.
+// routable and picks up queued retries as they fire. The epoch stamp
+// drops repairs a later domain outage superseded — the member stays down
+// until the extended window's own repair lands, and the merged outage is
+// counted once.
 func (cs *csim) onRepair(ev *event, now float64) error {
 	m := cs.members[ev.inst]
+	if ev.epoch != m.lifeEpoch || m.state != stateCrashed {
+		return nil
+	}
 	m.state = stateActive
 	m.lifeEpoch++
 	rec := now - m.crashAt
@@ -275,6 +297,7 @@ func (cs *csim) onRepair(ev *event, now float64) error {
 	}
 	cs.faultEvent(now, "repair", ev.inst, -1, active, rec)
 	cs.scheduleFault(m, now)
+	cs.scheduleStraggler(m, now)
 	return cs.dispatch(m, now)
 }
 
@@ -298,7 +321,9 @@ func (cs *csim) onReplicaRepair(ev *event, now float64) error {
 // requeue re-disposes a request displaced by a fault. Queued work on a
 // crashed member reroutes immediately (its service never started); lost
 // work — in-flight prefill, live decode — consumed a service attempt,
-// backs off and will pay full re-prefill on its next admission.
+// backs off and will pay full re-prefill on its next admission. While
+// parked the request has no serving member, so a hedge resolution in the
+// gap marks it dropped instead of cancelling it.
 func (cs *csim) requeue(r *serve.Request, now float64, lost bool) {
 	if lost && r.Attempts >= cs.cfg.Retry.MaxAttempts {
 		cs.shedRequest(r, now, shedRetries)
@@ -316,6 +341,7 @@ func (cs *csim) requeue(r *serve.Request, now float64, lost bool) {
 			return
 		}
 	}
+	r.Member = -1
 	cs.pushEvent(&event{at: at, inst: -1, kind: evRetry, req: r, lost: lost})
 }
 
@@ -325,10 +351,13 @@ func (cs *csim) requeue(r *serve.Request, now float64, lost bool) {
 // land). Retried lost work is accounted here: its prompt KV is gone, so
 // the new instance re-prefills from scratch.
 func (cs *csim) route(r *serve.Request, now float64, lost bool) error {
+	if r.Dropped {
+		return nil // a parked copy whose hedge twin already won
+	}
 	avail := cs.routable(cs.scratch)
 	cs.scratch = avail
 	if len(avail) == 0 {
-		if !cs.cfg.Faults.Enabled {
+		if !cs.cfg.faultsPossible() {
 			// MinInstances >= 1 and drain-only-below-SLO make this
 			// unreachable; guard against a silently dropped request.
 			return fmt.Errorf("cluster: no routable instance at t=%g", now)
@@ -357,6 +386,7 @@ func (cs *csim) route(r *serve.Request, now float64, lost bool) error {
 		}
 	}
 	r.Attempts++
+	r.Member = m.inst.ID
 	if lost {
 		cs.retries++
 		cs.classes[r.Class].retries++

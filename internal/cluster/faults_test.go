@@ -27,6 +27,7 @@ func faultConfig() Config {
 		RatePerSec:      30,
 		DurationSeconds: 60,
 		Seed:            1,
+		Audit:           true,
 		DeadlineSeconds: 5,
 		Faults: FaultConfig{
 			Enabled:     true,

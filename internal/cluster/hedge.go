@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ais-snu/localut/internal/obs"
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+// HedgeConfig is the tail-tolerance plan: a request still short of its
+// first token DelaySeconds after arrival is duplicated onto a second
+// member (fewest outstanding requests, excluding the one already serving
+// it). The first copy to produce a token wins; the loser is cancelled
+// with the unelapsed share of its pass refunded, and the share already
+// spent on it is reported as hedge waste. Classes can override the delay
+// via ClassConfig.HedgeDelaySeconds. Hedging a request at most once
+// bounds the duplicate load at 2x.
+type HedgeConfig struct {
+	Enabled bool
+
+	// DelaySeconds is the default wait before a request without a first
+	// token is duplicated (required; classes may override).
+	DelaySeconds float64
+}
+
+// withDefaults fills and validates the hedging plan.
+func (h HedgeConfig) withDefaults() (HedgeConfig, error) {
+	if !h.Enabled {
+		return h, nil
+	}
+	if h.DelaySeconds <= 0 {
+		return h, fmt.Errorf("cluster: hedging needs a positive DelaySeconds")
+	}
+	return h, nil
+}
+
+// onHedgeTimer fires DelaySeconds after a request's arrival: if the
+// request is still waiting for its first token, a duplicate is issued to
+// a second member. Requests already served, shed, displaced into a
+// parked retry, or hedged (a twin exists) are left alone.
+func (cs *csim) onHedgeTimer(ev *event, now float64) error {
+	r := ev.req
+	if r.Finish > 0 || r.FirstTok > 0 || r.Dropped || r.Twin != nil || r.Member < 0 {
+		return nil
+	}
+	avail := cs.routable(cs.scratch)
+	cs.scratch = avail
+	// Fewest-outstanding pick among the other members, ties to the lowest
+	// ID. The primary router is not consulted: a stateful router
+	// (round-robin) must not see hedge traffic, or enabling hedging would
+	// perturb primary routing.
+	var best *member
+	for _, m := range avail {
+		if m.inst.ID == r.Member {
+			continue
+		}
+		if best == nil || m.inst.Outstanding() < best.inst.Outstanding() ||
+			(m.inst.Outstanding() == best.inst.Outstanding() && m.inst.ID < best.inst.ID) {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil // no second member to hedge onto
+	}
+	h := &serve.Request{
+		ID:     r.ID,
+		Client: -1,
+		Class:  r.Class,
+		Tokens: r.Tokens, Padded: r.Padded,
+		OutLen:   r.OutLen,
+		Deadline: r.Deadline,
+		Arrive:   r.Arrive,
+		Hedge:    true,
+		Member:   best.inst.ID,
+		Twin:     r,
+	}
+	if !best.inst.Admit(h) {
+		return nil // bounded queue full; the original keeps waiting
+	}
+	h.Attempts++
+	r.Twin = h
+	cs.hedges++
+	active, _, _ := cs.fleetCounts()
+	cs.timeline = append(cs.timeline, TimelineEvent{
+		T: now, Kind: KindHedge, Action: "issue", Instance: best.inst.ID, Replica: -1,
+		Active: active,
+	})
+	if rec := cs.cfg.Recorder; rec.Sampled(r.ID) {
+		rec.Instant(0, 0, "hedge", now,
+			obs.Num("id", float64(r.ID)), obs.Num("to", float64(best.inst.ID)))
+	}
+	return cs.dispatch(best, now)
+}
+
+// resolveHedge settles a hedged pair at the winner's first token (for
+// prefill-only requests, completion). The loser is provably still short
+// of its own first token, so it is either queued or inside an in-flight
+// prefill pass: cancel it where it stands, refund the unelapsed share of
+// its pass, and book the spent share as hedge waste. A loser parked in a
+// retry event (its member crashed) has no instance to cancel it on; it
+// is marked dropped and the retry discards it.
+func (cs *csim) resolveHedge(w *serve.Request, now float64) {
+	l := w.Twin
+	w.Twin = nil
+	l.Twin = nil
+	l.Dropped = true
+	if w.Hedge {
+		cs.hedgeWins++
+		active, _, _ := cs.fleetCounts()
+		cs.timeline = append(cs.timeline, TimelineEvent{
+			T: now, Kind: KindHedge, Action: "win", Instance: w.Member, Replica: -1,
+			Active: active,
+		})
+	}
+	if l.Member >= 0 {
+		if found, waste := cs.members[l.Member].inst.Cancel(l, now); found {
+			cs.hedgeCancels++
+			cs.hedgeWaste += waste
+			return
+		}
+	}
+	cs.hedgeDrops++
+}
+
+// dropHedgeCopy retires one copy of a hedged pair without shedding the
+// logical request: the twin is still in flight and remains accountable
+// for completion. Called when a fault displaces a copy past its retry
+// budget or a bounded queue rejects its re-route.
+func (cs *csim) dropHedgeCopy(r *serve.Request, now float64) {
+	r.Twin.Twin = nil
+	r.Twin = nil
+	r.Dropped = true
+	cs.hedgeDrops++
+}

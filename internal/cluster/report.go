@@ -15,9 +15,19 @@ type InstanceReport struct {
 	// initial fleet.
 	UpAt, ActiveAt, DrainAt, DownAt float64
 
+	// Domain is the member's failure domain under correlated fault
+	// injection (-1 when failure domains are off).
+	Domain int
+
 	Requests  int // admitted (routed) requests
 	Completed int
 	Shed      int // dropped by the instance (deadline expiry, KV budget)
+	// Canceled counts hedge losers cancelled on this instance; Displaced
+	// counts requests handed back to the cluster by a crash or replica
+	// loss. Both close the instance's conservation ledger:
+	// Requests == Completed + Shed + Canceled + Displaced after the drain.
+	Canceled  int
+	Displaced int
 
 	// Fault history: full crashes, degraded-mode replica losses, and total
 	// crash-to-repair outage time.
@@ -25,9 +35,16 @@ type InstanceReport struct {
 	Degraded           int
 	UnavailableSeconds float64
 
+	// StragglerWindows counts gray-failure slowdown windows opened on this
+	// member.
+	StragglerWindows int
+
 	Batches       int
 	DecodeSteps   int
 	MeanBatchSize float64
+	// BusySeconds sums per-replica service time, with hedge-cancel refunds
+	// applied — the denominator for hedge-waste fractions.
+	BusySeconds float64
 	// Utilization is replica-seconds busy over replica-seconds routable
 	// (active until retirement or end of run).
 	Utilization float64
@@ -124,6 +141,31 @@ type Report struct {
 	TimeToRecover      serve.Stats
 	LUTRematSeconds    float64
 
+	// Correlated-failure outcome: DomainOutages counts domain-wide blast
+	// events; DomainOverlapExtensions counts member repairs that a second
+	// outage extended while the member was already down (the overlap is
+	// merged into one window, never double-counted in UnavailableSeconds).
+	DomainOutages           int
+	DomainOverlapExtensions int
+
+	// Gray-failure outcome: slowdown windows opened across the fleet.
+	StragglerWindows int
+
+	// Hedging outcome. Every issued hedge resolves as exactly one cancel
+	// (the loser was still on an instance) or drop (it was parked or
+	// displaced); wins count the pairs the duplicate copy won.
+	// HedgeWastedSeconds is the busy time spent on cancelled losers before
+	// their refund — compare against BusySeconds for the waste fraction.
+	HedgesIssued       int
+	HedgeWins          int
+	HedgeCancels       int
+	HedgeDrops         int
+	HedgeWastedSeconds float64
+
+	// BusySeconds sums per-replica service time across the fleet, refunds
+	// applied.
+	BusySeconds float64
+
 	Queue   serve.Stats
 	Service serve.Stats
 	Latency serve.Stats
@@ -189,6 +231,15 @@ func (cs *csim) report() *Report {
 		UnavailableSeconds: cs.unavailableSeconds,
 		TimeToRecover:      serve.StatsOf(cs.recoverTimes),
 		LUTRematSeconds:    cs.rematFull,
+
+		DomainOutages:           cs.domainOutages,
+		DomainOverlapExtensions: cs.domainOverlaps,
+		StragglerWindows:        cs.stragglerWindows,
+		HedgesIssued:            cs.hedges,
+		HedgeWins:               cs.hedgeWins,
+		HedgeCancels:            cs.hedgeCancels,
+		HedgeDrops:              cs.hedgeDrops,
+		HedgeWastedSeconds:      cs.hedgeWaste,
 	}
 	rep.OfferedPerSec = float64(cs.offered) / cs.cfg.DurationSeconds
 	if cs.makespan > 0 {
@@ -201,6 +252,7 @@ func (cs *csim) report() *Report {
 		st := m.inst.Stats()
 		ir := InstanceReport{
 			ID:                 m.inst.ID,
+			Domain:             m.domain,
 			UnavailableSeconds: m.unavail,
 			Design:             m.inst.Cfg.Variant.String(),
 			Replicas:           m.inst.Cfg.Replicas,
@@ -211,8 +263,11 @@ func (cs *csim) report() *Report {
 			Requests:           st.Admitted,
 			Completed:          st.Finished,
 			Shed:               st.Shed,
+			Canceled:           st.Canceled,
+			Displaced:          st.Displaced,
 			Crashes:            st.Crashes,
 			Degraded:           st.Degraded,
+			StragglerWindows:   m.stragglerWindows,
 			Batches:            st.Batches,
 			DecodeSteps:        st.DecodeSteps,
 			TokensIn:           st.TokensIn,
@@ -233,6 +288,8 @@ func (cs *csim) report() *Report {
 		for _, b := range st.BusySeconds {
 			busyTotal += b
 		}
+		ir.BusySeconds = busyTotal
+		rep.BusySeconds += busyTotal
 		if span := end - ir.ActiveAt; span > 0 && ir.Replicas > 0 {
 			ir.Utilization = busyTotal / (span * float64(ir.Replicas))
 		}

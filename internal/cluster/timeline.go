@@ -13,6 +13,16 @@ const (
 	KindFault = "fault"
 	// KindKV marks KV-pressure sheds under the KVShed policy ("kv-shed").
 	KindKV = "kv"
+	// KindDomain marks correlated failure-domain activity: "outage" (every
+	// member of the domain crashes at once) and "repair" (the domain-wide
+	// repair window closes).
+	KindDomain = "domain-outage"
+	// KindStraggler marks gray-failure windows: "start" opens a slowdown
+	// window on a member, "end" closes it.
+	KindStraggler = "straggler"
+	// KindHedge marks request hedging: "issue" duplicates a slow request
+	// onto a second member, "win" records the duplicate finishing first.
+	KindHedge = "hedge"
 )
 
 // TimelineEvent is one entry of the unified fleet timeline. Events are
@@ -20,7 +30,7 @@ const (
 // deterministic.
 type TimelineEvent struct {
 	T      float64
-	Kind   string // KindScale, KindFault, KindKV
+	Kind   string // KindScale, KindFault, KindKV, KindDomain, KindStraggler, KindHedge
 	Action string
 	// Instance is the affected member (-1 for fleet-level entries such as
 	// autoscaler ticks); Replica is the affected replica for degraded-mode
@@ -34,4 +44,7 @@ type TimelineEvent struct {
 	Samples int     `json:",omitempty"`
 	// RecoverSeconds is the crash-to-repair outage a "repair" entry ends.
 	RecoverSeconds float64 `json:",omitempty"`
+	// Domain is the failure domain behind a KindDomain entry; meaningful
+	// only when Kind is KindDomain (0 elsewhere).
+	Domain int `json:",omitempty"`
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/trace"
+)
+
+// HedgePoint is one hedge-delay sample of a tail-latency sweep under
+// gray-failure straggler injection: how much first-token tail latency a
+// fleet buys back by duplicating slow requests, and what that insurance
+// costs in wasted (refunded) busy time. DelaySeconds == 0 is the
+// no-hedge baseline every ratio is normalized against.
+type HedgePoint struct {
+	DelaySeconds float64
+	TTFTp99      float64
+	// TTFTRatio is TTFT p99 relative to the no-hedge baseline (1 when
+	// DelaySeconds == 0; sweeps without a 0 entry get ratio 0).
+	TTFTRatio        float64
+	LatencyP99       float64
+	GoodputPerSec    float64
+	StragglerWindows int
+	HedgesIssued     int
+	HedgeWins        int
+	WasteSeconds     float64
+	// WasteFraction is wasted hedge busy time over total fleet
+	// busy-seconds — the share of capacity spent on cancelled losers.
+	WasteFraction float64
+}
+
+// HedgeCurve sweeps the hedge trigger delay over a fixed straggler
+// scenario and returns one point per delay, in input order. A delay of
+// 0 disables hedging — the baseline each point's TTFTRatio is
+// normalized against. The base config's Hedge block is overridden per
+// point; stragglers, faults and everything else are shared, and the
+// straggler RNG stream is decoupled from hedging, so every point sees
+// the identical slowdown schedule. Each run is individually
+// deterministic, so the curve is bit-reproducible.
+func HedgeCurve(base cluster.Config, delays []float64) ([]HedgePoint, error) {
+	points := make([]HedgePoint, 0, len(delays))
+	baseline := 0.0
+	for _, d := range delays {
+		cfg := base
+		cfg.Hedge.Enabled = d > 0
+		cfg.Hedge.DelaySeconds = d
+		rep, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			baseline = rep.TTFT.P99
+		}
+		p := HedgePoint{
+			DelaySeconds:     d,
+			TTFTp99:          rep.TTFT.P99,
+			LatencyP99:       rep.Latency.P99,
+			GoodputPerSec:    rep.GoodputPerSec,
+			StragglerWindows: rep.StragglerWindows,
+			HedgesIssued:     rep.HedgesIssued,
+			HedgeWins:        rep.HedgeWins,
+			WasteSeconds:     rep.HedgeWastedSeconds,
+		}
+		if baseline > 0 {
+			p.TTFTRatio = rep.TTFT.P99 / baseline
+		}
+		if rep.BusySeconds > 0 {
+			p.WasteFraction = rep.HedgeWastedSeconds / rep.BusySeconds
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// HedgeTable renders a hedge-delay sweep as a trace table.
+func HedgeTable(title string, points []HedgePoint) *trace.Table {
+	t := trace.NewTable(title,
+		"hedge delay (s)", "ttft p99 (s)", "ttft ratio", "p99 (s)",
+		"goodput/s", "straggler windows", "hedges", "wins",
+		"waste (s)", "waste frac")
+	for _, p := range points {
+		t.Add(p.DelaySeconds, p.TTFTp99, p.TTFTRatio, p.LatencyP99,
+			p.GoodputPerSec, p.StragglerWindows, p.HedgesIssued,
+			p.HedgeWins, p.WasteSeconds, p.WasteFraction)
+	}
+	return t
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/cluster"
+	"github.com/ais-snu/localut/internal/dnn"
+	"github.com/ais-snu/localut/internal/kernels"
+	"github.com/ais-snu/localut/internal/quant"
+	"github.com/ais-snu/localut/internal/serve"
+)
+
+// hedgeBase is the canonical gray-failure scenario: an 8-member fleet
+// where members intermittently run 4x slow without crashing.
+func hedgeBase() cluster.Config {
+	return cluster.Config{
+		Base: serve.Config{
+			Model:     dnn.OPT125M(),
+			Fmt:       quant.W1A3,
+			Variant:   kernels.LoCaLUT,
+			Replicas:  2,
+			OutTokens: 4,
+		},
+		Instances:       8,
+		RatePerSec:      30,
+		DurationSeconds: 60,
+		Seed:            1,
+		Audit:           true,
+		DeadlineSeconds: 8,
+		Stragglers: cluster.StragglerConfig{
+			Enabled:             true,
+			MTBFSeconds:         80,
+			MeanDurationSeconds: 5,
+			Slowdown:            4,
+		},
+	}
+}
+
+// TestHedgeCurveTailTradeoff pins the sweep's purpose: against the
+// delay-0 baseline, a well-chosen hedge delay must cut TTFT p99 while
+// wasting under 10% of fleet busy time, and the shared straggler
+// schedule must be identical at every point.
+func TestHedgeCurveTailTradeoff(t *testing.T) {
+	points, err := HedgeCurve(hedgeBase(), []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	base, hedged := points[0], points[1]
+	if base.DelaySeconds != 0 || hedged.DelaySeconds != 0.2 {
+		t.Fatalf("point identity wrong: %+v", points)
+	}
+	if base.TTFTRatio != 1 {
+		t.Errorf("baseline ratio = %g, want 1", base.TTFTRatio)
+	}
+	if base.StragglerWindows == 0 || hedged.StragglerWindows != base.StragglerWindows {
+		t.Errorf("straggler schedule not shared: %d vs %d windows",
+			base.StragglerWindows, hedged.StragglerWindows)
+	}
+	if base.HedgesIssued != 0 || hedged.HedgesIssued == 0 || hedged.HedgeWins == 0 {
+		t.Errorf("hedge counters wrong: base %d issued, hedged %d issued / %d wins",
+			base.HedgesIssued, hedged.HedgesIssued, hedged.HedgeWins)
+	}
+	if hedged.TTFTp99 >= base.TTFTp99 {
+		t.Errorf("hedging did not improve TTFT p99: %g vs %g", hedged.TTFTp99, base.TTFTp99)
+	}
+	if hedged.WasteFraction <= 0 || hedged.WasteFraction >= 0.10 {
+		t.Errorf("waste fraction %g outside (0, 0.10)", hedged.WasteFraction)
+	}
+}
+
+func TestHedgeCurveDeterministic(t *testing.T) {
+	a, err := HedgeCurve(hedgeBase(), []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HedgeCurve(hedgeBase(), []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config diverged")
+	}
+}
+
+func TestHedgeTable(t *testing.T) {
+	points, err := HedgeCurve(hedgeBase(), []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := HedgeTable("hedging", points).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, col := range []string{"hedge delay (s)", "ttft p99 (s)", "waste frac"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q:\n%s", col, out)
+		}
+	}
+}

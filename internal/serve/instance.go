@@ -26,6 +26,21 @@ type Request struct {
 	Deadline float64 // absolute completion deadline in simulated seconds; 0 = none
 	Attempts int     // service attempts so far (admissions to an instance)
 
+	// Hedging fields, owned by the traffic layer. Twin links the two
+	// copies of a hedged request (each points at the other); Hedge marks
+	// the duplicate copy; Member is the instance currently serving this
+	// copy (-1 while unrouted); Dropped marks a copy the traffic layer has
+	// retired (its twin won, or a fault displaced it past usefulness) so
+	// parked retry events can recognize it as dead.
+	Twin    *Request
+	Hedge   bool
+	Member  int
+	Dropped bool
+
+	// canceled marks a copy the owning Instance has been told to abandon
+	// mid-service; PrefillDone/StepDone/Crash skip canceled members.
+	canceled bool
+
 	Arrive, Start, FirstTok, Finish float64 // simulated seconds
 }
 
@@ -144,13 +159,23 @@ type Instance struct {
 	// (instance crash, replica failure) so stale completions can be
 	// recognized; repDown marks replicas lost to a degraded-mode fault;
 	// passEnd/passSec/passPIM/passEnergy describe the running pass so an
-	// abort can refund its unelapsed cost.
+	// abort can refund its unelapsed cost. passShare is the fraction of
+	// the running pass still chargeable — cancellations refund their
+	// member's share immediately and shrink it, so a later abort of the
+	// same pass cannot refund that share twice.
 	repEpoch   []int
 	repDown    []bool
 	passEnd    []float64
 	passSec    []float64
 	passPIM    []float64
 	passEnergy []float64
+	passShare  []float64
+
+	// slowdown is the gray-failure speed factor: every priced pass takes
+	// slowdown times its oracle cost in wall-clock seconds (and PIM-busy
+	// seconds) while a straggler window is open. 1 = healthy. Energy is
+	// unscaled: a slow member does the same work, just later.
+	slowdown float64
 
 	kvPerToken   int64   // KV bytes one cached token occupies
 	kvPeak       int64   // largest per-replica KV footprint seen
@@ -170,6 +195,8 @@ type Instance struct {
 	admitted    int
 	finished    int
 	shed        int
+	canceled    int // hedge losers cancelled mid-service
+	displaced   int // non-canceled requests handed back by Crash/FailReplica
 	crashes     int
 	degradedCnt int
 	batches     int
@@ -212,6 +239,8 @@ func NewInstance(cfg Config, id int, o *Oracle) (*Instance, error) {
 		passSec:     make([]float64, cfg.Replicas),
 		passPIM:     make([]float64, cfg.Replicas),
 		passEnergy:  make([]float64, cfg.Replicas),
+		passShare:   make([]float64, cfg.Replicas),
+		slowdown:    1,
 		repKVTokens: make([]int64, cfg.Replicas),
 		kvLast:      make([]float64, cfg.Replicas),
 		kvPerToken:  2 * int64(cfg.Model.Layers) * int64(cfg.Model.Hidden) * kvBytesPerElem,
@@ -338,6 +367,7 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 		if err != nil {
 			return Completion{}, false, err
 		}
+		cost = inst.slowCost(cost)
 		inst.tokensPadded += int64(padTokens)
 		inst.batches++
 		inst.batchReqs += len(batch)
@@ -373,6 +403,7 @@ func (inst *Instance) startWork(rep int, now float64) (Completion, bool, error) 
 		if err != nil {
 			return Completion{}, false, err
 		}
+		cost = inst.slowCost(cost)
 		inst.steps++
 		// KV gauge: during the step the replica holds every live context
 		// plus the newly written token per sequence.
@@ -463,21 +494,146 @@ func (inst *Instance) notePass(rep int, now float64, cost batchCost) {
 	inst.passSec[rep] = cost.seconds
 	inst.passPIM[rep] = cost.pimSec
 	inst.passEnergy[rep] = cost.energyJ
+	inst.passShare[rep] = 1
 	inst.replicaBusy[rep] = true
 }
+
+// slowCost applies the gray-failure speed factor to a priced pass. The
+// oracle memo is untouched: slowdown is a per-instance wall-clock effect,
+// not a different forward pass.
+func (inst *Instance) slowCost(cost batchCost) batchCost {
+	if inst.slowdown != 1 {
+		cost.seconds *= inst.slowdown
+		cost.pimSec *= inst.slowdown
+	}
+	return cost
+}
+
+// SetSlowdown opens (factor > 1) or closes (factor 1) a straggler window:
+// subsequent passes are priced at factor times their healthy cost.
+// Passes already in flight keep their launch-time pricing — a window
+// boundary mid-pass would otherwise break completion-event determinism.
+func (inst *Instance) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	inst.slowdown = factor
+}
+
+// Slowdown reports the current gray-failure speed factor (1 = healthy).
+func (inst *Instance) Slowdown() float64 { return inst.slowdown }
 
 // abortPass refunds the unelapsed fraction of a replica's running pass —
 // a crashed appliance stops consuming time, PIM cycles and energy at the
 // fault instant. The elapsed fraction stays charged: it was really spent.
+// Only the still-chargeable share is refunded; shares already refunded to
+// cancelled batch members are excluded.
 func (inst *Instance) abortPass(rep int, now float64) {
 	if !inst.replicaBusy[rep] || inst.passSec[rep] <= 0 || inst.passEnd[rep] <= now {
 		return
 	}
 	left := inst.passEnd[rep] - now
 	frac := left / inst.passSec[rep]
-	inst.busy[rep] -= left
-	inst.pimBusy -= inst.passPIM[rep] * frac
-	inst.energyJ -= inst.passEnergy[rep] * frac
+	share := inst.passShare[rep]
+	inst.busy[rep] -= left * share
+	inst.pimBusy -= inst.passPIM[rep] * frac * share
+	inst.energyJ -= inst.passEnergy[rep] * frac * share
+}
+
+// Cancel abandons one admitted-but-unfinished request: a hedge loser
+// whose twin already produced a token elsewhere. A queued copy leaves the
+// queue free of charge; a copy inside an in-flight prefill batch has its
+// padded-token share of the pass's unelapsed cost refunded (the elapsed
+// share is the hedge's wasted work) and its prompt KV unpinned; a live
+// decode copy likewise refunds its 1/n share of any running step. It
+// reports whether the request was found, plus the service seconds already
+// spent on it that could not be refunded.
+func (inst *Instance) Cancel(r *Request, now float64) (found bool, wastedSec float64) {
+	if r.Finish > 0 {
+		return false, 0
+	}
+	if inst.q.remove(r) {
+		inst.queuedTokens -= int64(r.Tokens)
+		inst.outstanding--
+		inst.canceled++
+		return true, 0
+	}
+	for rep, b := range inst.inflight {
+		for _, x := range b {
+			if x != r {
+				continue
+			}
+			padSum := 0
+			for _, m := range b {
+				padSum += m.Padded
+			}
+			share := float64(r.Padded) / float64(padSum)
+			wastedSec = inst.refundShare(rep, now, share)
+			r.canceled = true // PrefillDone skips it; Crash/FailReplica drop it
+			inst.touchKV(rep, now)
+			inst.repKVTokens[rep] -= int64(r.Tokens)
+			inst.outstanding--
+			inst.canceled++
+			return true, wastedSec
+		}
+	}
+	for rep, l := range inst.live {
+		for i, x := range l {
+			if x != r {
+				continue
+			}
+			if inst.replicaBusy[rep] {
+				wastedSec = inst.refundShare(rep, now, 1/float64(len(l)))
+			}
+			copy(l[i:], l[i+1:])
+			l[len(l)-1] = nil
+			inst.live[rep] = l[:len(l)-1]
+			held := int64(r.Tokens + r.Generated + 1)
+			inst.touchKV(rep, now)
+			inst.liveTokens -= held
+			inst.repKVTokens[rep] -= held
+			inst.outstanding--
+			inst.canceled++
+			return true, wastedSec
+		}
+	}
+	return false, 0
+}
+
+// refundShare refunds one member's share of the replica's running pass
+// from now to its end, shrinking the pass's chargeable share so a later
+// abort cannot refund it again. It returns the member's share of the
+// already-elapsed pass time — spent work no refund can recover.
+func (inst *Instance) refundShare(rep int, now float64, share float64) (spentSec float64) {
+	if !inst.replicaBusy[rep] || inst.passSec[rep] <= 0 {
+		return 0
+	}
+	left := inst.passEnd[rep] - now
+	if left < 0 {
+		left = 0
+	}
+	frac := left / inst.passSec[rep]
+	inst.busy[rep] -= left * share
+	inst.pimBusy -= inst.passPIM[rep] * frac * share
+	inst.energyJ -= inst.passEnergy[rep] * frac * share
+	inst.passShare[rep] -= share
+	return (inst.passSec[rep] - left) * share
+}
+
+// dropCanceled filters cancelled copies out of a displaced-request list:
+// their outstanding/KV accounting was already settled at Cancel time, and
+// handing them back to the traffic layer would resurrect dead work.
+func dropCanceled(rs []*Request) []*Request {
+	keep := rs[:0]
+	for _, r := range rs {
+		if !r.canceled {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(rs); i++ {
+		rs[i] = nil
+	}
+	return keep
 }
 
 // Crash fail-stops the whole instance: the queue drains (callers reroute
@@ -486,7 +642,9 @@ func (inst *Instance) abortPass(rep int, now float64) {
 // full re-prefill), running passes are aborted with a cost refund, and
 // every replica's epoch bumps so already-scheduled completions are
 // recognizably stale. Replica-level degraded faults are healed as a side
-// effect: recovery replaces the appliance's memory wholesale.
+// effect: recovery replaces the appliance's memory wholesale. A crash
+// also closes any open straggler window — the repaired appliance is new
+// hardware.
 func (inst *Instance) Crash(now float64) (queued, started []*Request) {
 	inst.crashes++
 	for inst.q.len() > 0 {
@@ -508,7 +666,10 @@ func (inst *Instance) Crash(now float64) (queued, started []*Request) {
 		inst.repEpoch[rep]++
 	}
 	inst.liveTokens = 0
+	inst.slowdown = 1
+	started = dropCanceled(started)
 	inst.outstanding -= len(queued) + len(started)
+	inst.displaced += len(queued) + len(started)
 	return queued, started
 }
 
@@ -545,7 +706,9 @@ func (inst *Instance) FailReplica(now float64) (lost []*Request, rep int) {
 	inst.touchKV(rep, now)
 	inst.repKVTokens[rep] = 0
 	inst.repEpoch[rep]++
+	lost = dropCanceled(lost)
 	inst.outstanding -= len(lost)
+	inst.displaced += len(lost)
 	return lost, rep
 }
 
@@ -583,9 +746,17 @@ func (inst *Instance) ReplicaEpoch(rep int) int { return inst.repEpoch[rep] }
 // decode batch when more tokens remain, or finish.
 func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 	inst.replicaBusy[replica] = false
-	inst.inflight[replica] = nil
 	inst.touchKV(replica, now)
+	// The batch stays registered as in-flight until the loop ends: an
+	// OnFirstToken callback can settle a hedge race whose loser sits later
+	// in this same batch, and Cancel must still find it here to mark it
+	// canceled before its own turn comes.
 	for _, r := range batch {
+		if r.canceled {
+			// Hedge loser cancelled mid-pass: its accounting (KV unpin,
+			// outstanding, refund) was settled at Cancel time.
+			continue
+		}
 		r.FirstTok = now
 		if r.OutLen > 0 && inst.OnFirstToken != nil {
 			inst.OnFirstToken(r, now)
@@ -601,6 +772,7 @@ func (inst *Instance) PrefillDone(replica int, batch []*Request, now float64) {
 			inst.retire(r, now)
 		}
 	}
+	inst.inflight[replica] = nil
 }
 
 // StepDone delivers a CompletionStep: every live request on the replica
@@ -705,6 +877,8 @@ func (inst *Instance) ShedCount() int { return inst.shed }
 type InstanceStats struct {
 	Admitted, Finished int
 	Shed               int
+	Canceled           int
+	Displaced          int
 	Crashes            int
 	Degraded           int
 	Batches            int
@@ -728,6 +902,8 @@ func (inst *Instance) Stats() InstanceStats {
 		Admitted:        inst.admitted,
 		Finished:        inst.finished,
 		Shed:            inst.shed,
+		Canceled:        inst.canceled,
+		Displaced:       inst.displaced,
 		Crashes:         inst.crashes,
 		Degraded:        inst.degradedCnt,
 		Batches:         inst.batches,

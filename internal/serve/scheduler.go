@@ -68,6 +68,21 @@ func (q *queue) removePrefix(sel []int) []*Request {
 	return out
 }
 
+// remove deletes one request from anywhere in the queue, preserving the
+// order of the survivors, and reports whether it was present. Request
+// cancellation (hedge losers) is the only caller; it is O(queue length).
+func (q *queue) remove(r *Request) bool {
+	for i := q.head; i < len(q.items); i++ {
+		if q.items[i] == r {
+			copy(q.items[i:], q.items[i+1:])
+			q.items[len(q.items)-1] = nil
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
+}
+
 // maybeCompact reclaims the dead prefix once it dominates the backing array.
 func (q *queue) maybeCompact() {
 	if q.head > 1024 && q.head > len(q.items)/2 {
