@@ -1,0 +1,173 @@
+// Command determlint proves the project's determinism invariants at
+// build time. It runs the four-house-analyzer suite (maporder,
+// walltime, rngstream, nilrecv — see internal/analysis/determlint) in
+// two modes:
+//
+//	determlint [packages]        standalone: analyze Go packages in the
+//	                             current module (default ./...) and print
+//	                             findings; exit 1 if any.
+//
+//	go vet -vettool=$(which determlint) ./...
+//	                             vettool: determlint speaks go vet's
+//	                             unitchecker protocol (-V=full, -flags,
+//	                             and per-package *.cfg invocations), so
+//	                             CI can run it through the standard vet
+//	                             driver with build caching.
+//
+// A finding is silenced only by an inline suppression carrying a
+// reason, e.g. //determlint:ordered keys are sorted two lines up — a
+// bare suppression is ignored and the diagnostic stays.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/analysis"
+	"github.com/ais-snu/localut/internal/analysis/determlint"
+	"github.com/ais-snu/localut/internal/analysis/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet protocol: version and flag discovery probes.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			// cmd/go parses `<tool> version <id>` to build its cache key.
+			fmt.Printf("%s version %s determlint\n", os.Args[0], runtime.Version())
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runUnit(args[0]))
+		}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone analyzes package patterns in the current module.
+func runStandalone(patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		return 2
+	}
+	findings, err := determlint.Check(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "determlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON unit description go vet hands a vettool,
+// mirroring x/tools' unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one package unit as directed by a go vet cfg file.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "determlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// go vet caches analysis facts through the vetx file; determlint has
+	// no facts, but the file must exist for the driver's bookkeeping.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("determlint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "determlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		fmt.Fprintf(os.Stderr, "determlint: unsupported compiler %q\n", cfg.Compiler)
+		return 2
+	}
+	// The determinism contract binds the simulator, not its tests; skip
+	// _test.go files so vet's test variants add nothing new.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("determlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := loader.TypeCheck(token.NewFileSet(), cfg.ImportPath, absFiles(cfg.Dir, files), nil, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "determlint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	diags, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo, determlint.For(cfg.ImportPath))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "determlint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.Format(pkg.Fset))
+	}
+	if len(diags) > 0 {
+		return 2 // any nonzero status fails `go vet`
+	}
+	return 0
+}
+
+func absFiles(dir string, files []string) []string {
+	out := make([]string, len(files))
+	for i, f := range files {
+		if filepath.IsAbs(f) {
+			out[i] = f
+		} else {
+			out[i] = filepath.Join(dir, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetVettool builds determlint and drives it through the real
+// `go vet -vettool` protocol over the whole module — the exact
+// invocation CI uses. It proves the unitchecker handshake (-V=full,
+// per-package cfg files, vetx outputs) works against this toolchain and
+// that the tree is clean through that path too.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+
+	bin := filepath.Join(t.TempDir(), "determlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/determlint")
+	build.Dir = root
+	if msg, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building determlint: %v\n%s", err, msg)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if msg, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings or failed: %v\n%s", err, msg)
+	}
+}

@@ -1,0 +1,161 @@
+// Package analysis is a self-contained mirror of the
+// golang.org/x/tools/go/analysis API surface used by determlint, built
+// entirely on the standard library so the linter needs no module
+// downloads. An Analyzer inspects one type-checked package through a
+// Pass and reports Diagnostics; the driver (cmd/determlint or the
+// analysistest harness) loads packages, runs analyzers, and filters
+// diagnostics through //determlint:<check> <reason> suppression
+// comments.
+//
+// The shapes are kept deliberately close to go/analysis so the suite
+// could be rehosted on x/tools (and go vet's unitchecker) by swapping
+// imports; cmd/determlint already speaks the vettool protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output (e.g. "maporder").
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// Suppress is the token accepted after "//determlint:" to silence a
+	// finding from this analyzer (e.g. "ordered" for maporder). A
+	// suppression comment must carry a non-empty reason or it is
+	// ignored — the diagnostic stays.
+	Suppress string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one finding. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Analyzer: p.Analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Analyzer *Analyzer
+	Pos      token.Pos
+	Message  string
+}
+
+// String renders the diagnostic as path:line:col: [name] message.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+}
+
+// SuppressionPrefix introduces an inline suppression comment.
+const SuppressionPrefix = "//determlint:"
+
+// suppression is one parsed //determlint:<token> <reason> comment.
+type suppression struct {
+	token string
+	line  int // line the comment appears on
+}
+
+// Suppressions indexes every //determlint: comment in files, keyed by
+// file name. Comments without a reason are ignored (and so do not
+// suppress anything): every suppression must say why.
+type Suppressions struct {
+	byFile map[string][]suppression
+}
+
+// ParseSuppressions scans the comments of files for suppression
+// directives. A directive silences matching diagnostics on its own line
+// and on the line immediately below, so both trailing comments and
+// annotation-above style work.
+func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string][]suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, SuppressionPrefix)
+				if !ok {
+					continue
+				}
+				tok, reason, _ := strings.Cut(text, " ")
+				if tok == "" || strings.TrimSpace(reason) == "" {
+					continue // a suppression without a reason does not suppress
+				}
+				pos := fset.Position(c.Pos())
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], suppression{token: tok, line: pos.Line})
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from an analyzer with
+// suppression token tok at pos is silenced.
+func (s *Suppressions) Suppressed(fset *token.FileSet, tok string, pos token.Pos) bool {
+	if s == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, sup := range s.byFile[p.Filename] {
+		if sup.token == tok && (sup.line == p.Line || sup.line == p.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes analyzers over one loaded package and returns the
+// diagnostics that survive suppression filtering, sorted by position
+// so output is deterministic regardless of analyzer order.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sups := ParseSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if sups.Suppressed(fset, a.Suppress, d.Pos) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer.Name < out[j].Analyzer.Name
+	})
+	return out, nil
+}

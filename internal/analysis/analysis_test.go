@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parse builds one file's suppression index.
+func parse(t *testing.T, src string) (*token.FileSet, *Suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ParseSuppressions(fset, []*ast.File{f})
+}
+
+// posAt returns a Pos on the given 1-indexed line of x.go.
+func posAt(fset *token.FileSet, line int) token.Pos {
+	var file *token.File
+	fset.Iterate(func(f *token.File) bool { file = f; return false })
+	return file.LineStart(line)
+}
+
+func TestSuppressions(t *testing.T) {
+	src := `package p
+
+func a() {
+	_ = 1 //determlint:ordered keys sorted upstream
+	//determlint:walltime host timing for the progress bar
+	_ = 2
+	//determlint:rngstream
+	_ = 3
+	_ = 4
+}
+`
+	fset, sups := parse(t, src)
+	for _, tc := range []struct {
+		tok  string
+		line int
+		want bool
+	}{
+		{"ordered", 4, true},    // trailing comment, same line
+		{"ordered", 5, true},    // trailing comments also cover the next line
+		{"walltime", 6, true},   // annotation-above
+		{"walltime", 4, false},  // wrong token
+		{"rngstream", 8, false}, // no reason given: does not suppress
+		{"ordered", 9, false},   // out of range
+	} {
+		if got := sups.Suppressed(fset, tc.tok, posAt(fset, tc.line)); got != tc.want {
+			t.Errorf("Suppressed(%q, line %d) = %v, want %v", tc.tok, tc.line, got, tc.want)
+		}
+	}
+}
+
+func TestSuppressedNilReceiver(t *testing.T) {
+	fset := token.NewFileSet()
+	var s *Suppressions
+	if s.Suppressed(fset, "ordered", token.NoPos) {
+		t.Error("nil Suppressions must suppress nothing")
+	}
+}

@@ -1,0 +1,85 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest but built on
+// the in-repo loader. Each fixture directory is one package (all its
+// .go files); suppression comments are honored exactly as the real
+// driver honors them, so fixtures can pin all three behaviors: a true
+// positive (line carries a want), a clean site (no want, no finding),
+// and a suppressed site (suppression comment, no want).
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/ais-snu/localut/internal/analysis"
+	"github.com/ais-snu/localut/internal/analysis/loader"
+)
+
+// wantRE extracts the quoted patterns of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package in dir, applies a (with suppression
+// filtering), and fails t on any mismatch between diagnostics and the
+// fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s", fmt.Sprintf("%s:%d: [%s] %s", pos.Filename, pos.Line, d.Analyzer.Name, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

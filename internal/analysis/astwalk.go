@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WalkStack traverses root in depth-first order like ast.Inspect, but
+// passes the stack of ancestor nodes (outermost first, not including n)
+// to fn. Returning false skips n's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// RootIdent unwraps parens, selectors, index and star expressions to
+// the base identifier of an lvalue, e.g. cs.totals[k] -> cs. It returns
+// nil when the expression is not rooted in an identifier.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether the object behind e's root identifier
+// exists and is declared outside the [lo, hi] node span — i.e. mutating
+// it inside the span leaks state across iterations of a loop spanning
+// [lo, hi].
+func DeclaredOutside(info *types.Info, e ast.Expr, lo, hi token.Pos) (*ast.Ident, bool) {
+	id := RootIdent(e)
+	if id == nil {
+		return nil, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return id, false
+	}
+	return id, obj.Pos() < lo || obj.Pos() > hi
+}
+
+// PkgFunc resolves a call expression to the package-level function or
+// method it invokes, or nil.
+func PkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// IsFloat reports whether t's core type is a floating-point basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// EnclosingFunc returns the innermost function literal or declaration
+// body on the stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

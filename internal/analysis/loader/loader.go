@@ -1,0 +1,253 @@
+// Package loader loads type-checked packages for determlint using only
+// the standard library and the go command. Package metadata and export
+// data for dependencies come from `go list -deps -export -json`; the
+// target packages themselves are parsed from source (with comments, so
+// suppression directives survive) and type-checked against that export
+// data via go/importer's gc lookup mode. No network access and no
+// module downloads are required: everything reads the local build
+// cache, which `go build ./...` has already populated in any checkout
+// that compiles.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string // import path
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir for patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup returns a gc-importer lookup function over the transitive
+// export data of patterns, resolved by `go list` in dir.
+func ExportLookup(dir string, patterns []string) (func(path string) (io.ReadCloser, error), error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}, nil
+}
+
+// TypeCheck parses and type-checks one package from its source files,
+// resolving imports through lookup. Parse and type errors are returned;
+// the *types.Info is fully populated for analysis.
+func TypeCheck(fset *token.FileSet, path string, filenames []string, src map[string][]byte, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// Load loads the packages matching patterns (e.g. "./...") in the
+// module rooted at dir, type-checking each matched package from source
+// and its dependencies from export data. Returned packages are in
+// go list order (dependencies first), which is deterministic.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("loader: %s: cgo packages are not supported", p.ImportPath)
+		}
+		var filenames []string
+		for _, gf := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, gf))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		lp, err := TypeCheck(fset, p.ImportPath, filenames, nil, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", p.ImportPath, err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// LoadDir loads the single package formed by every .go file directly in
+// dir (an analysistest fixture). Imports are resolved from the local
+// build cache; the fixture may import anything the surrounding module
+// can.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, errors.New("loader: no .go files in " + dir)
+	}
+	// Collect the direct imports so `go list` can resolve the
+	// transitive export-data closure.
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[p] = true
+		}
+	}
+	lookup := func(string) (io.ReadCloser, error) {
+		return nil, errors.New("loader: fixture has no imports")
+	}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		lookup, err = ExportLookup(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return TypeCheck(token.NewFileSet(), filepath.Base(dir), filenames, nil, lookup)
+}

@@ -1,0 +1,191 @@
+// Package maporder flags `for ... range m` loops over maps whose body
+// is sensitive to iteration order: accumulating floating-point values
+// (float addition does not commute at ulp level — the exact bug class
+// behind the energy.Price jitter fixed in PR 2), appending to a slice
+// that is never sorted afterwards (the fig15 row-order bug), or writing
+// ordered output (fmt printing, Write/Encode methods) per iteration.
+//
+// Safe patterns are not flagged: integer accumulation, map writes,
+// collecting keys or values into a slice that a later sort.* or
+// slices.* call orders, and sites annotated with a
+// //determlint:ordered <reason> suppression.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration whose body depends on iteration order (float accumulation, unsorted appends, ordered output)",
+	Suppress: "ordered",
+	Run:      run,
+}
+
+// writerMethods are method names treated as ordered output sinks.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRow": true, "WriteAll": true, "Encode": true,
+	"Print": true, "Printf": true, "Println": true, "Fprintf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, analysis.EnclosingFunc(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// effects. encl is the enclosing function, used to look for a
+// neutralizing sort after the loop.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, encl ast.Node) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := st.Lhs[0]
+				if t := info.TypeOf(lhs); t != nil && analysis.IsFloat(t) {
+					if id, outside := analysis.DeclaredOutside(info, lhs, rs.Pos(), rs.End()); outside {
+						pass.Reportf(st.Pos(), "float accumulation into %s inside map iteration is order-sensitive; iterate sorted keys or add //determlint:ordered <reason>", id.Name)
+					}
+				}
+			case token.ASSIGN:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) {
+						break
+					}
+					checkAssign(pass, rs, encl, lhs, st.Rhs[i], st.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if isOrderedOutput(info, st) {
+				pass.Reportf(st.Pos(), "ordered output written inside map iteration follows map order; iterate sorted keys or add //determlint:ordered <reason>")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign handles `x = x + v` float accumulation and
+// `s = append(s, ...)` into a slice declared outside the loop.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, encl ast.Node, lhs, rhs ast.Expr, pos token.Pos) {
+	info := pass.TypesInfo
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "append" {
+			if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+				id, outside := analysis.DeclaredOutside(info, lhs, rs.Pos(), rs.End())
+				if outside && !sortedAfter(info, encl, info.ObjectOf(id), rs.End()) {
+					pass.Reportf(pos, "append to %s inside map iteration records map order; sort %s afterwards, iterate sorted keys, or add //determlint:ordered <reason>", id.Name, id.Name)
+				}
+			}
+		}
+		return
+	}
+	// x = x + v (or -, *, /) with float x declared outside the loop.
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return
+	}
+	t := info.TypeOf(lhs)
+	if t == nil || !analysis.IsFloat(t) {
+		return
+	}
+	id, outside := analysis.DeclaredOutside(info, lhs, rs.Pos(), rs.End())
+	if !outside {
+		return
+	}
+	if obj := info.ObjectOf(id); obj != nil && refersTo(info, bin, obj) {
+		pass.Reportf(pos, "float accumulation into %s inside map iteration is order-sensitive; iterate sorted keys or add //determlint:ordered <reason>", id.Name)
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call
+// positioned after pos inside the enclosing function — the canonical
+// collect-then-sort idiom that makes an in-loop append deterministic.
+func sortedAfter(info *types.Info, encl ast.Node, obj types.Object, pos token.Pos) bool {
+	if encl == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		fn := analysis.PkgFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refersTo reports whether expr mentions obj.
+func refersTo(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isOrderedOutput reports whether call writes ordered output: a
+// fmt.Print*/Fprint* call or a Write/Encode-family method.
+func isOrderedOutput(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.PkgFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+	}
+	return writerMethods[fn.Name()]
+}

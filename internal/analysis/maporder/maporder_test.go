@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/analysis/analysistest"
+	"github.com/ais-snu/localut/internal/analysis/maporder"
+)
+
+func TestFlagged(t *testing.T)    { analysistest.Run(t, "testdata/flagged", maporder.Analyzer) }
+func TestClean(t *testing.T)      { analysistest.Run(t, "testdata/clean", maporder.Analyzer) }
+func TestSuppressed(t *testing.T) { analysistest.Run(t, "testdata/suppressed", maporder.Analyzer) }

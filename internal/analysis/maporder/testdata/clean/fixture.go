@@ -1,0 +1,51 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CountValues accumulates integers, which commute exactly.
+func CountValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: the in-loop
+// append is neutralized by the sort that follows.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrintSorted iterates the sorted key slice, so accumulation and output
+// are deterministic.
+func PrintSorted(m map[string]float64) float64 {
+	sum := 0.0
+	for _, k := range SortedKeys(m) {
+		sum += m[k]
+		fmt.Println(k, m[k])
+	}
+	return sum
+}
+
+// LocalScratch accumulates into a per-iteration local, which resets
+// every pass and cannot leak order.
+func LocalScratch(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package fixture
+
+import "fmt"
+
+// FloatAccum sums float values straight out of map order: the ulp-level
+// result depends on iteration order.
+func FloatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "float accumulation into sum"
+	}
+	return sum
+}
+
+// FloatAssignForm is the same bug spelled as x = x + v.
+func FloatAssignForm(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total"
+	}
+	return total
+}
+
+// AppendRows records map order into a slice that is never sorted.
+func AppendRows(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k) // want "append to rows inside map iteration"
+	}
+	return rows
+}
+
+// Output prints rows in map order.
+func Output(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "ordered output written inside map iteration"
+	}
+}
+
+// NestedAccum leaks order through an inner loop over the map value: the
+// outer map order still decides the order float addends meet.
+func NestedAccum(m map[string][]float64) float64 {
+	grand := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			grand += v // want "float accumulation into grand"
+		}
+	}
+	return grand
+}

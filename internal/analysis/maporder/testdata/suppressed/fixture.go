@@ -1,0 +1,31 @@
+package fixture
+
+import "fmt"
+
+// SuppressedAccum carries a reasoned trailing suppression.
+func SuppressedAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //determlint:ordered result only compared at 1e-3 tolerance downstream
+	}
+	return sum
+}
+
+// SuppressedOutput uses annotation-above style.
+func SuppressedOutput(m map[string]int) {
+	for k := range m {
+		//determlint:ordered debug dump, never diffed against goldens
+		fmt.Println(k)
+	}
+}
+
+// BareSuppression has no reason, so it does not suppress: every
+// suppression must say why.
+func BareSuppression(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//determlint:ordered
+		t += v // want "float accumulation into t"
+	}
+	return t
+}

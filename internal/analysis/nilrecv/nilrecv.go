@@ -1,0 +1,149 @@
+// Package nilrecv enforces the zero-cost-when-nil contract on types
+// documented as nil-safe: the observability layer promises that a nil
+// *obs.Recorder or *obs.Metrics makes every call a no-op, so
+// instrumentation costs nothing when disabled. A type opts in by
+// carrying a //determlint:nilsafe line in its doc comment; from then on
+// every exported method must use a named pointer receiver and begin
+// with `if r == nil { return ... }` (a leading `r == nil || ...`
+// condition also qualifies). One missing guard turns "tracing off" into
+// a panic on the hot path.
+package nilrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/ais-snu/localut/internal/analysis"
+)
+
+// Analyzer is the nilrecv pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nilrecv",
+	Doc:      "exported methods on //determlint:nilsafe types must nil-check their pointer receiver first",
+	Suppress: "nilrecv",
+	Run:      run,
+}
+
+// Marker is the doc-comment line that declares a type nil-safe.
+const Marker = "//determlint:nilsafe"
+
+func run(pass *analysis.Pass) error {
+	nilsafe := markedTypes(pass)
+	if len(nilsafe) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			checkMethod(pass, nilsafe, fd)
+		}
+	}
+	return nil
+}
+
+// markedTypes collects the named types whose declaration doc contains
+// the nilsafe marker.
+func markedTypes(pass *analysis.Pass) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) {
+					if obj := pass.TypesInfo.ObjectOf(ts.Name); obj != nil {
+						marked[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMethod verifies one exported method against the contract.
+func checkMethod(pass *analysis.Pass, nilsafe map[types.Object]bool, fd *ast.FuncDecl) {
+	recv := fd.Recv.List[0]
+	star, isPtr := recv.Type.(*ast.StarExpr)
+	var typeIdent *ast.Ident
+	if isPtr {
+		typeIdent, _ = ast.Unparen(star.X).(*ast.Ident)
+	} else {
+		typeIdent, _ = ast.Unparen(recv.Type).(*ast.Ident)
+	}
+	if typeIdent == nil || !nilsafe[pass.TypesInfo.ObjectOf(typeIdent)] {
+		return
+	}
+	if !isPtr {
+		pass.Reportf(fd.Name.Pos(), "nil-safe type %s: exported method %s has a value receiver, so a nil pointer cannot be guarded; use a pointer receiver with a leading nil check", typeIdent.Name, fd.Name.Name)
+		return
+	}
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		pass.Reportf(fd.Name.Pos(), "nil-safe type %s: exported method %s must name its receiver and begin with a nil check", typeIdent.Name, fd.Name.Name)
+		return
+	}
+	recvObj := pass.TypesInfo.ObjectOf(recv.Names[0])
+	if fd.Body == nil || len(fd.Body.List) == 0 || !startsWithNilGuard(pass, fd.Body.List[0], recvObj) {
+		pass.Reportf(fd.Name.Pos(), "nil-safe type %s: exported method %s must begin with `if %s == nil { return ... }` so a nil receiver is a no-op", typeIdent.Name, fd.Name.Name, recv.Names[0].Name)
+	}
+}
+
+// startsWithNilGuard reports whether stmt is `if recv == nil { ...
+// return }` (possibly `recv == nil || more`), ending in a return.
+func startsWithNilGuard(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Body == nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return condHasNilCheck(pass, ifs.Cond, recv)
+}
+
+// condHasNilCheck matches `recv == nil` as the condition or as an
+// operand of a top-level ||.
+func condHasNilCheck(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if bin.Op == token.LOR {
+		return condHasNilCheck(pass, bin.X, recv) || condHasNilCheck(pass, bin.Y, recv)
+	}
+	if bin.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+		return ok && tv.IsNil()
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isRecv(bin.Y) && isNil(bin.X))
+}

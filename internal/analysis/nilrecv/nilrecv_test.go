@@ -1,0 +1,12 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/analysis/analysistest"
+	"github.com/ais-snu/localut/internal/analysis/nilrecv"
+)
+
+func TestFlagged(t *testing.T)    { analysistest.Run(t, "testdata/flagged", nilrecv.Analyzer) }
+func TestClean(t *testing.T)      { analysistest.Run(t, "testdata/clean", nilrecv.Analyzer) }
+func TestSuppressed(t *testing.T) { analysistest.Run(t, "testdata/suppressed", nilrecv.Analyzer) }

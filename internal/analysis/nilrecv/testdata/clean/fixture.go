@@ -1,0 +1,8 @@
+package fixture
+
+// Plain carries no nilsafe contract, so its methods may dereference
+// freely.
+type Plain struct{ n int }
+
+// Value dereferences without a guard; legal on an unmarked type.
+func (p *Plain) Value() int { return p.n }

@@ -1,0 +1,53 @@
+package fixture
+
+// Recorder promises nil-safety: every exported method must no-op on a
+// nil receiver.
+//
+//determlint:nilsafe all exported methods no-op on nil
+type Recorder struct {
+	n int
+}
+
+// Good has the canonical leading guard.
+func (r *Recorder) Good() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// GuardWithOr folds the nil check into a compound condition, which
+// still guards.
+func (r *Recorder) GuardWithOr(xs []int) int {
+	if r == nil || len(xs) == 0 {
+		return 0
+	}
+	return r.n + xs[0]
+}
+
+// Missing dereferences an unguarded receiver.
+func (r *Recorder) Missing() int { // want "exported method Missing must begin with"
+	return r.n
+}
+
+// Late guards too late: the first statement already dereferenced.
+func (r *Recorder) Late() int { // want "exported method Late must begin with"
+	v := r.n
+	if r == nil {
+		return 0
+	}
+	return v
+}
+
+// ValueRecv cannot guard a nil pointer at all.
+func (r Recorder) ValueRecv() int { // want "value receiver"
+	return r.n
+}
+
+// Unnamed receivers cannot be checked.
+func (*Recorder) Unnamed() {} // want "must name its receiver"
+
+// internal is unexported and outside the contract.
+func (r *Recorder) internal() int { return r.n }
+
+var _ = (*Recorder)(nil).internal

@@ -1,0 +1,206 @@
+// Package rngstream enforces the project's randomness discipline:
+//
+//  1. No global math/rand (or math/rand/v2) state, anywhere: the
+//     package-level convenience functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, rand.Seed, ...) draw from one process-wide source
+//     whose schedule shifts with every unrelated caller. Deterministic
+//     code derives every stream from an explicit seed via
+//     rand.New(rand.NewSource(seed)).
+//
+//  2. In a package that declares a chaos stream registry — a top-level
+//     `chaosStreams` table of (offset, stride) seed-derivation pairs —
+//     the entries must be pairwise unique in both offset and stride
+//     (so enabling one chaos layer can never shift another layer's
+//     schedule), and every rand.New/rand.NewSource construction in the
+//     package must happen inside a function that reads the registry.
+//     Ad-hoc seed arithmetic next to the table is exactly how two
+//     subsystems end up on colliding streams.
+package rngstream
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"github.com/ais-snu/localut/internal/analysis"
+)
+
+// Analyzer is the rngstream pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "rngstream",
+	Doc:      "forbid global math/rand and unregistered chaos RNG streams; verify registry uniqueness",
+	Suppress: "rngstream",
+	Run:      run,
+}
+
+// RegistryName is the top-level table rngstream recognizes as the
+// single source of truth for chaos seed streams.
+const RegistryName = "chaosStreams"
+
+// allowed are the math/rand package-level functions that construct
+// explicitly seeded state instead of touching the global source.
+var allowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkGlobalRand(pass)
+	if reg := pass.Pkg.Scope().Lookup(RegistryName); reg != nil {
+		checkRegistry(pass, reg)
+	}
+	return nil
+}
+
+// checkGlobalRand flags every use of a math/rand package-level function
+// that draws from (or reseeds) the shared global source.
+func checkGlobalRand(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			if allowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global rand.%s draws from process-wide state and is not reproducible; use a seeded rand.New(rand.NewSource(...)) (or add //determlint:rngstream <reason>)", fn.Name())
+			return true
+		})
+	}
+}
+
+// checkRegistry verifies the chaosStreams table and confines stream
+// construction to its accessor functions.
+func checkRegistry(pass *analysis.Pass, reg types.Object) {
+	info := pass.TypesInfo
+	// Locate the registry's composite literal and check uniqueness.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if info.ObjectOf(name) != reg || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+					checkUniqueness(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	// Any rand.New/rand.NewSource outside a registry-reading function is
+	// an unregistered stream. rand.New(rand.NewSource(...)) is one site,
+	// so report each source line once.
+	type fileLine struct {
+		file string
+		line int
+	}
+	reported := map[fileLine]bool{}
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if fn.Name() != "New" && fn.Name() != "NewSource" {
+				return true
+			}
+			encl := analysis.EnclosingFunc(stack)
+			if encl != nil && refersTo(info, encl, reg) {
+				return true
+			}
+			p := pass.Fset.Position(sel.Pos())
+			if key := (fileLine{p.Filename, p.Line}); !reported[key] {
+				reported[key] = true
+				pass.Reportf(sel.Pos(), "unregistered chaos RNG stream: this package has a %s registry; derive every stream through its accessor so offsets and strides stay unique (or add //determlint:rngstream <reason>)", RegistryName)
+			}
+			return true
+		})
+	}
+}
+
+// checkUniqueness evaluates the (offset, stride) constants of every
+// registry entry and reports collisions in either column.
+func checkUniqueness(pass *analysis.Pass, lit *ast.CompositeLit) {
+	seen := map[string]map[int64]bool{"offset": {}, "stride": {}}
+	report := func(col string, v int64, at ast.Expr) {
+		if seen[col][v] {
+			pass.Reportf(at.Pos(), "chaos stream registry: duplicate %s %d — two streams would collide; every registry entry needs a unique offset and a unique stride", col, v)
+		}
+		seen[col][v] = true
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		inner, ok := ast.Unparen(el).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for j, fe := range inner.Elts {
+			col := ""
+			val := fe
+			if kv, ok := fe.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					col = id.Name
+				}
+				val = kv.Value
+			} else if j == 0 {
+				col = "offset"
+			} else if j == 1 {
+				col = "stride"
+			}
+			tv, ok := pass.TypesInfo.Types[val]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				continue
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				continue
+			}
+			if col == "offset" || col == "stride" {
+				if v <= 0 {
+					pass.Reportf(val.Pos(), "chaos stream registry: %s %d must be positive", col, v)
+				}
+				report(col, v, val)
+			}
+		}
+	}
+}
+
+// refersTo reports whether node mentions obj.
+func refersTo(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

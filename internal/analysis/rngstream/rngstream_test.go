@@ -1,0 +1,12 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/analysis/analysistest"
+	"github.com/ais-snu/localut/internal/analysis/rngstream"
+)
+
+func TestFlagged(t *testing.T)    { analysistest.Run(t, "testdata/flagged", rngstream.Analyzer) }
+func TestClean(t *testing.T)      { analysistest.Run(t, "testdata/clean", rngstream.Analyzer) }
+func TestSuppressed(t *testing.T) { analysistest.Run(t, "testdata/suppressed", rngstream.Analyzer) }

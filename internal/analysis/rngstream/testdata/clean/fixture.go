@@ -1,0 +1,20 @@
+package fixture
+
+import "math/rand"
+
+// Seeded derives an explicit source: methods on a *rand.Rand are always
+// legal, and without a registry in the package, construction sites are
+// unconstrained.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Derived streams built from an explicit seed are fine too.
+func PerWorker(seed int64, workers int) []*rand.Rand {
+	out := make([]*rand.Rand, workers)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package fixture
+
+import "math/rand"
+
+// GlobalDraw pulls from the process-wide source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}
+
+// GlobalShuffle mutates through the shared source too.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+type seedStream struct{ offset, stride int64 }
+
+// chaosStreams is a registry with a colliding stride, which the
+// analyzer must reject.
+var chaosStreams = [2]seedStream{
+	{offset: 7, stride: 99991},
+	{offset: 11, stride: 99991}, // want "duplicate stride 99991"
+}
+
+// fromRegistry is the sanctioned accessor: it reads the registry, so
+// its constructions are legal.
+func fromRegistry(seed int64, id, k int) *rand.Rand {
+	s := chaosStreams[id]
+	return rand.New(rand.NewSource(seed + s.offset + int64(k)*s.stride))
+}
+
+// adHoc builds a stream next to a registry without registering it.
+func adHoc(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 99)) // want "unregistered chaos RNG stream"
+}
+
+var _ = fromRegistry
+var _ = adHoc

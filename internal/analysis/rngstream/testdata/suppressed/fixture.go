@@ -1,0 +1,8 @@
+package fixture
+
+import "math/rand"
+
+// Jitter keeps an intentional global draw with a reasoned suppression.
+func Jitter() int {
+	return rand.Intn(3) //determlint:rngstream harness-only jitter, result never enters a report
+}

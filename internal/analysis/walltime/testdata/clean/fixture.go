@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Pure duration arithmetic and explicit instants are data, not clock
+// reads, and stay legal in simulation code.
+func Pure() time.Time {
+	d := 3 * time.Second
+	return time.Unix(0, 0).Add(d)
+}
+
+// Format renders a simulated timestamp; nothing observes the host.
+func Format(simSeconds float64) string {
+	return time.Unix(int64(simSeconds), 0).UTC().Format(time.RFC3339)
+}

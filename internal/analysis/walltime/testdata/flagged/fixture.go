@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Step reads and schedules against the host clock from simulation code.
+func Step() float64 {
+	start := time.Now()                // want "wall-clock time.Now in simulation code"
+	time.Sleep(time.Millisecond)       // want "wall-clock time.Sleep in simulation code"
+	return time.Since(start).Seconds() // want "wall-clock time.Since in simulation code"
+}
+
+// Deadline uses a timer, which is the same clock in disguise.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want "wall-clock time.After in simulation code"
+}

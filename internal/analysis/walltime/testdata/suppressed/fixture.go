@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// Profiled justifies its wall-clock read: it feeds an operator-facing
+// progress line, never simulated state.
+func Profiled() time.Time {
+	return time.Now() //determlint:walltime progress logging only, never enters simulated state
+}

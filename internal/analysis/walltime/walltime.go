@@ -1,0 +1,53 @@
+// Package walltime forbids reading or acting on the host's wall clock
+// inside simulation packages. The simulator's only clock is the
+// discrete-event time threaded through the event heap; a time.Now (or a
+// sleep, timer, or ticker) in simulation code couples results to the
+// machine and breaks byte-identical reports across runs and -j levels.
+// Wall-clock measurement belongs in cmd/* drivers and internal/prof,
+// which the determlint suite exempts.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/ais-snu/localut/internal/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "walltime",
+	Doc:      "forbid wall-clock reads (time.Now, time.Since, timers) in simulation packages",
+	Suppress: "walltime",
+	Run:      run,
+}
+
+// denied are the package-level time functions that observe or schedule
+// against the host clock. Pure data constructors (time.Duration math,
+// time.Unix, time.Date) stay legal.
+var denied = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !denied[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock time.%s in simulation code: only the simulated clock may advance state (move to cmd/* or internal/prof, or add //determlint:walltime <reason>)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

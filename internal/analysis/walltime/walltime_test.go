@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"github.com/ais-snu/localut/internal/analysis/analysistest"
+	"github.com/ais-snu/localut/internal/analysis/walltime"
+)
+
+func TestFlagged(t *testing.T)    { analysistest.Run(t, "testdata/flagged", walltime.Analyzer) }
+func TestClean(t *testing.T)      { analysistest.Run(t, "testdata/clean", walltime.Analyzer) }
+func TestSuppressed(t *testing.T) { analysistest.Run(t, "testdata/suppressed", walltime.Analyzer) }

@@ -442,10 +442,10 @@ func (cs *csim) newMember(id int, st memberState, now float64) (*member, error) 
 		m.activeAt = now
 	}
 	if cs.cfg.Faults.Enabled {
-		m.faultRNG = rand.New(rand.NewSource(cs.cfg.Seed + faultSeedOffset + int64(id)*faultSeedStride))
+		m.faultRNG = chaosRand(cs.cfg.Seed, faultStream, id)
 	}
 	if cs.cfg.Stragglers.Enabled {
-		m.stragRNG = rand.New(rand.NewSource(cs.cfg.Seed + stragglerSeedOffset + int64(id)*stragglerSeedStride))
+		m.stragRNG = chaosRand(cs.cfg.Seed, stragglerStream, id)
 	}
 	return m, nil
 }

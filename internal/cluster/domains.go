@@ -54,14 +54,10 @@ func (d DomainConfig) withDefaults() (DomainConfig, error) {
 	return d, nil
 }
 
-// Per-domain outage streams, decoupled from the per-member fault and
-// straggler streams so enabling one subsystem never perturbs another.
-const (
-	domainSeedOffset = 131
-	domainSeedStride = 15485863
-)
-
-// domainState is one failure domain's outage stream and counters.
+// domainState is one failure domain's outage stream and counters. The
+// per-domain outage streams live in the chaosStreams registry
+// (streams.go), decoupled from the per-member fault and straggler
+// streams so enabling one subsystem never perturbs another.
 type domainState struct {
 	rng     *rand.Rand
 	outages int
@@ -75,8 +71,7 @@ func (cs *csim) initDomains() {
 	}
 	cs.domains = make([]domainState, cs.cfg.Domains.Count)
 	for d := range cs.domains {
-		cs.domains[d].rng = rand.New(rand.NewSource(
-			cs.cfg.Seed + domainSeedOffset + int64(d)*domainSeedStride))
+		cs.domains[d].rng = chaosRand(cs.cfg.Seed, domainStream, d)
 		cs.scheduleDomainOutage(d, 0)
 	}
 }

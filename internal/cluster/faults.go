@@ -130,14 +130,6 @@ func (cs *csim) faultEvent(now float64, action string, inst, rep, active int, re
 	cs.cfg.Recorder.Instant(inst+1, tid, action, now, obs.Num("active", float64(active)))
 }
 
-// Per-member fault streams: seeds are decoupled per instance ID so the
-// fault schedule of one member never depends on fleet size or on the
-// other members' draws.
-const (
-	faultSeedOffset = 57
-	faultSeedStride = 104729
-)
-
 // shedCause classifies cluster-level request drops.
 type shedCause int
 

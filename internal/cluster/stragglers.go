@@ -49,14 +49,6 @@ func (s StragglerConfig) withDefaults() (StragglerConfig, error) {
 	return s, nil
 }
 
-// Per-member straggler streams, decoupled from the fault and domain
-// streams: the straggler schedule is identical with hedging on or off,
-// which is what makes hedged-vs-unhedged twin runs comparable.
-const (
-	stragglerSeedOffset = 211
-	stragglerSeedStride = 32452843
-)
-
 // scheduleStraggler draws member m's next straggler onset, stamped with
 // the member's life epoch so the event dies if the member crashes or
 // leaves service first. Draws beyond the arrival window are discarded.

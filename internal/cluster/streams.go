@@ -1,0 +1,48 @@
+package cluster
+
+import "math/rand"
+
+// chaosStream identifies one family of seeded chaos RNG streams. Every
+// chaos subsystem (fault injection, gray-failure stragglers, correlated
+// domain outages) draws from its own family so enabling or reseeding
+// one layer can never shift another layer's schedule — the property the
+// hedged-vs-unhedged and faulted-vs-clean twin-run comparisons depend
+// on.
+type chaosStream int
+
+const (
+	faultStream     chaosStream = iota // per-member fail-stop/degraded faults
+	stragglerStream                    // per-member slowdown windows
+	domainStream                       // per-domain correlated outages
+	numChaosStreams
+)
+
+// seedStream is one registered (offset, stride) seed-derivation pair:
+// the k-th instance of the stream is seeded with
+// Seed + offset + k*stride.
+type seedStream struct {
+	offset int64
+	stride int64
+}
+
+// chaosStreams is the single registry of chaos seed streams. The
+// rngstream analyzer (cmd/determlint) statically verifies that every
+// offset and every stride here is unique and that no rand source in
+// this package is constructed outside the registry accessor below;
+// TestChaosStreamSeedsDisjoint pins the derived seeds apart at runtime
+// for fleets up to 4096 members. Strides are large distinct primes so
+// the k-indexed arithmetic progressions stay disjoint at any realistic
+// fleet size.
+var chaosStreams = [numChaosStreams]seedStream{
+	faultStream:     {offset: 57, stride: 104729},
+	stragglerStream: {offset: 211, stride: 32452843},
+	domainStream:    {offset: 131, stride: 15485863},
+}
+
+// chaosRand derives the k-th generator of stream id from the run seed.
+// This is the only place the package may construct a rand source: new
+// chaos layers add a registry entry, not ad-hoc seed arithmetic.
+func chaosRand(seed int64, id chaosStream, k int) *rand.Rand {
+	s := chaosStreams[id]
+	return rand.New(rand.NewSource(seed + s.offset + int64(k)*s.stride))
+}

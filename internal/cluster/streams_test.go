@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosStreamRegistryUnique pins the registry invariant the
+// rngstream analyzer checks at build time: every stream has a unique
+// offset and a unique stride, and both are positive. A collision in
+// either column would let two chaos layers share derived seeds.
+func TestChaosStreamRegistryUnique(t *testing.T) {
+	offsets := map[int64]chaosStream{}
+	strides := map[int64]chaosStream{}
+	for id, s := range chaosStreams {
+		if s.offset <= 0 || s.stride <= 0 {
+			t.Errorf("stream %d: offset %d and stride %d must be positive", id, s.offset, s.stride)
+		}
+		if prev, dup := offsets[s.offset]; dup {
+			t.Errorf("streams %d and %d share offset %d", prev, id, s.offset)
+		}
+		if prev, dup := strides[s.stride]; dup {
+			t.Errorf("streams %d and %d share stride %d", prev, id, s.stride)
+		}
+		offsets[s.offset] = chaosStream(id)
+		strides[s.stride] = chaosStream(id)
+	}
+}
+
+// TestChaosStreamSeedsDisjoint checks the operative property behind the
+// registry: for any fleet/domain index up to 4096, no two streams
+// derive the same seed, so no two chaos subsystems can ever consume an
+// identical random sequence.
+func TestChaosStreamSeedsDisjoint(t *testing.T) {
+	const maxIndex = 4096
+	seen := map[int64]string{}
+	for id, s := range chaosStreams {
+		for k := int64(0); k < maxIndex; k++ {
+			seed := s.offset + k*s.stride
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("stream %d index %d derives seed %d already produced by %s", id, k, seed, prev)
+			}
+			seen[seed] = fmt.Sprintf("stream %d index %d", id, k)
+		}
+	}
+}

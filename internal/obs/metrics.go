@@ -14,6 +14,8 @@ import (
 // between. Rows therefore depend only on the event sequence, never on
 // wall-clock or worker parallelism, and the exported CSV/JSON is
 // byte-reproducible. All methods are nil-safe no-ops.
+//
+//determlint:nilsafe every exported method must no-op on a nil receiver
 type Metrics struct {
 	Interval float64 // sampling period in simulated seconds
 
@@ -101,6 +103,9 @@ func formatMetric(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64)
 
 // WriteCSV writes "t_s,<col>,..." followed by one row per sample.
 func (m *Metrics) WriteCSV(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	bw.WriteString("t_s")
 	for _, c := range m.cols {
@@ -129,6 +134,9 @@ type metricsJSON struct {
 
 // WriteJSON writes the same table as indented JSON.
 func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
 	out := metricsJSON{IntervalSeconds: m.Interval, Columns: append([]string{"t_s"}, m.cols...)}
 	out.Rows = make([][]float64, len(m.rows))
 	for i, r := range m.rows {

@@ -51,6 +51,8 @@ type event struct {
 // traffic/fleet track (request lifecycle spans, scale and admission
 // events); pid i+1 is instance i, with tid 0 for instance-level events and
 // tid r+1 for replica r's batch spans.
+//
+//determlint:nilsafe every exported method must no-op on a nil receiver
 type Recorder struct {
 	// SampleN records every Nth request lifecycle (1 = all). Pass and
 	// fleet events are always recorded; only per-request spans sample.
@@ -178,6 +180,9 @@ func writeArgs(w *bufio.Writer, args []Arg) {
 // ({"traceEvents": [...]}) with a fixed field order per event, one event
 // per line. The output depends only on the recorded event sequence.
 func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
 	for i := range r.events {
